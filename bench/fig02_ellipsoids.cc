@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 2 reproduction: discrimination ellipsoids at 5 and 25 degrees of
+ * eccentricity for 27 colors uniformly sampled in the linear RGB cube
+ * between [0.2, 0.2, 0.2] and [0.8, 0.8, 0.8].
+ *
+ * The paper plots the ellipsoids; we print, per color and eccentricity,
+ * the DKL semi-axes and the linear-RGB half-extents, plus the aggregate
+ * growth factor from 5 to 25 degrees (the figure's visual message).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "color/dkl.hh"
+#include "core/quadric.hh"
+#include "metrics/report.hh"
+
+using namespace pce;
+
+int
+main()
+{
+    const auto &model = bench::benchModel();
+    const Mat3 &inv = dkl2rgbMatrix();
+
+    TextTable table("Fig. 2: discrimination ellipsoids, 27 colors");
+    table.setHeader({"color (lin RGB)", "ecc", "DKL a", "DKL b", "DKL c",
+                     "RGB extent R", "RGB extent G", "RGB extent B"});
+
+    double sum_growth = 0.0;
+    double g_sum[2] = {0.0, 0.0};
+    double r_sum[2] = {0.0, 0.0};
+    double b_sum[2] = {0.0, 0.0};
+    int count = 0;
+    for (int ri = 0; ri < 3; ++ri) {
+        for (int gi = 0; gi < 3; ++gi) {
+            for (int bi = 0; bi < 3; ++bi) {
+                const Vec3 rgb(0.2 + 0.3 * ri, 0.2 + 0.3 * gi,
+                               0.2 + 0.3 * bi);
+                Vec3 extent5;
+                Vec3 extent25;
+                for (int which = 0; which < 2; ++which) {
+                    const double ecc = which == 0 ? 5.0 : 25.0;
+                    const Vec3 axes = model.semiAxes(rgb, ecc);
+                    Vec3 extent;
+                    for (std::size_t k = 0; k < 3; ++k)
+                        extent[k] = inv.row(k).cwiseMul(axes).norm();
+                    (which == 0 ? extent5 : extent25) = extent;
+                    r_sum[which] += extent.x;
+                    g_sum[which] += extent.y;
+                    b_sum[which] += extent.z;
+                    char color_buf[48];
+                    std::snprintf(color_buf, sizeof color_buf,
+                                  "(%.1f, %.1f, %.1f)", rgb.x, rgb.y,
+                                  rgb.z);
+                    table.addRow({color_buf, fmtDouble(ecc, 0),
+                                  fmtDouble(axes.x, 6),
+                                  fmtDouble(axes.y, 6),
+                                  fmtDouble(axes.z, 6),
+                                  fmtDouble(extent.x, 4),
+                                  fmtDouble(extent.y, 4),
+                                  fmtDouble(extent.z, 4)});
+                }
+                sum_growth += extent25.z / extent5.z;
+                ++count;
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAggregate (paper's visual message):\n";
+    std::cout << "  mean RGB half-extents at  5 deg: R="
+              << fmtDouble(r_sum[0] / count, 4)
+              << " G=" << fmtDouble(g_sum[0] / count, 4)
+              << " B=" << fmtDouble(b_sum[0] / count, 4) << "\n";
+    std::cout << "  mean RGB half-extents at 25 deg: R="
+              << fmtDouble(r_sum[1] / count, 4)
+              << " G=" << fmtDouble(g_sum[1] / count, 4)
+              << " B=" << fmtDouble(b_sum[1] / count, 4) << "\n";
+    std::cout << "  mean 25deg/5deg growth along B: "
+              << fmtDouble(sum_growth / count, 2)
+              << "x (ellipsoids grow with eccentricity)\n";
+    std::cout << "  elongation at 25 deg (B/G): "
+              << fmtDouble(b_sum[1] / g_sum[1], 1)
+              << "x, (R/G): " << fmtDouble(r_sum[1] / g_sum[1], 1)
+              << "x (elongated along R/B, tight along G)\n";
+    return 0;
+}

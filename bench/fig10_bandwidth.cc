@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 10 reproduction: DRAM bandwidth reduction of our perceptual
+ * encoder versus the NoCom / SCC / BD / PNG baselines across the six VR
+ * scenes (stereo frames).
+ *
+ * Paper headline numbers this bench regenerates the shape of:
+ * 66.9% reduction vs NoCom, 50.3% vs SCC, 15.6% (up to 20.4%) vs BD;
+ * PNG occasionally beats us on some scenes (it is offline-only).
+ */
+
+#include <iostream>
+
+#include "bd/bd_codec.hh"
+#include "bench_common.hh"
+#include "metrics/report.hh"
+#include "png/png_codec.hh"
+#include "scc/scc_codec.hh"
+
+using namespace pce;
+
+int
+main()
+{
+    const int w = bench::benchWidth();
+    const int h = bench::benchHeight();
+    const EccentricityMap ecc(bench::benchDisplay(w, h));
+
+    PipelineParams params;
+    params.threads = bench::benchThreads();
+    const PerceptualEncoder encoder(bench::benchModel(), params);
+    const BdCodec bd(4);
+
+    const int scc_step =
+        static_cast<int>(envInt("PCE_SCC_STEP", 8));
+    const SccCodebook scc(bench::benchModel(),
+                          SccParams{scc_step, 20.0});
+
+    TextTable table("Fig. 10: bandwidth reduction vs NoCom (%), stereo, " +
+                    std::to_string(w) + "x" + std::to_string(h) +
+                    " per eye");
+    table.setHeader({"scene", "SCC", "BD", "PNG", "Ours", "Ours vs BD",
+                     "Ours vs SCC"});
+
+    double sum_ours = 0.0;
+    double sum_vs_bd = 0.0;
+    double sum_vs_scc = 0.0;
+    double max_vs_bd = -1e9;
+    for (SceneId id : allScenes()) {
+        const StereoFrame stereo = renderStereo(id, w, h);
+        double bits_raw = 0.0;
+        double bits_scc = 0.0;
+        double bits_bd = 0.0;
+        double bits_png = 0.0;
+        double bits_ours = 0.0;
+        for (const ImageF *frame : {&stereo.left, &stereo.right}) {
+            const ImageU8 srgb = toSrgb8(*frame);
+            bits_raw += 24.0 * static_cast<double>(srgb.pixelCount());
+            bits_scc += static_cast<double>(scc.encode(srgb).size()) * 8;
+            bits_bd +=
+                static_cast<double>(bd.analyze(srgb).totalBits());
+            bits_png += static_cast<double>(pngEncode(srgb).size()) * 8;
+            bits_ours += static_cast<double>(
+                encoder.encodeFrame(*frame, ecc).bdStats.totalBits());
+        }
+        const double red_scc = 100.0 * (1.0 - bits_scc / bits_raw);
+        const double red_bd = 100.0 * (1.0 - bits_bd / bits_raw);
+        const double red_png = 100.0 * (1.0 - bits_png / bits_raw);
+        const double red_ours = 100.0 * (1.0 - bits_ours / bits_raw);
+        const double vs_bd = 100.0 * (1.0 - bits_ours / bits_bd);
+        const double vs_scc = 100.0 * (1.0 - bits_ours / bits_scc);
+        sum_ours += red_ours;
+        sum_vs_bd += vs_bd;
+        sum_vs_scc += vs_scc;
+        max_vs_bd = std::max(max_vs_bd, vs_bd);
+
+        table.addRow({sceneName(id), fmtDouble(red_scc, 1),
+                      fmtDouble(red_bd, 1), fmtDouble(red_png, 1),
+                      fmtDouble(red_ours, 1), fmtDouble(vs_bd, 1),
+                      fmtDouble(vs_scc, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAverages (paper: 66.9% vs NoCom, 15.6% vs BD with up "
+                 "to 20.4%, 50.3% vs SCC):\n";
+    std::cout << "  ours vs NoCom: " << fmtDouble(sum_ours / 6.0, 1)
+              << "%\n";
+    std::cout << "  ours vs BD:    " << fmtDouble(sum_vs_bd / 6.0, 1)
+              << "% (max " << fmtDouble(max_vs_bd, 1) << "%)\n";
+    std::cout << "  ours vs SCC:   " << fmtDouble(sum_vs_scc / 6.0, 1)
+              << "%\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sec. 4.2 reproduction (dynamic): the CAU pipeline simulator validating
+ * the paper's sizing claims — 96 PEs with double-buffered pending
+ * buffers neither stall the GPU nor starve the CAU at peak GPU output,
+ * and the balanced design point matches the analytical delay model.
+ */
+
+#include <iostream>
+
+#include "hw/cau_model.hh"
+#include "hw/cau_sim.hh"
+#include "metrics/report.hh"
+
+using namespace pce;
+
+int
+main()
+{
+    const uint64_t frame_pixels = 5408ull * 2736ull;
+
+    TextTable pe_sweep("CAU sim: PE count sweep (peak GPU traffic, "
+                       "frame 5408x2736)");
+    pe_sweep.setHeader({"PEs", "cycles", "GPU stall %", "PE util %",
+                        "max buffer occ"});
+    for (int pes : {24, 48, 96, 144, 192}) {
+        CauSimConfig config;
+        config.peCount = pes;
+        const auto r = CauPipelineSim(config).simulateFrame(frame_pixels);
+        pe_sweep.addRow({std::to_string(pes), std::to_string(r.cycles),
+                         fmtDouble(100.0 * r.gpuStallFraction(), 1),
+                         fmtDouble(100.0 * r.peUtilization(), 1),
+                         std::to_string(r.maxBufferOccupancy)});
+    }
+    pe_sweep.print(std::cout);
+    std::cout << "\n96 PEs is the knee: fewer stalls the GPU, more "
+                 "starve (Sec. 6.1 design point).\n\n";
+
+    TextTable buf_sweep("CAU sim: buffer depth under bursty GPU traffic "
+                        "(125% of CAU rate during bursts)");
+    buf_sweep.setHeader({"buffer (tiles/PE)", "GPU stall %",
+                         "PE util %", "cycles"});
+    for (int depth : {1, 2, 3, 4, 8}) {
+        CauSimConfig config;
+        config.traffic = GpuTraffic::Bursty;
+        config.dutyCycle = 0.4;
+        config.burstCycles = 8;
+        config.gpuPixelsPerCycle = 768.0;  // peak 1920 px = 120 tiles
+        config.bufferTilesPerPe = depth;
+        const auto r = CauPipelineSim(config).simulateFrame(
+            frame_pixels / 4);
+        buf_sweep.addRow({std::to_string(depth),
+                          fmtDouble(100.0 * r.gpuStallFraction(), 2),
+                          fmtDouble(100.0 * r.peUtilization(), 1),
+                          std::to_string(r.cycles)});
+    }
+    buf_sweep.print(std::cout);
+    std::cout << "\nDouble buffering (the paper's choice) absorbs "
+                 "moderate burstiness; deeper buffers chase\n"
+                 "diminishing returns at 18 KB of SRAM per extra tile "
+                 "of depth.\n\n";
+
+    // Cross-check against the analytical model.
+    const CauModel analytic;
+    CauSimConfig sustained;
+    sustained.gpuPixelsPerCycle = 512.0;  // analytic sustained rate
+    const auto r = CauPipelineSim(sustained).simulateFrame(frame_pixels);
+    std::cout << "Analytical delay: "
+              << fmtDouble(analytic.compressionDelayUs(5408, 2736), 1)
+              << " us; simulated at the sustained rate: "
+              << fmtDouble(r.cycles * 6.0 / 1000.0, 1) << " us\n";
+    return 0;
+}

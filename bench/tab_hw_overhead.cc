@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sec. 6.1 reproduction: CAU performance, area, and power overhead
+ * (the paper's TSMC-7nm synthesis numbers, reproduced by the analytical
+ * hardware model parameterized with the reported constants).
+ */
+
+#include <iostream>
+
+#include "hw/cau_model.hh"
+#include "metrics/report.hh"
+
+using namespace pce;
+
+int
+main()
+{
+    const CauModel cau;
+
+    TextTable table("Sec. 6.1: CAU overhead (paper value in brackets)");
+    table.setHeader({"quantity", "model", "paper"});
+    table.addRow({"CAU frequency (MHz)", fmtDouble(cau.frequencyMhz(), 1),
+                  "166.7"});
+    table.addRow({"pixels per CAU cycle (peak)",
+                  std::to_string(cau.pixelsPerCauCycle()), "1536"});
+    table.addRow({"PE count", std::to_string(cau.peCount()), "96"});
+    table.addRow({"PE area total (mm^2)",
+                  fmtDouble(cau.peAreaTotalMm2(), 3), "2.1"});
+    table.addRow({"total area incl. buffers (mm^2)",
+                  fmtDouble(cau.totalAreaMm2(), 3), "~2.13"});
+    table.addRow({"total power (uW)",
+                  fmtDouble(cau.totalPowerMw() * 1000.0, 1), "201.6"});
+    table.addRow({"pending buffers (KB)",
+                  fmtDouble(cau.pendingBufferBytes() / 1024.0, 1),
+                  "36"});
+    table.addRow({"compression delay @5408x2736 (us)",
+                  fmtDouble(cau.compressionDelayUs(5408, 2736), 1),
+                  "173.4"});
+    table.addRow({"delay / 72FPS frame budget (%)",
+                  fmtDouble(100.0 * cau.compressionDelayUs(5408, 2736) /
+                                (1e6 / 72.0),
+                            2),
+                  "~1.2"});
+    table.print(std::cout);
+
+    std::cout << "\nContext: Snapdragon 865 die is 83.54 mm^2; the CAU "
+                 "adds "
+              << fmtDouble(100.0 * cau.totalAreaMm2() / 83.54, 1)
+              << "% of that (paper: negligible).\n";
+
+    // Sensitivity: how the PE count scales with CAU cycle time, the
+    // ablation DESIGN.md calls out for the pipelining claim.
+    TextTable sens("CAU sensitivity: cycle time vs PEs/area/delay");
+    sens.setHeader({"cycle (ns)", "PEs", "area (mm^2)",
+                    "delay @5408x2736 (us)"});
+    for (double ns : {3.0, 4.5, 6.0, 9.0, 12.0}) {
+        CauConfig config;
+        config.cycleTimeNs = ns;
+        const CauModel m(config);
+        sens.addRow({fmtDouble(ns, 1), std::to_string(m.peCount()),
+                     fmtDouble(m.totalAreaMm2(), 3),
+                     fmtDouble(m.compressionDelayUs(5408, 2736), 1)});
+    }
+    sens.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sec. 6.2 (SCC discussion) reproduction: greedy set-cover codebook
+ * statistics — codebook size, bits/pixel, and the encode/decode table
+ * sizes that make SCC unusable as DRAM-path hardware (paper: ~32k
+ * colors, 15 bits, 30 MB encode table, 96 KB decode table).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+#include "scc/scc_codec.hh"
+
+using namespace pce;
+
+int
+main()
+{
+    const int step = static_cast<int>(envInt("PCE_SCC_STEP", 8));
+
+    TextTable table("Sec. 6.2: SCC codebook (greedy set cover)");
+    table.setHeader({"ecc (deg)", "lattice", "|C|", "bits/px",
+                     "encode table (MB)", "decode table (KB)"});
+
+    for (double ecc : {10.0, 20.0, 30.0}) {
+        const SccCodebook book(bench::benchModel(),
+                               SccParams{step, ecc});
+        const int dim = 256 / step;
+        table.addRow({fmtDouble(ecc, 0),
+                      std::to_string(dim) + "^3",
+                      std::to_string(book.size()),
+                      std::to_string(book.bitsPerPixel()),
+                      fmtDouble(book.encodeTableBytesFullRes() /
+                                    (1024.0 * 1024.0),
+                                1),
+                      fmtDouble(book.decodeTableBytes() / 1024.0, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nPaper: 32,274 colors -> 15 bits/pixel, ~30 MB encode "
+           "table, 96 KB decode table.\nThe cover here runs on a "
+           "subsampled lattice (DESIGN.md): the ellipsoids are thin "
+           "pancakes in RGB,\nso lattice merging is modest and the "
+           "codebook lands in the same 14-16 bit regime.\nEither way "
+           "the encode table is tens of MB -- unusable next to a "
+           "36 KB CAU.\n";
+
+    const AnalyticDiscriminationModel &model = bench::benchModel();
+    const SccCodebook book(model, SccParams{step, 20.0});
+    std::cout << "Cover validity check (violations): "
+              << book.verifyCover(model) << "\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Temporal stability of the per-frame adjustment (extends Sec. 6.3,
+ * where some participants noticed artifacts only during rapid eye/head
+ * movement). For each scene, two consecutive 72 FPS frames are encoded
+ * independently and the adjustment-induced temporal flicker is
+ * measured — content motion is subtracted out, so a perfectly coherent
+ * encoder scores zero.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+#include "metrics/temporal.hh"
+
+using namespace pce;
+
+int
+main()
+{
+    const int w = std::min<int>(bench::benchWidth(), 384);
+    const int h = std::min<int>(bench::benchHeight(), 384);
+    const EccentricityMap ecc(bench::benchDisplay(w, h));
+
+    PipelineParams params;
+    params.threads = bench::benchThreads();
+    const PerceptualEncoder encoder(bench::benchModel(), params);
+
+    TextTable table("Temporal stability: adjustment-induced flicker "
+                    "between consecutive 72 FPS frames");
+    table.setHeader({"scene", "mean flicker (L1, linear)",
+                     "max flicker", "pixels > 0.02",
+                     "mean adjustment (context)"});
+
+    const double dt = 1.0 / 72.0;
+    for (SceneId id : allScenes()) {
+        const ImageF orig_t = renderScene(id, {w, h, 0, 2.0, 0});
+        const ImageF orig_t1 =
+            renderScene(id, {w, h, 0, 2.0 + dt, 0});
+        const ImageF adj_t = encoder.adjustFrame(orig_t, ecc);
+        const ImageF adj_t1 = encoder.adjustFrame(orig_t1, ecc);
+        const auto stats =
+            temporalFlicker(orig_t, orig_t1, adj_t, adj_t1);
+
+        double adj_mag = 0.0;
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x) {
+                const Vec3 d = adj_t.at(x, y) - orig_t.at(x, y);
+                adj_mag += std::abs(d.x) + std::abs(d.y) +
+                           std::abs(d.z);
+            }
+        adj_mag /= static_cast<double>(orig_t.pixelCount());
+
+        table.addRow({sceneName(id), fmtDouble(stats.meanFlicker, 4),
+                      fmtDouble(stats.maxFlicker, 3),
+                      fmtDouble(100.0 * stats.fractionAbove, 2) + "%",
+                      fmtDouble(adj_mag, 4)});
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nPer-frame independent adjustment carries some temporal "
+           "incoherence on animated content --\nconsistent with the "
+           "paper's motion-related artifact reports and a concrete "
+           "target for the\ntemporal-hysteresis extension the paper "
+           "leaves open.\n";
+    return 0;
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * pcetool: a command-line front end for the library — compress real
+ * images (binary PPM) with the perceptual encoder, decode streams, and
+ * inspect them. The "downstream user" interface.
+ *
+ *   pcetool encode <in.ppm> <out.pce> [options]
+ *       --tile N          BD tile size (default 4)
+ *       --fov DEG         horizontal field of view (default 100)
+ *       --fixation X,Y    gaze position in pixels (default center)
+ *       --foveal DEG      foveal bypass radius (default 5)
+ *       --scale S         discrimination-model scale (default 1.0)
+ *       --bd-only         skip perceptual adjustment (plain BD)
+ *   pcetool decode <in.pce> <out.ppm>
+ *   pcetool info   <in.pce>
+ *
+ * The .pce container is exactly the BD bitstream of src/bd (decodable
+ * by the stock decoder); the perceptual adjustment only changes what
+ * gets encoded, mirroring the paper's plug-and-play design.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bd/bd_codec.hh"
+#include "core/pipeline.hh"
+#include "image/ppm.hh"
+#include "metrics/report.hh"
+#include "perception/discrimination.hh"
+#include "perception/display.hh"
+
+namespace {
+
+using namespace pce;
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("cannot open " + path);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(f),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("cannot open " + path);
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  pcetool encode <in.ppm> <out.pce> [--tile N] [--fov DEG]\n"
+           "          [--fixation X,Y] [--foveal DEG] [--scale S]\n"
+           "          [--bd-only]\n"
+           "  pcetool decode <in.pce> <out.ppm>\n"
+           "  pcetool info   <in.pce>\n";
+    return 2;
+}
+
+int
+cmdEncode(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string in_path = argv[2];
+    const std::string out_path = argv[3];
+
+    int tile = 4;
+    double fov = 100.0;
+    double foveal = 5.0;
+    double scale = 1.0;
+    double fix_x = -1.0;
+    double fix_y = -1.0;
+    bool bd_only = false;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                throw std::runtime_error("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--tile")
+            tile = std::stoi(next());
+        else if (arg == "--fov")
+            fov = std::stod(next());
+        else if (arg == "--foveal")
+            foveal = std::stod(next());
+        else if (arg == "--scale")
+            scale = std::stod(next());
+        else if (arg == "--fixation") {
+            const std::string v = next();
+            const auto comma = v.find(',');
+            if (comma == std::string::npos)
+                throw std::runtime_error("--fixation expects X,Y");
+            fix_x = std::stod(v.substr(0, comma));
+            fix_y = std::stod(v.substr(comma + 1));
+        } else if (arg == "--bd-only")
+            bd_only = true;
+        else
+            throw std::runtime_error("unknown option " + arg);
+    }
+
+    const ImageU8 input = readPpm(in_path);
+    const std::size_t raw_bytes = input.byteSize();
+
+    std::vector<uint8_t> stream;
+    if (bd_only) {
+        stream = BdCodec(tile).encode(input);
+    } else {
+        DisplayGeometry geom;
+        geom.width = input.width();
+        geom.height = input.height();
+        geom.horizontalFovDeg = fov;
+        geom.fixationX = fix_x >= 0 ? fix_x : input.width() / 2.0;
+        geom.fixationY = fix_y >= 0 ? fix_y : input.height() / 2.0;
+        const EccentricityMap ecc(geom);
+
+        AnalyticModelParams mp;
+        mp.globalScale = scale;
+        const AnalyticDiscriminationModel model(mp);
+        PipelineParams pp;
+        pp.tileSize = tile;
+        pp.fovealCutoffDeg = foveal;
+        pp.threads = 4;
+        const PerceptualEncoder encoder(model, pp);
+        stream = encoder.encodeFrame(toLinear(input), ecc).bdStream;
+    }
+
+    writeFile(out_path, stream);
+    std::cout << in_path << ": " << raw_bytes << " B -> " << out_path
+              << ": " << stream.size() << " B ("
+              << fmtDouble(
+                     100.0 * (1.0 - static_cast<double>(stream.size()) /
+                                        static_cast<double>(raw_bytes)),
+                     1)
+              << "% reduction, "
+              << fmtDouble(bitsPerPixelFromBytes(stream.size(),
+                                                 input.pixelCount()),
+                           2)
+              << " bits/pixel)\n";
+    return 0;
+}
+
+int
+cmdDecode(int argc, char **argv)
+{
+    if (argc != 4)
+        return usage();
+    const ImageU8 img = BdCodec::decode(readFile(argv[2]));
+    writePpm(argv[3], img);
+    std::cout << argv[2] << " -> " << argv[3] << " (" << img.width()
+              << "x" << img.height() << ")\n";
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc != 3)
+        return usage();
+    const auto stream = readFile(argv[2]);
+    const ImageU8 img = BdCodec::decode(stream);
+    std::cout << argv[2] << ": BD stream, " << img.width() << "x"
+              << img.height() << ", " << stream.size() << " B, "
+              << fmtDouble(bitsPerPixelFromBytes(stream.size(),
+                                                 img.pixelCount()),
+                           2)
+              << " bits/pixel ("
+              << fmtDouble(reductionVsRawPercent(bitsPerPixelFromBytes(
+                               stream.size(), img.pixelCount())),
+                           1)
+              << "% vs raw)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            return usage();
+        const std::string cmd = argv[1];
+        if (cmd == "encode")
+            return cmdEncode(argc, argv);
+        if (cmd == "decode")
+            return cmdDecode(argc, argv);
+        if (cmd == "info")
+            return cmdInfo(argc, argv);
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "pcetool: " << e.what() << "\n";
+        return 1;
+    }
+}

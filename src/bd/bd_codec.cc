@@ -1,0 +1,161 @@
+#include "bd/bd_codec.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitstream.hh"
+
+namespace pce {
+
+namespace {
+
+/** Stream magic ("BD1"), for defensive decode. */
+constexpr uint32_t kMagic = 0x424431;
+constexpr unsigned kMagicBits = 24;
+constexpr unsigned kDimBits = 16;
+constexpr unsigned kTileBits = 8;
+constexpr unsigned kWidthFieldBits = 4;
+constexpr unsigned kBaseBits = 8;
+
+} // namespace
+
+unsigned
+bdDeltaWidth(uint8_t min_value, uint8_t max_value)
+{
+    const unsigned range = static_cast<unsigned>(max_value) - min_value;
+    unsigned w = 0;
+    while ((1u << w) < range + 1u)
+        ++w;
+    return w;
+}
+
+BdCodec::BdCodec(int tile_size) : tileSize_(tile_size)
+{
+    if (tile_size < 1 || tile_size > 255)
+        throw std::invalid_argument("BdCodec: tile size out of range");
+}
+
+BdChannelStats
+BdCodec::analyzeTileChannel(const ImageU8 &img, const TileRect &rect,
+                            int channel)
+{
+    uint8_t lo = 255;
+    uint8_t hi = 0;
+    for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+        for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+            const uint8_t v = img.channel(x, y, channel);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    BdChannelStats s;
+    s.deltaWidth = bdDeltaWidth(lo, hi);
+    s.metaBits = kWidthFieldBits;
+    s.baseBits = kBaseBits;
+    s.deltaBits =
+        static_cast<std::size_t>(rect.pixelCount()) * s.deltaWidth;
+    return s;
+}
+
+std::vector<uint8_t>
+BdCodec::encode(const ImageU8 &img) const
+{
+    BitWriter bw;
+    bw.putBits(kMagic, kMagicBits);
+    bw.putBits(static_cast<uint32_t>(img.width()), kDimBits);
+    bw.putBits(static_cast<uint32_t>(img.height()), kDimBits);
+    bw.putBits(static_cast<uint32_t>(tileSize_), kTileBits);
+
+    for (const TileRect &rect :
+         tileGrid(img.width(), img.height(), tileSize_)) {
+        for (int c = 0; c < 3; ++c) {
+            uint8_t lo = 255;
+            uint8_t hi = 0;
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+                    const uint8_t v = img.channel(x, y, c);
+                    lo = std::min(lo, v);
+                    hi = std::max(hi, v);
+                }
+            }
+            const unsigned w = bdDeltaWidth(lo, hi);
+            bw.putBits(w, kWidthFieldBits);
+            bw.putBits(lo, kBaseBits);
+            if (w == 0)
+                continue;
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+                    const unsigned delta =
+                        static_cast<unsigned>(img.channel(x, y, c)) - lo;
+                    bw.putBits(delta, w);
+                }
+            }
+        }
+    }
+    bw.alignToByte();
+    return bw.take();
+}
+
+ImageU8
+BdCodec::decode(const std::vector<uint8_t> &stream)
+{
+    BitReader br(stream);
+    if (br.getBits(kMagicBits) != kMagic)
+        throw std::runtime_error("BdCodec::decode: bad magic");
+    const int w = static_cast<int>(br.getBits(kDimBits));
+    const int h = static_cast<int>(br.getBits(kDimBits));
+    const int tile = static_cast<int>(br.getBits(kTileBits));
+    if (w <= 0 || h <= 0 || tile <= 0)
+        throw std::runtime_error("BdCodec::decode: bad header");
+
+    // Dimension sanity before allocating: every tile-channel costs at
+    // least meta+base bits, so a stream shorter than that floor cannot
+    // describe the claimed frame (guards corrupted headers).
+    const std::size_t tiles =
+        (static_cast<std::size_t>(w) + tile - 1) / tile *
+        ((static_cast<std::size_t>(h) + tile - 1) / tile);
+    const std::size_t min_bits =
+        tiles * 3 * (kWidthFieldBits + kBaseBits);
+    if (stream.size() * 8 < min_bits)
+        throw std::runtime_error(
+            "BdCodec::decode: stream too short for header dimensions");
+
+    ImageU8 img(w, h);
+    for (const TileRect &rect : tileGrid(w, h, tile)) {
+        for (int c = 0; c < 3; ++c) {
+            const unsigned width = br.getBits(kWidthFieldBits);
+            const unsigned base = br.getBits(kBaseBits);
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+                    const unsigned delta =
+                        width ? br.getBits(width) : 0u;
+                    img.setChannel(x, y, c,
+                                   static_cast<uint8_t>(base + delta));
+                }
+            }
+        }
+    }
+    if (br.exhausted())
+        throw std::runtime_error("BdCodec::decode: truncated stream");
+    return img;
+}
+
+BdFrameStats
+BdCodec::analyze(const ImageU8 &img) const
+{
+    BdFrameStats stats;
+    stats.pixels = img.pixelCount();
+    stats.headerBits = kMagicBits + 2 * kDimBits + kTileBits;
+    for (const TileRect &rect :
+         tileGrid(img.width(), img.height(), tileSize_)) {
+        for (int c = 0; c < 3; ++c) {
+            const BdChannelStats s = analyzeTileChannel(img, rect, c);
+            stats.baseBits += s.baseBits;
+            stats.metaBits += s.metaBits;
+            stats.deltaBits += s.deltaBits;
+        }
+    }
+    return stats;
+}
+
+} // namespace pce

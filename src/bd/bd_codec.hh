@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Base+Delta (BD) framebuffer codec (paper Sec. 2.2, baseline of Sec. 5.3).
+ *
+ * BD compresses each color channel of each pixel tile independently: a
+ * tile stores one 8-bit base value plus a fixed-width unsigned delta per
+ * pixel. The paper follows Zhang et al. [76]; since that bitstream is not
+ * fully specified, we define a concrete, self-describing format with the
+ * same structure and cost model as the paper's Eq. 5-6:
+ *
+ *   per tile, per channel:
+ *     [4-bit delta width w][8-bit base = tile minimum][N x w-bit deltas]
+ *
+ * where N is the number of pixels in the tile and
+ * w = ceil(log2(max - min + 1)). The paper prints floor(...) in Eq. 6,
+ * which under-allocates for non-power-of-two ranges; ceil is what a
+ * lossless coder needs (see DESIGN.md). When w = 0 (flat tile) no delta
+ * bits are stored at all — this is what makes the perceptual adjustment's
+ * "case 2" tiles (Fig. 6b) so cheap.
+ *
+ * A small frame header records image dimensions and tile size so the
+ * decoder is self-contained. The codec is numerically lossless; the
+ * perceptual encoder (src/core) changes only its *input*, never this
+ * codec (paper Sec. 3.4, "Remarks on Decoding").
+ */
+
+#ifndef PCE_BD_BD_CODEC_HH
+#define PCE_BD_BD_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hh"
+
+namespace pce {
+
+/** Per-tile, per-channel bit accounting (drives Fig. 11). */
+struct BdChannelStats
+{
+    unsigned deltaWidth = 0;  ///< bits per delta (w)
+    std::size_t baseBits = 0;
+    std::size_t metaBits = 0;
+    std::size_t deltaBits = 0;
+
+    std::size_t totalBits() const
+    { return baseBits + metaBits + deltaBits; }
+};
+
+/** Aggregated accounting for a whole frame. */
+struct BdFrameStats
+{
+    std::size_t pixels = 0;
+    std::size_t headerBits = 0;
+    std::size_t baseBits = 0;
+    std::size_t metaBits = 0;
+    std::size_t deltaBits = 0;
+
+    std::size_t totalBits() const
+    { return headerBits + baseBits + metaBits + deltaBits; }
+
+    /** Average bits per pixel (all three channels). */
+    double bitsPerPixel() const
+    {
+        return pixels == 0 ? 0.0
+                           : static_cast<double>(totalBits()) /
+                                 static_cast<double>(pixels);
+    }
+
+    /** Bandwidth reduction vs. uncompressed 24bpp, in percent. */
+    double reductionVsRawPercent() const
+    { return 100.0 * (1.0 - bitsPerPixel() / 24.0); }
+};
+
+/** Base+Delta encoder/decoder with a configurable square tile size. */
+class BdCodec
+{
+  public:
+    /** @param tile_size Edge of the square tile (paper default 4). */
+    explicit BdCodec(int tile_size = 4);
+
+    int tileSize() const { return tileSize_; }
+
+    /** Encode a frame to a self-describing BD bitstream. */
+    std::vector<uint8_t> encode(const ImageU8 &img) const;
+
+    /** Decode a BD bitstream produced by encode(). */
+    static ImageU8 decode(const std::vector<uint8_t> &stream);
+
+    /**
+     * Bit accounting without materializing a stream. Exactly matches
+     * the bit count of encode() (tests assert this).
+     */
+    BdFrameStats analyze(const ImageU8 &img) const;
+
+    /**
+     * Per-channel stats of a single tile of @p img.
+     * @param rect Tile rectangle, clamped to the image by the caller.
+     * @param channel 0=R, 1=G, 2=B.
+     */
+    static BdChannelStats analyzeTileChannel(const ImageU8 &img,
+                                             const TileRect &rect,
+                                             int channel);
+
+  private:
+    int tileSize_;
+};
+
+/** Number of delta bits for a [min, max] range: ceil(log2(range+1)). */
+unsigned bdDeltaWidth(uint8_t min_value, uint8_t max_value);
+
+} // namespace pce
+
+#endif // PCE_BD_BD_CODEC_HH

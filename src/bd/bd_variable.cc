@@ -1,0 +1,218 @@
+#include "bd/bd_variable.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitstream.hh"
+
+namespace pce {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x424456;  // "BDV"
+constexpr unsigned kMagicBits = 24;
+constexpr unsigned kDimBits = 16;
+constexpr unsigned kTileBits = 8;
+constexpr unsigned kWidthFieldBits = 4;
+constexpr unsigned kBaseBits = 8;
+
+/** Channel minimum over a tile. */
+uint8_t
+tileMin(const ImageU8 &img, const TileRect &rect, int c)
+{
+    uint8_t lo = 255;
+    for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
+        for (int x = rect.x0; x < rect.x0 + rect.w; ++x)
+            lo = std::min(lo, img.channel(x, y, c));
+    return lo;
+}
+
+/** Uniform-mode cost in bits (excluding the mode bit). */
+std::size_t
+uniformCost(const ImageU8 &img, const TileRect &rect, int c,
+            unsigned &width_out)
+{
+    uint8_t lo = 255;
+    uint8_t hi = 0;
+    for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+        for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+            const uint8_t v = img.channel(x, y, c);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    width_out = bdDeltaWidth(lo, hi);
+    return kWidthFieldBits + kBaseBits +
+           static_cast<std::size_t>(rect.pixelCount()) * width_out;
+}
+
+/** Per-row-mode cost in bits (excluding the mode bit). */
+std::size_t
+perRowCost(const ImageU8 &img, const TileRect &rect, int c,
+           std::vector<unsigned> &row_widths_out)
+{
+    const uint8_t base = tileMin(img, rect, c);
+    row_widths_out.clear();
+    std::size_t bits = kBaseBits;
+    for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+        uint8_t hi = 0;
+        for (int x = rect.x0; x < rect.x0 + rect.w; ++x)
+            hi = std::max(hi,
+                          static_cast<uint8_t>(
+                              img.channel(x, y, c) - base));
+        const unsigned w = bdDeltaWidth(0, hi);
+        row_widths_out.push_back(w);
+        bits += kWidthFieldBits + static_cast<std::size_t>(rect.w) * w;
+    }
+    return bits;
+}
+
+} // namespace
+
+BdVariableCodec::BdVariableCodec(int tile_size) : tileSize_(tile_size)
+{
+    if (tile_size < 1 || tile_size > 255)
+        throw std::invalid_argument(
+            "BdVariableCodec: tile size out of range");
+}
+
+std::vector<uint8_t>
+BdVariableCodec::encode(const ImageU8 &img) const
+{
+    BitWriter bw;
+    bw.putBits(kMagic, kMagicBits);
+    bw.putBits(static_cast<uint32_t>(img.width()), kDimBits);
+    bw.putBits(static_cast<uint32_t>(img.height()), kDimBits);
+    bw.putBits(static_cast<uint32_t>(tileSize_), kTileBits);
+
+    std::vector<unsigned> row_widths;
+    for (const TileRect &rect :
+         tileGrid(img.width(), img.height(), tileSize_)) {
+        for (int c = 0; c < 3; ++c) {
+            unsigned uniform_width = 0;
+            const std::size_t cost_uniform =
+                uniformCost(img, rect, c, uniform_width);
+            const std::size_t cost_rows =
+                perRowCost(img, rect, c, row_widths);
+            const uint8_t base = tileMin(img, rect, c);
+
+            if (cost_uniform <= cost_rows) {
+                bw.putBits(0, 1);
+                bw.putBits(uniform_width, kWidthFieldBits);
+                bw.putBits(base, kBaseBits);
+                if (uniform_width > 0) {
+                    for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
+                        for (int x = rect.x0; x < rect.x0 + rect.w;
+                             ++x)
+                            bw.putBits(
+                                static_cast<unsigned>(
+                                    img.channel(x, y, c)) -
+                                    base,
+                                uniform_width);
+                }
+            } else {
+                bw.putBits(1, 1);
+                bw.putBits(base, kBaseBits);
+                for (int r = 0; r < rect.h; ++r) {
+                    const int y = rect.y0 + r;
+                    const unsigned w = row_widths[r];
+                    bw.putBits(w, kWidthFieldBits);
+                    if (w == 0)
+                        continue;
+                    for (int x = rect.x0; x < rect.x0 + rect.w; ++x)
+                        bw.putBits(static_cast<unsigned>(
+                                       img.channel(x, y, c)) -
+                                       base,
+                                   w);
+                }
+            }
+        }
+    }
+    bw.alignToByte();
+    return bw.take();
+}
+
+ImageU8
+BdVariableCodec::decode(const std::vector<uint8_t> &stream)
+{
+    BitReader br(stream);
+    if (br.getBits(kMagicBits) != kMagic)
+        throw std::runtime_error("BdVariableCodec::decode: bad magic");
+    const int w = static_cast<int>(br.getBits(kDimBits));
+    const int h = static_cast<int>(br.getBits(kDimBits));
+    const int tile = static_cast<int>(br.getBits(kTileBits));
+    if (w <= 0 || h <= 0 || tile <= 0)
+        throw std::runtime_error("BdVariableCodec::decode: bad header");
+
+    // Dimension sanity before allocating (see BdCodec::decode).
+    const std::size_t tiles =
+        (static_cast<std::size_t>(w) + tile - 1) / tile *
+        ((static_cast<std::size_t>(h) + tile - 1) / tile);
+    if (stream.size() * 8 < tiles * 3 * (1 + kBaseBits))
+        throw std::runtime_error(
+            "BdVariableCodec::decode: stream too short for header");
+
+    ImageU8 img(w, h);
+    for (const TileRect &rect : tileGrid(w, h, tile)) {
+        for (int c = 0; c < 3; ++c) {
+            const unsigned mode = br.getBits(1);
+            if (mode == 0) {
+                const unsigned width = br.getBits(kWidthFieldBits);
+                const unsigned base = br.getBits(kBaseBits);
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
+                    for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+                        const unsigned delta =
+                            width ? br.getBits(width) : 0u;
+                        img.setChannel(
+                            x, y, c,
+                            static_cast<uint8_t>(base + delta));
+                    }
+            } else {
+                const unsigned base = br.getBits(kBaseBits);
+                for (int r = 0; r < rect.h; ++r) {
+                    const int y = rect.y0 + r;
+                    const unsigned width = br.getBits(kWidthFieldBits);
+                    for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+                        const unsigned delta =
+                            width ? br.getBits(width) : 0u;
+                        img.setChannel(
+                            x, y, c,
+                            static_cast<uint8_t>(base + delta));
+                    }
+                }
+            }
+        }
+    }
+    if (br.exhausted())
+        throw std::runtime_error("BdVariableCodec::decode: truncated");
+    return img;
+}
+
+BdVariableFrameStats
+BdVariableCodec::analyze(const ImageU8 &img) const
+{
+    BdVariableFrameStats stats;
+    stats.pixels = img.pixelCount();
+    stats.totalBits = kMagicBits + 2 * kDimBits + kTileBits;
+    std::vector<unsigned> row_widths;
+    for (const TileRect &rect :
+         tileGrid(img.width(), img.height(), tileSize_)) {
+        for (int c = 0; c < 3; ++c) {
+            unsigned uniform_width = 0;
+            const std::size_t cost_uniform =
+                uniformCost(img, rect, c, uniform_width);
+            const std::size_t cost_rows =
+                perRowCost(img, rect, c, row_widths);
+            if (cost_uniform <= cost_rows) {
+                stats.totalBits += 1 + cost_uniform;
+                ++stats.uniformChannels;
+            } else {
+                stats.totalBits += 1 + cost_rows;
+                ++stats.perRowChannels;
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace pce

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Variable bit-length Base+Delta codec (paper Sec. 3.1, footnote 1).
+ *
+ * The paper assumes one delta width per tile ("It is possible, but
+ * uncommon, to vary the number of bits to encode the deltas in a tile
+ * with more hardware overhead... We consider variable bit-length an
+ * orthogonal idea") and leaves it as an extension. This codec implements
+ * that extension so the repository can quantify the trade:
+ *
+ *   per tile, per channel: [1-bit mode]
+ *     mode 0 (uniform):  [4-bit w][8-bit base][N x w deltas]
+ *     mode 1 (per-row):  [8-bit base][per row: 4-bit w_r][w_r deltas]
+ *
+ * The base is the tile minimum in both modes; mode 1 lets rows that are
+ * locally flat spend zero delta bits while a single busy row pays for
+ * itself only. The encoder picks the cheaper mode per channel, so the
+ * stream costs at most one extra bit per tile-channel over BdCodec.
+ */
+
+#ifndef PCE_BD_BD_VARIABLE_HH
+#define PCE_BD_BD_VARIABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bd/bd_codec.hh"
+#include "image/image.hh"
+
+namespace pce {
+
+/** Frame accounting for the variable codec. */
+struct BdVariableFrameStats
+{
+    std::size_t pixels = 0;
+    std::size_t totalBits = 0;
+    std::size_t uniformChannels = 0;  ///< tile-channels using mode 0
+    std::size_t perRowChannels = 0;   ///< tile-channels using mode 1
+
+    double bitsPerPixel() const
+    {
+        return pixels == 0 ? 0.0
+                           : static_cast<double>(totalBits) /
+                                 static_cast<double>(pixels);
+    }
+};
+
+/** The footnote-1 extension codec. */
+class BdVariableCodec
+{
+  public:
+    explicit BdVariableCodec(int tile_size = 4);
+
+    int tileSize() const { return tileSize_; }
+
+    /** Encode to a self-describing stream (distinct magic from BD). */
+    std::vector<uint8_t> encode(const ImageU8 &img) const;
+
+    /** Decode a stream produced by encode(). */
+    static ImageU8 decode(const std::vector<uint8_t> &stream);
+
+    /** Bit accounting; matches encode()'s length to byte padding. */
+    BdVariableFrameStats analyze(const ImageU8 &img) const;
+
+  private:
+    int tileSize_;
+};
+
+} // namespace pce
+
+#endif // PCE_BD_BD_VARIABLE_HH

@@ -1,0 +1,33 @@
+#include "color/dkl.hh"
+
+namespace pce {
+
+const Mat3 &
+rgb2dklMatrix()
+{
+    static const Mat3 m(0.14, 0.17, 0.00,
+                        -0.21, -0.71, -0.07,
+                        0.21, 0.72, 0.07);
+    return m;
+}
+
+const Mat3 &
+dkl2rgbMatrix()
+{
+    static const Mat3 inv = rgb2dklMatrix().inverse();
+    return inv;
+}
+
+Vec3
+rgbToDkl(const Vec3 &rgb)
+{
+    return rgb2dklMatrix() * rgb;
+}
+
+Vec3
+dklToRgb(const Vec3 &dkl)
+{
+    return dkl2rgbMatrix() * dkl;
+}
+
+} // namespace pce

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Linear RGB <-> DKL color space transforms (paper Sec. 2.1, Eq. 2).
+ *
+ * The DKL (Derrington-Krauskopf-Lennie) space models the opponent process
+ * of the human visual system; color-discrimination thresholds are
+ * axis-aligned ellipsoids there. The transform is the constant 3x3 matrix
+ * with the coefficients given in the paper (same as Duinkharjav et al.):
+ *
+ *   [[ 0.14,  0.17,  0.00],
+ *    [-0.21, -0.71, -0.07],
+ *    [ 0.21,  0.72,  0.07]]
+ *
+ * The paper's Eq. 2 prints RGB = M * DKL while naming the matrix
+ * M_RGB2DKL and then uses M for RGB->DKL in Eq. 13a and its inverse for
+ * DKL->RGB in Eq. 13c. We follow the *usage* (and the name): M maps
+ * RGB -> DKL. See DESIGN.md, "Known paper ambiguities".
+ */
+
+#ifndef PCE_COLOR_DKL_HH
+#define PCE_COLOR_DKL_HH
+
+#include "common/mat3.hh"
+#include "common/vec3.hh"
+
+namespace pce {
+
+/** The constant RGB->DKL matrix from the paper. */
+const Mat3 &rgb2dklMatrix();
+
+/** Its inverse (DKL->RGB), computed once. */
+const Mat3 &dkl2rgbMatrix();
+
+/** Transform a linear-RGB color to DKL. */
+Vec3 rgbToDkl(const Vec3 &rgb);
+
+/** Transform a DKL color to linear RGB. */
+Vec3 dklToRgb(const Vec3 &dkl);
+
+} // namespace pce
+
+#endif // PCE_COLOR_DKL_HH

@@ -1,0 +1,73 @@
+#include "color/srgb.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pce {
+
+namespace {
+
+constexpr double kLinearCutoff = 0.0031308;
+constexpr double kLinearSlope = 12.92;
+constexpr double kGamma = 2.4;
+constexpr double kA = 0.055;
+
+// Inverse-direction cutoff: kLinearSlope * kLinearCutoff.
+constexpr double kSrgbCutoff = kLinearSlope * kLinearCutoff;
+
+} // namespace
+
+double
+linearToSrgbContinuous(double x)
+{
+    x = std::clamp(x, 0.0, 1.0);
+    double s;
+    if (x <= kLinearCutoff)
+        s = kLinearSlope * x;
+    else
+        s = (1.0 + kA) * std::pow(x, 1.0 / kGamma) - kA;
+    return s * 255.0;
+}
+
+uint8_t
+linearToSrgb8(double x)
+{
+    // Round-to-nearest quantization of the continuous map. The paper's
+    // Eq. 1 writes a floor over the normalized value; rounding is what
+    // 8-bit framebuffer encodes actually do and keeps the inverse map
+    // within half a code of the identity.
+    const double s = linearToSrgbContinuous(x);
+    const double q = std::floor(s + 0.5);
+    return static_cast<uint8_t>(std::clamp(q, 0.0, 255.0));
+}
+
+double
+srgbToLinearContinuous(double s)
+{
+    s = std::clamp(s, 0.0, 255.0) / 255.0;
+    if (s <= kSrgbCutoff)
+        return s / kLinearSlope;
+    return std::pow((s + kA) / (1.0 + kA), kGamma);
+}
+
+double
+srgb8ToLinear(uint8_t code)
+{
+    return srgbToLinearContinuous(static_cast<double>(code));
+}
+
+void
+linearToSrgb8(const Vec3 &rgb, uint8_t out[3])
+{
+    out[0] = linearToSrgb8(rgb.x);
+    out[1] = linearToSrgb8(rgb.y);
+    out[2] = linearToSrgb8(rgb.z);
+}
+
+Vec3
+srgb8ToLinear(const uint8_t in[3])
+{
+    return {srgb8ToLinear(in[0]), srgb8ToLinear(in[1]), srgb8ToLinear(in[2])};
+}
+
+} // namespace pce

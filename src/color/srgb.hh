@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Linear RGB <-> sRGB gamma transforms (paper Eq. 1).
+ *
+ * Rendering operates in linear RGB with each channel in [0,1]. Output
+ * encoding (and therefore BD compression) operates in 8-bit sRGB. The
+ * forward transform f_s2r follows Eq. 1 of the paper: a linear segment
+ * near black and a 1/2.4 power segment elsewhere, scaled to [0,255].
+ */
+
+#ifndef PCE_COLOR_SRGB_HH
+#define PCE_COLOR_SRGB_HH
+
+#include <cstdint>
+
+#include "common/vec3.hh"
+
+namespace pce {
+
+/**
+ * Forward gamma: linear RGB channel in [0,1] -> continuous sRGB value in
+ * [0,255] *before* quantization. Split out so the optimizer can reason
+ * about the continuous map (Sec. 3.2 uses f_s2r inside the objective).
+ */
+double linearToSrgbContinuous(double x);
+
+/**
+ * Eq. 1: linear RGB channel in [0,1] -> quantized 8-bit sRGB code.
+ * Values outside [0,1] are clamped first.
+ */
+uint8_t linearToSrgb8(double x);
+
+/** Inverse gamma: 8-bit sRGB code -> linear RGB channel in [0,1]. */
+double srgb8ToLinear(uint8_t code);
+
+/** Continuous inverse gamma on a [0,255] sRGB value. */
+double srgbToLinearContinuous(double s);
+
+/** Apply linearToSrgb8 per channel. */
+void linearToSrgb8(const Vec3 &rgb, uint8_t out[3]);
+
+/** Apply srgb8ToLinear per channel. */
+Vec3 srgb8ToLinear(const uint8_t in[3]);
+
+} // namespace pce
+
+#endif // PCE_COLOR_SRGB_HH

@@ -1,0 +1,122 @@
+#include "common/bitstream.hh"
+
+namespace pce {
+
+void
+BitWriter::putBits(uint32_t value, unsigned width)
+{
+    for (unsigned i = width; i-- > 0;) {
+        const unsigned bit = (value >> i) & 1u;
+        const std::size_t byte_idx = bitCount_ / 8;
+        if (byte_idx == bytes_.size())
+            bytes_.push_back(0);
+        if (bit)
+            bytes_[byte_idx] |= static_cast<uint8_t>(0x80u >> (bitCount_ % 8));
+        ++bitCount_;
+    }
+}
+
+void
+BitWriter::alignToByte()
+{
+    while (bitCount_ % 8 != 0)
+        putBits(0, 1);
+}
+
+std::vector<uint8_t>
+BitWriter::take()
+{
+    bitCount_ = 0;
+    return std::move(bytes_);
+}
+
+uint32_t
+BitReader::getBits(unsigned width)
+{
+    uint32_t v = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        if (pos_ >= sizeBits_) {
+            exhausted_ = true;
+            v <<= 1;
+            continue;
+        }
+        const unsigned bit =
+            (data_[pos_ / 8] >> (7 - (pos_ % 8))) & 1u;
+        v = (v << 1) | bit;
+        ++pos_;
+    }
+    return v;
+}
+
+void
+BitReader::alignToByte()
+{
+    pos_ = (pos_ + 7) / 8 * 8;
+}
+
+void
+LsbBitWriter::putBits(uint32_t value, unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i) {
+        const unsigned bit = (value >> i) & 1u;
+        const std::size_t byte_idx = bitCount_ / 8;
+        if (byte_idx == bytes_.size())
+            bytes_.push_back(0);
+        if (bit)
+            bytes_[byte_idx] |= static_cast<uint8_t>(1u << (bitCount_ % 8));
+        ++bitCount_;
+    }
+}
+
+void
+LsbBitWriter::alignToByte()
+{
+    while (bitCount_ % 8 != 0)
+        putBits(0, 1);
+}
+
+void
+LsbBitWriter::putAlignedByte(uint8_t b)
+{
+    // Callers must align first; falling through putBits keeps the
+    // invariant even if they have not.
+    putBits(b, 8);
+}
+
+std::vector<uint8_t>
+LsbBitWriter::take()
+{
+    bitCount_ = 0;
+    return std::move(bytes_);
+}
+
+uint32_t
+LsbBitReader::getBits(unsigned width)
+{
+    uint32_t v = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        if (pos_ >= sizeBits_) {
+            exhausted_ = true;
+            continue;
+        }
+        const unsigned bit = (data_[pos_ / 8] >> (pos_ % 8)) & 1u;
+        v |= bit << i;
+        ++pos_;
+    }
+    return v;
+}
+
+void
+LsbBitReader::alignToByte()
+{
+    pos_ = (pos_ + 7) / 8 * 8;
+}
+
+uint8_t
+LsbBitReader::getAlignedByte()
+{
+    alignToByte();
+    return static_cast<uint8_t>(getBits(8));
+}
+
+} // namespace pce

@@ -1,0 +1,101 @@
+#include "common/linsolve.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pce {
+
+DenseMatrix
+DenseMatrix::gram() const
+{
+    DenseMatrix g(cols_, cols_);
+    for (std::size_t i = 0; i < cols_; ++i) {
+        for (std::size_t j = i; j < cols_; ++j) {
+            double sum = 0.0;
+            for (std::size_t r = 0; r < rows_; ++r)
+                sum += (*this)(r, i) * (*this)(r, j);
+            g(i, j) = sum;
+            g(j, i) = sum;
+        }
+    }
+    return g;
+}
+
+std::vector<double>
+DenseMatrix::transposeTimes(const std::vector<double> &v) const
+{
+    std::vector<double> out(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out[c] += (*this)(r, c) * v[r];
+    return out;
+}
+
+std::vector<double>
+DenseMatrix::times(const std::vector<double> &v) const
+{
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            sum += (*this)(r, c) * v[c];
+        out[r] = sum;
+    }
+    return out;
+}
+
+std::vector<double>
+choleskySolve(const DenseMatrix &a, const std::vector<double> &b)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        throw std::invalid_argument("choleskySolve: shape mismatch");
+
+    // Factor A = L L^T, storing L in a dense lower triangle.
+    DenseMatrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l(j, k) * l(j, k);
+        if (diag <= 0.0)
+            throw std::domain_error("choleskySolve: not positive definite");
+        l(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double sum = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l(i, k) * l(j, k);
+            l(i, j) = sum / l(j, j);
+        }
+    }
+
+    // Forward substitution: L y = b.
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= l(i, k) * y[k];
+        y[i] = sum / l(i, i);
+    }
+
+    // Back substitution: L^T x = y.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            sum -= l(k, i) * x[k];
+        x[i] = sum / l(i, i);
+    }
+    return x;
+}
+
+std::vector<double>
+ridgeLeastSquares(const DenseMatrix &a, const std::vector<double> &b,
+                  double lambda)
+{
+    DenseMatrix g = a.gram();
+    for (std::size_t i = 0; i < g.rows(); ++i)
+        g(i, i) += lambda;
+    return choleskySolve(g, a.transposeTimes(b));
+}
+
+} // namespace pce

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small dense linear-algebra helpers.
+ *
+ * Used by the RBF-network fit (src/perception/rbf.cc): the network
+ * weights solve a regularized least-squares problem whose normal
+ * equations are a symmetric positive-definite system of a few hundred
+ * unknowns. A Cholesky factorization is ample at that scale.
+ */
+
+#ifndef PCE_COMMON_LINSOLVE_HH
+#define PCE_COMMON_LINSOLVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pce {
+
+/** Dense row-major matrix of doubles. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+    DenseMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double operator()(std::size_t r, std::size_t c) const
+    { return data_[r * cols_ + c]; }
+    double &operator()(std::size_t r, std::size_t c)
+    { return data_[r * cols_ + c]; }
+
+    /** this^T * this (Gram matrix), cols x cols. */
+    DenseMatrix gram() const;
+
+    /** this^T * v where v has rows() entries. */
+    std::vector<double> transposeTimes(const std::vector<double> &v) const;
+
+    /** this * v where v has cols() entries. */
+    std::vector<double> times(const std::vector<double> &v) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve A x = b for symmetric positive-definite A via Cholesky.
+ *
+ * @param a SPD matrix (only its lower triangle is read).
+ * @param b Right-hand side.
+ * @return Solution vector.
+ * @throws std::domain_error if A is not positive definite.
+ */
+std::vector<double> choleskySolve(const DenseMatrix &a,
+                                  const std::vector<double> &b);
+
+/**
+ * Regularized least squares: minimize ||A x - b||^2 + lambda ||x||^2.
+ * Solved through the normal equations (A^T A + lambda I) x = A^T b.
+ */
+std::vector<double> ridgeLeastSquares(const DenseMatrix &a,
+                                      const std::vector<double> &b,
+                                      double lambda);
+
+} // namespace pce
+
+#endif // PCE_COMMON_LINSOLVE_HH

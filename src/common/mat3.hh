@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Minimal 3x3 matrix supporting the RGB<->DKL transforms (Eq. 2 of the
+ * paper) and the quadric algebra of Sec. 3.4.
+ */
+
+#ifndef PCE_COMMON_MAT3_HH
+#define PCE_COMMON_MAT3_HH
+
+#include <array>
+#include <cstddef>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/vec3.hh"
+
+namespace pce {
+
+/** A row-major 3x3 double matrix. */
+struct Mat3
+{
+    /** Rows-then-columns storage: m[r][c]. */
+    std::array<std::array<double, 3>, 3> m{};
+
+    constexpr Mat3() = default;
+
+    /** Construct from 9 row-major coefficients. */
+    constexpr Mat3(double a00, double a01, double a02,
+                   double a10, double a11, double a12,
+                   double a20, double a21, double a22)
+    {
+        m[0] = {a00, a01, a02};
+        m[1] = {a10, a11, a12};
+        m[2] = {a20, a21, a22};
+    }
+
+    static constexpr Mat3
+    identity()
+    {
+        return Mat3(1, 0, 0,
+                    0, 1, 0,
+                    0, 0, 1);
+    }
+
+    /** Diagonal matrix with the given entries. */
+    static constexpr Mat3
+    diagonal(const Vec3 &d)
+    {
+        return Mat3(d.x, 0, 0,
+                    0, d.y, 0,
+                    0, 0, d.z);
+    }
+
+    constexpr double operator()(std::size_t r, std::size_t c) const
+    { return m[r][c]; }
+    constexpr double &operator()(std::size_t r, std::size_t c)
+    { return m[r][c]; }
+
+    constexpr Vec3 row(std::size_t r) const
+    { return {m[r][0], m[r][1], m[r][2]}; }
+    constexpr Vec3 col(std::size_t c) const
+    { return {m[0][c], m[1][c], m[2][c]}; }
+
+    /** Matrix-vector product. */
+    constexpr Vec3
+    operator*(const Vec3 &v) const
+    {
+        return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+    }
+
+    /** Matrix-matrix product. */
+    constexpr Mat3
+    operator*(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (std::size_t i = 0; i < 3; ++i)
+            for (std::size_t j = 0; j < 3; ++j)
+                r(i, j) = m[i][0] * o(0, j) + m[i][1] * o(1, j) +
+                          m[i][2] * o(2, j);
+        return r;
+    }
+
+    constexpr Mat3
+    operator+(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (std::size_t i = 0; i < 3; ++i)
+            for (std::size_t j = 0; j < 3; ++j)
+                r(i, j) = m[i][j] + o(i, j);
+        return r;
+    }
+
+    constexpr Mat3
+    operator*(double s) const
+    {
+        Mat3 r;
+        for (std::size_t i = 0; i < 3; ++i)
+            for (std::size_t j = 0; j < 3; ++j)
+                r(i, j) = m[i][j] * s;
+        return r;
+    }
+
+    constexpr Mat3
+    transpose() const
+    {
+        return Mat3(m[0][0], m[1][0], m[2][0],
+                    m[0][1], m[1][1], m[2][1],
+                    m[0][2], m[1][2], m[2][2]);
+    }
+
+    constexpr double
+    determinant() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+               m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+               m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+
+    /**
+     * Matrix inverse via the adjugate.
+     *
+     * @throws std::domain_error if the matrix is (numerically) singular.
+     */
+    Mat3
+    inverse() const
+    {
+        const double det = determinant();
+        if (det == 0.0)
+            throw std::domain_error("Mat3::inverse: singular matrix");
+        const double inv_det = 1.0 / det;
+        Mat3 r;
+        r(0, 0) =  (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        r(0, 1) = -(m[0][1] * m[2][2] - m[0][2] * m[2][1]) * inv_det;
+        r(0, 2) =  (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        r(1, 0) = -(m[1][0] * m[2][2] - m[1][2] * m[2][0]) * inv_det;
+        r(1, 1) =  (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        r(1, 2) = -(m[0][0] * m[1][2] - m[0][2] * m[1][0]) * inv_det;
+        r(2, 0) =  (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        r(2, 1) = -(m[0][0] * m[2][1] - m[0][1] * m[2][0]) * inv_det;
+        r(2, 2) =  (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        return r;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Mat3 &a)
+{
+    for (std::size_t r = 0; r < 3; ++r)
+        os << "[" << a(r, 0) << ", " << a(r, 1) << ", " << a(r, 2) << "]\n";
+    return os;
+}
+
+} // namespace pce
+
+#endif // PCE_COMMON_MAT3_HH

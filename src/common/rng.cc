@@ -1,0 +1,139 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace pce {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    haveSpare_ = false;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    haveSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+double
+hashNoise(int32_t x, int32_t y, uint64_t seed)
+{
+    uint64_t h = seed;
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(x)) * 0x8da6b343ULL;
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(y)) * 0xd8163841ULL;
+    h = (h ^ (h >> 13)) * 0xff51afd7ed558ccdULL;
+    h = (h ^ (h >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+double
+smoothstep(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+} // namespace
+
+double
+valueNoise(double x, double y, uint64_t seed)
+{
+    const double fx = std::floor(x);
+    const double fy = std::floor(y);
+    const auto ix = static_cast<int32_t>(fx);
+    const auto iy = static_cast<int32_t>(fy);
+    const double tx = smoothstep(x - fx);
+    const double ty = smoothstep(y - fy);
+
+    const double v00 = hashNoise(ix, iy, seed);
+    const double v10 = hashNoise(ix + 1, iy, seed);
+    const double v01 = hashNoise(ix, iy + 1, seed);
+    const double v11 = hashNoise(ix + 1, iy + 1, seed);
+
+    const double a = v00 + (v10 - v00) * tx;
+    const double b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+}
+
+double
+fbmNoise(double x, double y, uint64_t seed, int octaves)
+{
+    double sum = 0.0;
+    double amp = 0.5;
+    double freq = 1.0;
+    double norm = 0.0;
+    for (int i = 0; i < octaves; ++i) {
+        sum += amp * valueNoise(x * freq, y * freq, seed + i * 1013ULL);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    return norm > 0.0 ? sum / norm : 0.0;
+}
+
+} // namespace pce

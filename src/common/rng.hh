@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in this repository (procedural scenes, simulated
+ * observers, property-test inputs) draws from this generator so that every
+ * benchmark row and every test is exactly reproducible across runs and
+ * platforms. The engine is SplitMix64 followed by xoshiro256**, seeded
+ * from a 64-bit value.
+ */
+
+#ifndef PCE_COMMON_RNG_HH
+#define PCE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace pce {
+
+/** xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi)
+    { return lo + (hi - lo) * uniform(); }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    uint64_t uniformInt(uint64_t n) { return next() % n; }
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev)
+    { return mean + stddev * gaussian(); }
+
+    /** Lognormal: exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+  private:
+    uint64_t s_[4] = {};
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * Stateless 2D hash noise in [0,1), used by the procedural scenes for
+ * per-pixel texture that must not depend on evaluation order.
+ */
+double hashNoise(int32_t x, int32_t y, uint64_t seed);
+
+/** Smooth value noise in [0,1) at the given coordinates. */
+double valueNoise(double x, double y, uint64_t seed);
+
+/**
+ * Fractal Brownian motion: @p octaves layers of value noise, each at
+ * double the frequency and half the amplitude. Output in [0,1).
+ */
+double fbmNoise(double x, double y, uint64_t seed, int octaves);
+
+} // namespace pce
+
+#endif // PCE_COMMON_RNG_HH

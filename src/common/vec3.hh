@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Minimal 3-vector used throughout the library for colors and geometry.
+ *
+ * Colors are carried as Vec3 in whichever space the surrounding code
+ * documents (linear RGB, DKL, ...). We deliberately keep this type tiny
+ * and header-only: the perceptual encoder's inner loop manipulates
+ * millions of Vec3 per frame.
+ */
+
+#ifndef PCE_COMMON_VEC3_HH
+#define PCE_COMMON_VEC3_HH
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace pce {
+
+/** A 3-component double-precision vector. */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    /** Component access by index: 0->x, 1->y, 2->z. */
+    constexpr double
+    operator[](std::size_t i) const
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    /** Mutable component access by index. */
+    constexpr double &
+    operator[](std::size_t i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+    /** Element-wise (Hadamard) product. */
+    constexpr Vec3 cwiseMul(const Vec3 &o) const
+    { return {x * o.x, y * o.y, z * o.z}; }
+
+    /** Element-wise quotient. */
+    constexpr Vec3 cwiseDiv(const Vec3 &o) const
+    { return {x / o.x, y / o.y, z / o.z}; }
+
+    constexpr Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+
+    constexpr Vec3 &
+    operator-=(const Vec3 &o)
+    {
+        x -= o.x; y -= o.y; z -= o.z;
+        return *this;
+    }
+
+    constexpr Vec3 &
+    operator*=(double s)
+    {
+        x *= s; y *= s; z *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vec3 &o) const = default;
+
+    constexpr double dot(const Vec3 &o) const
+    { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y,
+                z * o.x - x * o.z,
+                x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double squaredNorm() const { return dot(*this); }
+
+    /** Unit vector in the same direction; undefined for the zero vector. */
+    Vec3 normalized() const { return *this / norm(); }
+
+    /** Component-wise clamp into [lo, hi]. */
+    constexpr Vec3
+    clamped(double lo, double hi) const
+    {
+        auto c = [lo, hi](double v) {
+            return v < lo ? lo : (v > hi ? hi : v);
+        };
+        return {c(x), c(y), c(z)};
+    }
+
+    /** Largest component. */
+    constexpr double maxCoeff() const
+    { return x > y ? (x > z ? x : z) : (y > z ? y : z); }
+
+    /** Smallest component. */
+    constexpr double minCoeff() const
+    { return x < y ? (x < z ? x : z) : (y < z ? y : z); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3 &v) { return v * s; }
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/** Linear interpolation between a and b by t in [0,1]. */
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, double t)
+{
+    return a + (b - a) * t;
+}
+
+} // namespace pce
+
+#endif // PCE_COMMON_VEC3_HH

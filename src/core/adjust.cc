@@ -1,0 +1,150 @@
+#include "core/adjust.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bd/bd_codec.hh"
+#include "color/srgb.hh"
+#include "core/quadric.hh"
+
+namespace pce {
+
+namespace {
+
+/**
+ * Clamp the movement parameter @p t of the segment p(t) = origin +
+ * t * dir so every coordinate stays within [0, 1]. Assumes origin is in
+ * gamut (true for rendered colors). Returns the clamped t.
+ */
+double
+clampToGamut(const Vec3 &origin, const Vec3 &dir, double t)
+{
+    for (std::size_t i = 0; i < 3; ++i) {
+        const double d = dir[i];
+        if (d == 0.0)
+            continue;
+        // origin[i] + t*d in [0,1]  =>  t in the interval below.
+        const double t_at_0 = (0.0 - origin[i]) / d;
+        const double t_at_1 = (1.0 - origin[i]) / d;
+        const double t_min = std::min(t_at_0, t_at_1);
+        const double t_max = std::max(t_at_0, t_at_1);
+        t = std::clamp(t, t_min, t_max);
+    }
+    return t;
+}
+
+} // namespace
+
+std::size_t
+bdTileBits(const std::vector<Vec3> &pixels_linear)
+{
+    std::size_t bits = 0;
+    for (int c = 0; c < 3; ++c) {
+        uint8_t lo = 255;
+        uint8_t hi = 0;
+        for (const Vec3 &p : pixels_linear) {
+            const uint8_t v = linearToSrgb8(p[c]);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        bits += 4 + 8 +
+                pixels_linear.size() * bdDeltaWidth(lo, hi);
+    }
+    return bits;
+}
+
+AxisAdjustment
+TileAdjuster::adjustAlongAxis(const std::vector<Vec3> &pixels,
+                              const std::vector<double> &ecc_deg,
+                              int axis) const
+{
+    if (pixels.size() != ecc_deg.size())
+        throw std::invalid_argument("adjustAlongAxis: size mismatch");
+    if (axis != 0 && axis != 2)
+        throw std::invalid_argument(
+            "adjustAlongAxis: axis must be Red (0) or Blue (2)");
+
+    const std::size_t n = pixels.size();
+    AxisAdjustment out;
+    out.adjusted = pixels;
+    if (n == 0)
+        return out;
+
+    // Step 1 (Fig. 7): per-pixel ellipsoids and their extrema.
+    std::vector<ExtremaPair> extrema(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Ellipsoid e =
+            model_.ellipsoidFor(pixels[i].clamped(0.0, 1.0), ecc_deg[i]);
+        extrema[i] =
+            extrema_ ? extrema_(e, axis) : extremaAlongAxis(e, axis);
+    }
+
+    // Step 2: HL (highest of the lows) and LH (lowest of the highs);
+    // the CAU computes these with two reduction trees (Sec. 4.2).
+    double hl = -1e300;
+    double lh = 1e300;
+    for (const auto &ex : extrema) {
+        hl = std::max(hl, ex.low[axis]);
+        lh = std::min(lh, ex.high[axis]);
+    }
+    out.hlPlane = hl;
+    out.lhPlane = lh;
+    out.adjustCase = hl > lh ? AdjustCase::C1 : AdjustCase::C2;
+
+    // Step 3: move colors along the extrema vectors.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec3 &p = pixels[i];
+        double target;
+        if (out.adjustCase == AdjustCase::C2) {
+            // Common plane: collapse the channel entirely (Fig. 6b).
+            target = 0.5 * (hl + lh);
+        } else {
+            // No common plane: clamp into [LH, HL] (Fig. 6a).
+            target = std::clamp(p[axis], lh, hl);
+        }
+
+        const Vec3 v = extrema[i].extremaVector();
+        if (v[axis] == 0.0)
+            continue;  // degenerate: no mobility along this axis
+        double t = (target - p[axis]) / v[axis];
+        // The target lies between the pixel's own extrema, so |t|<=0.5
+        // keeps the color on the center chord, inside the ellipsoid.
+        const double t_gamut = clampToGamut(p, v, t);
+        if (t_gamut != t)
+            ++out.gamutClampedPixels;
+        out.adjusted[i] = p + v * t_gamut;
+    }
+    return out;
+}
+
+TileAdjustment
+TileAdjuster::adjustTile(const std::vector<Vec3> &pixels,
+                         const std::vector<double> &ecc_deg) const
+{
+    // Fig. 7: run the B-channel and R-channel optimizations and pick
+    // the one whose sRGB/BD encoding is smaller.
+    const AxisAdjustment red = adjustAlongAxis(pixels, ecc_deg, 0);
+    const AxisAdjustment blue = adjustAlongAxis(pixels, ecc_deg, 2);
+
+    TileAdjustment out;
+    out.caseRed = red.adjustCase;
+    out.caseBlue = blue.adjustCase;
+    out.bitsRed = bdTileBits(red.adjusted);
+    out.bitsBlue = bdTileBits(blue.adjusted);
+
+    if (out.bitsRed < out.bitsBlue) {
+        out.adjusted = red.adjusted;
+        out.chosenAxis = 0;
+        out.chosenCase = red.adjustCase;
+        out.gamutClampedPixels = red.gamutClampedPixels;
+    } else {
+        out.adjusted = blue.adjusted;
+        out.chosenAxis = 2;
+        out.chosenCase = blue.adjustCase;
+        out.gamutClampedPixels = blue.gamutClampedPixels;
+    }
+    return out;
+}
+
+} // namespace pce

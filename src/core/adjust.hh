@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Per-tile perceptual color adjustment (paper Sec. 3.3-3.4, Fig. 6-7).
+ *
+ * Given a tile of linear-RGB pixels and their discrimination ellipsoids,
+ * the adjuster shrinks the spread of one RGB channel (Red or Blue) by
+ * moving each color along its ellipsoid's extrema vector:
+ *
+ *  - Per pixel, compute the extrema (H_i, L_i) of its ellipsoid along
+ *    the optimization axis.
+ *  - Reduce: HL = max_i L_i[axis] (highest of the lows) and
+ *            LH = min_i H_i[axis] (lowest of the highs).
+ *  - Case 1 (HL > LH, Fig. 6a): no plane crosses every ellipsoid; clamp
+ *    each pixel's channel into [LH, HL] (colors above HL move down to
+ *    HL, colors below LH move up to LH), the minimal-movement policy
+ *    achieving the optimal spread HL - LH.
+ *  - Case 2 (HL <= LH, Fig. 6b): every plane between HL and LH crosses
+ *    all ellipsoids; move every color to the average plane
+ *    (HL + LH) / 2, collapsing the channel spread to zero.
+ *
+ * Movement is along the extrema vector so the adjusted color stays
+ * inside its ellipsoid (the target channel value lies between the two
+ * extrema, hence on the center chord). A final gamut step restricts the
+ * movement parameter so the color also stays inside the RGB unit cube —
+ * the perceptual constraint (Eq. 7d) is never traded for compression.
+ *
+ * Both axes are tried and the tile variant with the smaller BD bit cost
+ * (after sRGB quantization) is kept, exactly as in Fig. 7.
+ */
+
+#ifndef PCE_CORE_ADJUST_HH
+#define PCE_CORE_ADJUST_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/vec3.hh"
+#include "core/quadric.hh"
+#include "perception/discrimination.hh"
+
+namespace pce {
+
+/**
+ * Pluggable extrema backend. The default is the double-precision
+ * Eq. 11-13 datapath (extremaAlongAxis); the hardware-fidelity ablation
+ * substitutes the fixed-point datapath of src/hw/fixed_datapath.hh to
+ * measure end-to-end effects of datapath width.
+ */
+using ExtremaFn = std::function<ExtremaPair(const Ellipsoid &, int)>;
+
+/** Which Fig. 6 case a tile fell into along one axis. */
+enum class AdjustCase
+{
+    C1,  ///< HL > LH: no common plane (Fig. 6a)
+    C2,  ///< HL <= LH: common plane exists, channel collapses (Fig. 6b)
+};
+
+/** Outcome of adjusting one tile along one axis. */
+struct AxisAdjustment
+{
+    std::vector<Vec3> adjusted;  ///< linear RGB, same order as input
+    AdjustCase adjustCase = AdjustCase::C2;
+    double hlPlane = 0.0;  ///< HL value along the axis
+    double lhPlane = 0.0;  ///< LH value along the axis
+    int gamutClampedPixels = 0;  ///< movements shortened by the gamut
+};
+
+/** Outcome of the full per-tile optimization (both axes, best kept). */
+struct TileAdjustment
+{
+    std::vector<Vec3> adjusted;
+    int chosenAxis = 2;          ///< 0 = Red, 2 = Blue
+    AdjustCase chosenCase = AdjustCase::C2;
+    AdjustCase caseRed = AdjustCase::C2;
+    AdjustCase caseBlue = AdjustCase::C2;
+    std::size_t bitsRed = 0;     ///< BD bits of the red-axis variant
+    std::size_t bitsBlue = 0;    ///< BD bits of the blue-axis variant
+    int gamutClampedPixels = 0;
+};
+
+/** The color adjustment algorithm of Sec. 3.4. */
+class TileAdjuster
+{
+  public:
+    /**
+     * @param model Discrimination model used to derive per-pixel
+     *              ellipsoids. The reference must outlive the adjuster.
+     * @param extrema Extrema backend; empty uses extremaAlongAxis.
+     */
+    explicit TileAdjuster(const DiscriminationModel &model,
+                          ExtremaFn extrema = {})
+        : model_(model), extrema_(std::move(extrema))
+    {}
+
+    /**
+     * Adjust a tile along a single axis (exposed for tests and the
+     * ablation benches).
+     *
+     * @param pixels Linear-RGB tile pixels.
+     * @param ecc_deg Per-pixel eccentricities (same length).
+     * @param axis 0 = Red or 2 = Blue.
+     */
+    AxisAdjustment adjustAlongAxis(const std::vector<Vec3> &pixels,
+                                   const std::vector<double> &ecc_deg,
+                                   int axis) const;
+
+    /**
+     * The full Fig. 7 tile flow: adjust along Red and Blue, quantize
+     * both variants to sRGB, keep the one with fewer BD bits.
+     */
+    TileAdjustment adjustTile(const std::vector<Vec3> &pixels,
+                              const std::vector<double> &ecc_deg) const;
+
+    const DiscriminationModel &model() const { return model_; }
+
+  private:
+    const DiscriminationModel &model_;
+    ExtremaFn extrema_;
+};
+
+/**
+ * BD bit cost of a tile of linear-RGB pixels after sRGB quantization:
+ * per channel, meta(4) + base(8) + N * ceil(log2(range+1)) bits.
+ * Shared by the adjuster's axis selection and the pipeline stats.
+ */
+std::size_t bdTileBits(const std::vector<Vec3> &pixels_linear);
+
+} // namespace pce
+
+#endif // PCE_CORE_ADJUST_HH

@@ -1,0 +1,129 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace pce {
+
+PipelineStats &
+PipelineStats::operator+=(const PipelineStats &o)
+{
+    totalTiles += o.totalTiles;
+    fovealBypassTiles += o.fovealBypassTiles;
+    c1Tiles += o.c1Tiles;
+    c2Tiles += o.c2Tiles;
+    redAxisTiles += o.redAxisTiles;
+    blueAxisTiles += o.blueAxisTiles;
+    gamutClampedPixels += o.gamutClampedPixels;
+    return *this;
+}
+
+PerceptualEncoder::PerceptualEncoder(const DiscriminationModel &model,
+                                     const PipelineParams &params)
+    : model_(model), params_(params),
+      adjuster_(model, params.extremaFn), codec_(params.tileSize)
+{
+    if (params_.threads < 1)
+        throw std::invalid_argument("PerceptualEncoder: threads < 1");
+}
+
+ImageF
+PerceptualEncoder::adjustFrame(const ImageF &frame,
+                               const EccentricityMap &ecc,
+                               PipelineStats *stats_out) const
+{
+    if (frame.width() != ecc.width() || frame.height() != ecc.height())
+        throw std::invalid_argument(
+            "PerceptualEncoder: eccentricity map size mismatch");
+
+    ImageF out = frame;
+    const auto tiles =
+        tileGrid(frame.width(), frame.height(), params_.tileSize);
+
+    const int n_threads = std::max(
+        1, std::min<int>(params_.threads,
+                         static_cast<int>(tiles.size())));
+    std::vector<PipelineStats> partial(n_threads);
+
+    auto work = [&](int tid) {
+        PipelineStats &stats = partial[tid];
+        std::vector<Vec3> pixels;
+        std::vector<double> eccs;
+        for (std::size_t i = tid; i < tiles.size();
+             i += static_cast<std::size_t>(n_threads)) {
+            const TileRect &rect = tiles[i];
+            ++stats.totalTiles;
+
+            pixels.clear();
+            eccs.clear();
+            double min_ecc = 1e300;
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+                    pixels.push_back(frame.at(x, y));
+                    const double e = ecc.at(x, y);
+                    eccs.push_back(e);
+                    min_ecc = std::min(min_ecc, e);
+                }
+            }
+
+            // Foveal bypass: any tile touching the foveal region is
+            // left numerically intact (Sec. 5.1).
+            if (min_ecc < params_.fovealCutoffDeg) {
+                ++stats.fovealBypassTiles;
+                continue;
+            }
+
+            const TileAdjustment adj =
+                adjuster_.adjustTile(pixels, eccs);
+            if (adj.chosenCase == AdjustCase::C1)
+                ++stats.c1Tiles;
+            else
+                ++stats.c2Tiles;
+            if (adj.chosenAxis == 0)
+                ++stats.redAxisTiles;
+            else
+                ++stats.blueAxisTiles;
+            stats.gamutClampedPixels +=
+                static_cast<std::size_t>(adj.gamutClampedPixels);
+
+            std::size_t k = 0;
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
+                for (int x = rect.x0; x < rect.x0 + rect.w; ++x)
+                    out.at(x, y) = adj.adjusted[k++];
+        }
+    };
+
+    if (n_threads == 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (int t = 0; t < n_threads; ++t)
+            pool.emplace_back(work, t);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    if (stats_out) {
+        PipelineStats total;
+        for (const auto &p : partial)
+            total += p;
+        *stats_out = total;
+    }
+    return out;
+}
+
+EncodedFrame
+PerceptualEncoder::encodeFrame(const ImageF &frame,
+                               const EccentricityMap &ecc) const
+{
+    EncodedFrame result;
+    result.adjustedLinear = adjustFrame(frame, ecc, &result.stats);
+    result.adjustedSrgb = toSrgb8(result.adjustedLinear);
+    result.bdStream = codec_.encode(result.adjustedSrgb);
+    result.bdStats = codec_.analyze(result.adjustedSrgb);
+    return result;
+}
+
+} // namespace pce

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Frame-level perceptual encoding pipeline (paper Fig. 7).
+ *
+ * From Rendering Pipeline -> [Color Adjustment (this module)] ->
+ * Transform to sRGB -> Base+Delta compression -> DRAM.
+ *
+ * Per tile, the encoder queries per-pixel eccentricities, bypasses tiles
+ * inside the foveal cutoff (Sec. 5.1 keeps the central 10-degree FoV,
+ * i.e. eccentricity < 5 degrees, unchanged), runs the TileAdjuster on
+ * the rest, and hands the adjusted frame to the unmodified BD codec.
+ * Decoding is plain BD decoding — the algorithm requires no decoder
+ * change (Sec. 3.4, "Remarks on Decoding").
+ */
+
+#ifndef PCE_CORE_PIPELINE_HH
+#define PCE_CORE_PIPELINE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "bd/bd_codec.hh"
+#include "core/adjust.hh"
+#include "image/image.hh"
+#include "perception/discrimination.hh"
+#include "perception/display.hh"
+
+namespace pce {
+
+/** Pipeline configuration. */
+struct PipelineParams
+{
+    /** BD tile edge (paper default 4; Sec. 6.4 sweeps 4..16). */
+    int tileSize = 4;
+    /** Eccentricity below which tiles are left untouched, degrees. */
+    double fovealCutoffDeg = 5.0;
+    /** Worker threads for the tile loop (1 = serial). */
+    int threads = 1;
+    /** Extrema backend override (empty = double-precision Eq. 11-13). */
+    ExtremaFn extremaFn;
+};
+
+/** Aggregate statistics of one encoded frame. */
+struct PipelineStats
+{
+    std::size_t totalTiles = 0;
+    std::size_t fovealBypassTiles = 0;
+    /** Fig. 12: case distribution over adjusted tiles (chosen axis). */
+    std::size_t c1Tiles = 0;
+    std::size_t c2Tiles = 0;
+    /** Axis selection outcome over adjusted tiles. */
+    std::size_t redAxisTiles = 0;
+    std::size_t blueAxisTiles = 0;
+    std::size_t gamutClampedPixels = 0;
+
+    PipelineStats &operator+=(const PipelineStats &o);
+};
+
+/** Everything produced for one frame. */
+struct EncodedFrame
+{
+    ImageF adjustedLinear;   ///< post-adjustment linear RGB
+    ImageU8 adjustedSrgb;    ///< post-quantization sRGB
+    std::vector<uint8_t> bdStream;  ///< BD bitstream of adjustedSrgb
+    BdFrameStats bdStats;    ///< bit accounting of the stream
+    PipelineStats stats;
+};
+
+/** The full Fig. 7 encoder. */
+class PerceptualEncoder
+{
+  public:
+    /**
+     * @param model Discrimination model; must outlive the encoder.
+     * @param params Pipeline configuration.
+     */
+    PerceptualEncoder(const DiscriminationModel &model,
+                      const PipelineParams &params = {});
+
+    /**
+     * Run color adjustment only (no BD encode); the cheap path for
+     * perceptual-quality studies.
+     */
+    ImageF adjustFrame(const ImageF &frame, const EccentricityMap &ecc,
+                       PipelineStats *stats_out = nullptr) const;
+
+    /** Full pipeline: adjust, quantize, BD-encode, account bits. */
+    EncodedFrame encodeFrame(const ImageF &frame,
+                             const EccentricityMap &ecc) const;
+
+    const PipelineParams &params() const { return params_; }
+
+  private:
+    const DiscriminationModel &model_;
+    PipelineParams params_;
+    TileAdjuster adjuster_;
+    BdCodec codec_;
+};
+
+} // namespace pce
+
+#endif // PCE_CORE_PIPELINE_HH

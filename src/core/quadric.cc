@@ -1,0 +1,134 @@
+#include "core/quadric.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "color/dkl.hh"
+
+namespace pce {
+
+Quadric
+Quadric::fromDklEllipsoid(const Ellipsoid &e)
+{
+    // d = M p; (d - k)^T S (d - k) = 1 with S = diag(1/s_i^2)
+    // => p^T (M^T S M) p - 2 k^T S M p + (k^T S k - 1) = 0.
+    const Mat3 &m = rgb2dklMatrix();
+    const Vec3 s_inv2(1.0 / (e.semiAxes.x * e.semiAxes.x),
+                      1.0 / (e.semiAxes.y * e.semiAxes.y),
+                      1.0 / (e.semiAxes.z * e.semiAxes.z));
+    const Mat3 s = Mat3::diagonal(s_inv2);
+
+    Quadric q;
+    q.q3 = m.transpose() * s * m;
+    const Vec3 k_s = e.centerDkl.cwiseMul(s_inv2);  // S k
+    // lin = -2 M^T S k
+    q.lin = (m.transpose() * k_s) * -2.0;
+    q.c = e.centerDkl.dot(k_s) - 1.0;
+    return q;
+}
+
+double
+Quadric::value(const Vec3 &rgb) const
+{
+    return rgb.dot(q3 * rgb) + lin.dot(rgb) + c;
+}
+
+std::array<double, 9>
+Quadric::paperCoefficients() const
+{
+    if (c == 0.0)
+        throw std::domain_error(
+            "Quadric::paperCoefficients: zero constant term");
+    const double ic = 1.0 / c;
+    // Eq. 9 layout: A x^2 + B y^2 + C z^2 + D x + E y + F z
+    //             + G xy + H yz + I zx + 1 = 0.
+    return {
+        q3(0, 0) * ic,                 // A
+        q3(1, 1) * ic,                 // B
+        q3(2, 2) * ic,                 // C
+        lin.x * ic,                    // D
+        lin.y * ic,                    // E
+        lin.z * ic,                    // F
+        (q3(0, 1) + q3(1, 0)) * ic,    // G
+        (q3(1, 2) + q3(2, 1)) * ic,    // H
+        (q3(2, 0) + q3(0, 2)) * ic,    // I
+    };
+}
+
+ExtremaPair
+extremaAlongAxis(const Ellipsoid &e, int axis)
+{
+    if (axis != 0 && axis != 1 && axis != 2)
+        throw std::invalid_argument("extremaAlongAxis: bad axis");
+
+    const Quadric q = Quadric::fromDklEllipsoid(e);
+
+    // Eq. 11: setting the partial derivatives along the two other axes
+    // to zero yields two planes; their normals are the corresponding
+    // rows of the gradient (2 Q3 p + lin). Eq. 12: the extrema vector is
+    // the cross product of the two plane normals. Any uniform scale of
+    // the quadric cancels in the direction, so the unnormalized Q3 works
+    // exactly like the paper's A..I coefficients.
+    const int a1 = (axis + 1) % 3;
+    const int a2 = (axis + 2) % 3;
+    const Vec3 n1 = q.q3.row(a1) * 2.0;
+    const Vec3 n2 = q.q3.row(a2) * 2.0;
+    const Vec3 v = n1.cross(n2);
+
+    // Eq. 13: intersect the line through the DKL center along direction
+    // (M v) with the DKL ellipsoid.
+    const Mat3 &m = rgb2dklMatrix();
+    const Mat3 &inv = dkl2rgbMatrix();
+    const Vec3 x = m * v;
+    const Vec3 &s = e.semiAxes;
+    const double denom = std::sqrt((x.x * x.x) / (s.x * s.x) +
+                                   (x.y * x.y) / (s.y * s.y) +
+                                   (x.z * x.z) / (s.z * s.z));
+    if (denom == 0.0)
+        throw std::domain_error("extremaAlongAxis: degenerate ellipsoid");
+    const double t = 1.0 / denom;
+
+    const Vec3 p_plus = inv * (e.centerDkl + x * t);
+    const Vec3 p_minus = inv * (e.centerDkl - x * t);
+
+    ExtremaPair pair;
+    if (p_plus[axis] >= p_minus[axis]) {
+        pair.high = p_plus;
+        pair.low = p_minus;
+    } else {
+        pair.high = p_minus;
+        pair.low = p_plus;
+    }
+    return pair;
+}
+
+ExtremaPair
+extremaAlongAxisLagrange(const Ellipsoid &e, int axis)
+{
+    if (axis != 0 && axis != 1 && axis != 2)
+        throw std::invalid_argument("extremaAlongAxisLagrange: bad axis");
+
+    // Maximize g . d over (d - k)^T S (d - k) = 1 where the objective in
+    // RGB is e_axis . (M^-1 d), i.e. g = row_axis(M^-1). The support
+    // point is d* = k +/- (Sigma g) / sqrt(g^T Sigma g), Sigma = S^-1.
+    const Mat3 &inv = dkl2rgbMatrix();
+    const Vec3 g = inv.row(axis);
+    const Vec3 sigma(e.semiAxes.x * e.semiAxes.x,
+                     e.semiAxes.y * e.semiAxes.y,
+                     e.semiAxes.z * e.semiAxes.z);
+    const Vec3 sg = sigma.cwiseMul(g);
+    const double denom = std::sqrt(g.dot(sg));
+    if (denom == 0.0)
+        throw std::domain_error(
+            "extremaAlongAxisLagrange: degenerate ellipsoid");
+
+    const Vec3 d_high = e.centerDkl + sg / denom;
+    const Vec3 d_low = e.centerDkl - sg / denom;
+
+    ExtremaPair pair;
+    pair.high = inv * d_high;
+    pair.low = inv * d_low;
+    return pair;
+}
+
+} // namespace pce

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ellipsoid transformation and extrema computation (paper Sec. 3.4).
+ *
+ * Discrimination ellipsoids are axis-aligned in DKL space but become
+ * general quadric surfaces in linear RGB (Eq. 9-10). The color-adjustment
+ * algorithm needs, per pixel, the two points of its ellipsoid with the
+ * highest/lowest value along the optimization axis (Red or Blue): the
+ * "extrema" connected by the extrema vector (Fig. 6, Eq. 11-13).
+ *
+ * Two implementations are provided:
+ *  - extremaAlongAxis(): the paper's hardware datapath — gradient planes
+ *    from the quadric coefficients, cross product (Eq. 12), then a
+ *    line-ellipsoid intersection in DKL space (Eq. 13). This mirrors
+ *    what the Compute Extrema Block of the CAU evaluates (Fig. 8).
+ *  - extremaAlongAxisLagrange(): an independent closed form (support
+ *    points of a linear functional over an ellipsoid). Tests assert both
+ *    agree to floating-point tolerance for random colors/eccentricities.
+ */
+
+#ifndef PCE_CORE_QUADRIC_HH
+#define PCE_CORE_QUADRIC_HH
+
+#include <array>
+
+#include "common/mat3.hh"
+#include "common/vec3.hh"
+#include "perception/discrimination.hh"
+
+namespace pce {
+
+/**
+ * A quadric surface in linear RGB space stored unnormalized as
+ * value(p) = p^T Q3 p + lin . p + c, with value < 0 strictly inside.
+ *
+ * The paper's Eq. 9 form (A..I with a +1 constant) is this divided by c;
+ * paperCoefficients() returns that normalization for the Eq. 12 datapath
+ * and for tests against Eq. 10.
+ */
+struct Quadric
+{
+    Mat3 q3;    ///< symmetric quadratic part
+    Vec3 lin;   ///< linear part
+    double c = 0.0;  ///< constant part
+
+    /**
+     * Build the RGB-space quadric of a DKL discrimination ellipsoid
+     * (Eq. 10, derived by direct substitution d = M_RGB2DKL * p).
+     */
+    static Quadric fromDklEllipsoid(const Ellipsoid &e);
+
+    /** Evaluate the quadric at a linear-RGB point. */
+    double value(const Vec3 &rgb) const;
+
+    /** True if the RGB point is inside or on the surface. */
+    bool contains(const Vec3 &rgb, double tol = 1e-12) const
+    { return value(rgb) <= tol; }
+
+    /**
+     * Paper Eq. 9 coefficients (A, B, C, D, E, F, G, H, I).
+     * @throws std::domain_error when the constant term is zero (the
+     *         normalized form does not exist; cannot happen for
+     *         discrimination ellipsoids, whose centers lie strictly
+     *         inside, making value(center) = -scale < 0 and c != 0
+     *         whenever the center is not the RGB origin-mapped point).
+     */
+    std::array<double, 9> paperCoefficients() const;
+};
+
+/** The high/low points of an ellipsoid along one RGB axis. */
+struct ExtremaPair
+{
+    Vec3 high;  ///< RGB point with the largest value on the axis
+    Vec3 low;   ///< RGB point with the smallest value on the axis
+
+    /** The extrema vector V of Fig. 6 (from low to high). */
+    Vec3 extremaVector() const { return high - low; }
+};
+
+/**
+ * Extrema of a DKL ellipsoid along RGB axis @p axis (0 = R, 2 = B)
+ * using the paper's Eq. 11-13 datapath.
+ */
+ExtremaPair extremaAlongAxis(const Ellipsoid &e, int axis);
+
+/** Independent Lagrangian closed form; used as a cross-check. */
+ExtremaPair extremaAlongAxisLagrange(const Ellipsoid &e, int axis);
+
+} // namespace pce
+
+#endif // PCE_CORE_QUADRIC_HH

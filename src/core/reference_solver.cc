@@ -1,0 +1,100 @@
+#include "core/reference_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "color/dkl.hh"
+
+namespace pce {
+
+double
+channelSpread(const std::vector<Vec3> &colors, int axis)
+{
+    if (colors.empty())
+        return 0.0;
+    double lo = colors[0][axis];
+    double hi = colors[0][axis];
+    for (const auto &c : colors) {
+        lo = std::min(lo, c[axis]);
+        hi = std::max(hi, c[axis]);
+    }
+    return hi - lo;
+}
+
+namespace {
+
+/** Radial-scaling projection of an RGB color onto a DKL ellipsoid. */
+Vec3
+projectToEllipsoid(const Vec3 &rgb, const Ellipsoid &e)
+{
+    const Vec3 dkl = rgbToDkl(rgb);
+    const Vec3 u = (dkl - e.centerDkl).cwiseDiv(e.semiAxes);
+    const double r = u.norm();
+    if (r <= 1.0)
+        return rgb;
+    const Vec3 projected =
+        e.centerDkl + (u / r).cwiseMul(e.semiAxes);
+    return dklToRgb(projected);
+}
+
+} // namespace
+
+SolverResult
+minimizeSpreadSubgradient(const std::vector<Vec3> &pixels,
+                          const std::vector<Ellipsoid> &ellipsoids,
+                          int axis, int iterations, double step0)
+{
+    if (pixels.size() != ellipsoids.size())
+        throw std::invalid_argument(
+            "minimizeSpreadSubgradient: size mismatch");
+    if (axis != 0 && axis != 1 && axis != 2)
+        throw std::invalid_argument("minimizeSpreadSubgradient: bad axis");
+
+    SolverResult result;
+    result.colors = pixels;
+    if (pixels.empty())
+        return result;
+
+    std::vector<Vec3> best = result.colors;
+    double best_spread = channelSpread(best, axis);
+
+    for (int k = 1; k <= iterations; ++k) {
+        // Subgradient of max_i z_i - min_i z_i: +e_axis at the argmax,
+        // -e_axis at the argmin.
+        std::size_t arg_hi = 0;
+        std::size_t arg_lo = 0;
+        for (std::size_t i = 1; i < result.colors.size(); ++i) {
+            if (result.colors[i][axis] >
+                result.colors[arg_hi][axis])
+                arg_hi = i;
+            if (result.colors[i][axis] <
+                result.colors[arg_lo][axis])
+                arg_lo = i;
+        }
+        const double step = step0 / std::sqrt(static_cast<double>(k));
+
+        Vec3 hi = result.colors[arg_hi];
+        hi[axis] -= step;
+        result.colors[arg_hi] =
+            projectToEllipsoid(hi, ellipsoids[arg_hi]);
+
+        Vec3 lo = result.colors[arg_lo];
+        lo[axis] += step;
+        result.colors[arg_lo] =
+            projectToEllipsoid(lo, ellipsoids[arg_lo]);
+
+        const double spread = channelSpread(result.colors, axis);
+        if (spread < best_spread) {
+            best_spread = spread;
+            best = result.colors;
+        }
+    }
+
+    result.colors = best;
+    result.spread = best_spread;
+    result.iterations = iterations;
+    return result;
+}
+
+} // namespace pce

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Iterative reference solver for the relaxed tile objective (Sec. 3.2-3.3).
+ *
+ * The paper notes that the pre-relaxation problem needs iterative solvers
+ * ("popular solvers in Matlab spend hours"), motivating the analytical
+ * solution. This module provides a projected-subgradient solver for the
+ * *relaxed convex* objective (Eq. 8c: minimize max-min of one channel
+ * subject to every color staying in its ellipsoid) over the full 3-D
+ * feasible set. It exists purely as a validation oracle: property tests
+ * assert the analytical solution's spread is never worse than what the
+ * iterative solver reaches, i.e. the closed form is optimal.
+ */
+
+#ifndef PCE_CORE_REFERENCE_SOLVER_HH
+#define PCE_CORE_REFERENCE_SOLVER_HH
+
+#include <vector>
+
+#include "common/vec3.hh"
+#include "perception/discrimination.hh"
+
+namespace pce {
+
+/** Result of the iterative minimization. */
+struct SolverResult
+{
+    /** Final colors in linear RGB. */
+    std::vector<Vec3> colors;
+    /** Final channel spread max-min along the optimization axis. */
+    double spread = 0.0;
+    /** Iterations executed. */
+    int iterations = 0;
+};
+
+/** Spread (max - min) of one RGB channel over a color set. */
+double channelSpread(const std::vector<Vec3> &colors, int axis);
+
+/**
+ * Projected subgradient descent on Eq. 8c.
+ *
+ * @param pixels     Original linear-RGB colors (the ellipsoid centers).
+ * @param ellipsoids Per-pixel DKL discrimination ellipsoids.
+ * @param axis       Channel to minimize (0 = R, 2 = B).
+ * @param iterations Subgradient steps.
+ * @param step0      Initial step size (decays as step0 / sqrt(k)).
+ *
+ * Projection uses radial scaling in the ellipsoid-normalized metric,
+ * which maps any point to a feasible one (adequate for an oracle).
+ */
+SolverResult minimizeSpreadSubgradient(
+    const std::vector<Vec3> &pixels,
+    const std::vector<Ellipsoid> &ellipsoids, int axis,
+    int iterations = 400, double step0 = 0.02);
+
+} // namespace pce
+
+#endif // PCE_CORE_REFERENCE_SOLVER_HH

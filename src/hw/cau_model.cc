@@ -1,0 +1,82 @@
+#include "hw/cau_model.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pce {
+
+CauModel::CauModel(const CauConfig &config) : config_(config)
+{
+    if (config_.cycleTimeNs <= 0 || config_.gpuFreqMhz <= 0 ||
+        config_.shaderCores <= 0 || config_.tileSize <= 0)
+        throw std::invalid_argument("CauModel: invalid configuration");
+}
+
+double
+CauModel::frequencyMhz() const
+{
+    return 1000.0 / config_.cycleTimeNs;
+}
+
+int
+CauModel::pixelsPerCauCycle() const
+{
+    // Each shader core can produce up to ceil(gpuFreq / cauFreq) pixels
+    // during one CAU cycle (Sec. 6.1: three at 441 vs 166.7 MHz).
+    const double ratio = config_.gpuFreqMhz / frequencyMhz();
+    return static_cast<int>(std::ceil(ratio)) * config_.shaderCores;
+}
+
+int
+CauModel::peCount() const
+{
+    const int tile_pixels = config_.tileSize * config_.tileSize;
+    return (pixelsPerCauCycle() + tile_pixels - 1) / tile_pixels;
+}
+
+double
+CauModel::peAreaTotalMm2() const
+{
+    return config_.peAreaMm2 * peCount();
+}
+
+double
+CauModel::totalAreaMm2() const
+{
+    return peAreaTotalMm2() + config_.bufferAreaTotalMm2;
+}
+
+double
+CauModel::totalPowerMw() const
+{
+    return config_.pePowerUw * peCount() / 1000.0;
+}
+
+std::size_t
+CauModel::pendingBufferBytes() const
+{
+    const int tile_pixels = config_.tileSize * config_.tileSize;
+    const double per_tile =
+        tile_pixels * (config_.pixelBytes + config_.ellipsoidParamBytes);
+    return static_cast<std::size_t>(per_tile * config_.tilesPerBuffer *
+                                    peCount());
+}
+
+double
+CauModel::compressionDelayUs(int width, int height) const
+{
+    // Sustained-rate model: the GPU feeds one pixel per shader core per
+    // CAU cycle on average; the fully pipelined CAU keeps pace.
+    const double pixels = static_cast<double>(width) * height;
+    const double cycles = pixels / config_.shaderCores;
+    return cycles * config_.cycleTimeNs / 1000.0;
+}
+
+bool
+CauModel::meetsFrameRate(int width, int height, double fps) const
+{
+    const double budget_us = 1e6 / fps;
+    return compressionDelayUs(width, height) <= budget_us;
+}
+
+} // namespace pce

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Analytical model of the Color Adjustment Unit (paper Sec. 4 and 6.1).
+ *
+ * The paper implements the CAU in SystemVerilog and synthesizes it with
+ * a TSMC 7nm flow; we cannot run an EDA flow here, so this model is
+ * parameterized with the paper's reported post-synthesis constants and
+ * reproduces the Sec. 6.1 arithmetic exactly (substitution documented in
+ * DESIGN.md):
+ *
+ *  - CAU cycle time 6 ns (~166.7 MHz), fully pipelined: 1 tile/PE/cycle;
+ *  - Adreno 650: 441 MHz, 512 shader cores, 1 pixel/core/GPU-cycle peak,
+ *    so up to ceil(441/166.7) = 3 pixels/core per CAU cycle; matching
+ *    the GPU's peak output of 512*3 pixels (96 4x4 tiles) per CAU cycle
+ *    requires 96 PEs;
+ *  - per-PE area 0.022 mm^2, per-PE+buffer power 2.1 uW;
+ *  - pending buffers hold 2 tiles each (double buffering) at 12 B per
+ *    pixel (RGBA8 pixel + packed ellipsoid parameters), which lands on
+ *    the paper's 36 KB total: 16 px * 12 B * 2 tiles * 96 PEs.
+ *
+ * The end-to-end compression delay for a frame follows the paper's
+ * sustained-rate calculation (one pixel per shader core per CAU cycle):
+ * 5408x2736 / 512 cores * 6 ns = 173.4 us, the figure quoted in
+ * Sec. 6.1.
+ */
+
+#ifndef PCE_HW_CAU_MODEL_HH
+#define PCE_HW_CAU_MODEL_HH
+
+#include <cstddef>
+
+namespace pce {
+
+/** Synthesis/platform constants (defaults = paper values). */
+struct CauConfig
+{
+    double cycleTimeNs = 6.0;       ///< CAU cycle time
+    double gpuFreqMhz = 441.0;      ///< Adreno 650 nominal clock
+    int shaderCores = 512;          ///< Adreno 650 shader cores
+    int tileSize = 4;               ///< tile edge (16 pixels)
+    double peAreaMm2 = 0.022;       ///< per-PE area, TSMC 7nm
+    double pePowerUw = 2.1;         ///< per PE + buffer power
+    double bufferAreaTotalMm2 = 0.03;  ///< all pending buffers
+    int tilesPerBuffer = 2;         ///< double buffering
+    double pixelBytes = 4.0;        ///< RGBA8 pixel in the buffer
+    double ellipsoidParamBytes = 8.0;  ///< packed (a,b,c) parameters
+};
+
+/** The analytical CAU model. */
+class CauModel
+{
+  public:
+    explicit CauModel(const CauConfig &config = {});
+
+    const CauConfig &config() const { return config_; }
+
+    /** CAU clock frequency in MHz. */
+    double frequencyMhz() const;
+
+    /** Peak GPU pixels generated per CAU cycle. */
+    int pixelsPerCauCycle() const;
+
+    /** PEs needed to match the GPU's peak tile rate (Sec. 6.1: 96). */
+    int peCount() const;
+
+    /** Total PE area, mm^2 (Sec. 6.1: 2.1 mm^2). */
+    double peAreaTotalMm2() const;
+
+    /** Total area including pending buffers, mm^2. */
+    double totalAreaMm2() const;
+
+    /** Total CAU power in mW (Sec. 6.1: ~0.2016 mW). */
+    double totalPowerMw() const;
+
+    /** Pending buffer capacity in bytes across all PEs (Sec. 6.1: 36 KB). */
+    std::size_t pendingBufferBytes() const;
+
+    /**
+     * Sustained compression delay for one frame of w x h pixels, in
+     * microseconds (Sec. 6.1: 173.4 us at 5408 x 2736).
+     */
+    double compressionDelayUs(int width, int height) const;
+
+    /**
+     * Whether the CAU keeps up with a target frame rate at the given
+     * resolution (delay <= frame budget).
+     */
+    bool meetsFrameRate(int width, int height, double fps) const;
+
+  private:
+    CauConfig config_;
+};
+
+} // namespace pce
+
+#endif // PCE_HW_CAU_MODEL_HH

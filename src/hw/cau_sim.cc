@@ -1,0 +1,119 @@
+#include "hw/cau_sim.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace pce {
+
+CauPipelineSim::CauPipelineSim(const CauSimConfig &config)
+    : config_(config)
+{
+    if (config_.peCount <= 0 || config_.bufferTilesPerPe <= 0 ||
+        config_.tilePixels <= 0 || config_.gpuPixelsPerCycle <= 0.0)
+        throw std::invalid_argument("CauPipelineSim: invalid config");
+    if (config_.traffic == GpuTraffic::Bursty &&
+        (config_.dutyCycle <= 0.0 || config_.dutyCycle > 1.0 ||
+         config_.burstCycles <= 0))
+        throw std::invalid_argument(
+            "CauPipelineSim: invalid burst parameters");
+}
+
+CauSimResult
+CauPipelineSim::simulateFrame(uint64_t total_pixels) const
+{
+    CauSimResult result;
+    const uint64_t total_tiles =
+        (total_pixels + config_.tilePixels - 1) / config_.tilePixels;
+
+    // Per-PE buffer occupancy in tiles.
+    std::vector<int> buffers(config_.peCount, 0);
+
+    // Pixel accumulator toward the next complete tile, and the
+    // round-robin PE cursor for tile placement.
+    double pixel_accum = 0.0;
+    uint64_t tiles_produced = 0;
+    uint64_t tiles_consumed = 0;
+    int rr_cursor = 0;
+    // Tiles formed but not yet accepted by a (full) buffer.
+    uint64_t backlog_tiles = 0;
+
+    const double peak_rate =
+        config_.traffic == GpuTraffic::Uniform
+            ? config_.gpuPixelsPerCycle
+            : config_.gpuPixelsPerCycle / config_.dutyCycle;
+    const int period =
+        config_.traffic == GpuTraffic::Uniform
+            ? 1
+            : static_cast<int>(config_.burstCycles / config_.dutyCycle);
+
+    // Hard bound against runaway loops (bug guard): even a 1-PE CAU
+    // drains one tile per cycle once producing stops.
+    const uint64_t cycle_limit =
+        16 * total_tiles + 16 * config_.peCount + 1024;
+
+    uint64_t cycle = 0;
+    while (tiles_consumed < total_tiles) {
+        if (cycle > cycle_limit)
+            throw std::logic_error("CauPipelineSim: no forward progress");
+
+        // --- Produce phase -----------------------------------------
+        bool stalled_this_cycle = false;
+        if (tiles_produced < total_tiles || backlog_tiles > 0) {
+            if (backlog_tiles == 0 && tiles_produced < total_tiles) {
+                const bool bursting =
+                    config_.traffic == GpuTraffic::Uniform ||
+                    (cycle % period) <
+                        static_cast<uint64_t>(config_.burstCycles);
+                if (bursting) {
+                    // A ragged final tile is modeled as a full tile's
+                    // worth of production (< 16 pixels of tail error).
+                    pixel_accum += peak_rate;
+                    while (pixel_accum >=
+                               static_cast<double>(config_.tilePixels) &&
+                           tiles_produced + backlog_tiles <
+                               total_tiles) {
+                        pixel_accum -= config_.tilePixels;
+                        ++backlog_tiles;
+                    }
+                }
+            }
+            // Place backlog tiles round-robin; a full target buffer
+            // back-pressures the GPU for this cycle.
+            while (backlog_tiles > 0) {
+                if (buffers[rr_cursor] >= config_.bufferTilesPerPe) {
+                    stalled_this_cycle = true;
+                    break;
+                }
+                ++buffers[rr_cursor];
+                result.maxBufferOccupancy = std::max(
+                    result.maxBufferOccupancy, buffers[rr_cursor]);
+                rr_cursor = (rr_cursor + 1) % config_.peCount;
+                --backlog_tiles;
+                ++tiles_produced;
+            }
+        }
+        if (stalled_this_cycle)
+            ++result.gpuStallCycles;
+
+        // --- Consume phase ------------------------------------------
+        for (int pe = 0; pe < config_.peCount; ++pe) {
+            if (buffers[pe] > 0) {
+                --buffers[pe];
+                ++result.peBusyCycles;
+                ++tiles_consumed;
+            } else {
+                ++result.peStarveCycles;
+            }
+        }
+        ++cycle;
+    }
+
+    result.cycles = cycle;
+    result.tilesProcessed = tiles_consumed;
+    if (tiles_consumed != total_tiles)
+        throw std::logic_error("CauPipelineSim: tile conservation");
+    return result;
+}
+
+} // namespace pce

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cycle-approximate simulator of the CAU pipeline (paper Sec. 4.2).
+ *
+ * The analytical CauModel answers "how many PEs / how much area"; this
+ * simulator answers the *dynamic* questions the paper raises when sizing
+ * the pending buffers: "The buffers must be properly sized so as to not
+ * stall or starve the CAU pipeline" and "The number of PEs in a CAU must
+ * be properly decided so as to not stall either the GPU nor the CAU".
+ *
+ * The model, at CAU-cycle granularity:
+ *  - the GPU produces pixels at a configurable rate and burstiness
+ *    (uniform, or on/off bursts at peak rate with a duty cycle);
+ *  - completed tiles are assigned round-robin to per-PE pending buffers
+ *    (each holds bufferTilesPerPe tiles; the paper double-buffers);
+ *  - when the target buffer is full the GPU back-pressures (a stall:
+ *    rendered pixels with nowhere to go);
+ *  - each PE is fully pipelined and retires one tile per cycle when its
+ *    buffer is non-empty, otherwise it starves for that cycle.
+ *
+ * The simulation is deterministic and conservation-checked: every pixel
+ * produced is eventually consumed exactly once.
+ */
+
+#ifndef PCE_HW_CAU_SIM_HH
+#define PCE_HW_CAU_SIM_HH
+
+#include <cstdint>
+
+namespace pce {
+
+/** GPU traffic shape feeding the CAU. */
+enum class GpuTraffic
+{
+    Uniform,  ///< constant pixels/cycle
+    Bursty,   ///< peak-rate bursts separated by idle gaps
+};
+
+/** Configuration of one simulation run. */
+struct CauSimConfig
+{
+    /** Number of PEs (the paper's design point is 96). */
+    int peCount = 96;
+    /** Pending-buffer capacity per PE, in tiles (paper: 2). */
+    int bufferTilesPerPe = 2;
+    /** Pixels per tile (4x4). */
+    int tilePixels = 16;
+    /**
+     * Average GPU pixels per CAU cycle. The paper's peak is
+     * 512 cores x 3 px = 1536 (96 tiles) per CAU cycle.
+     */
+    double gpuPixelsPerCycle = 1536.0;
+    /** Traffic shape. */
+    GpuTraffic traffic = GpuTraffic::Uniform;
+    /**
+     * For Bursty traffic: burst length in cycles. Bursts run at
+     * gpuPixelsPerCycle / dutyCycle (peak), followed by idle cycles so
+     * the average matches gpuPixelsPerCycle.
+     */
+    int burstCycles = 8;
+    /** For Bursty traffic: fraction of time spent bursting, (0, 1]. */
+    double dutyCycle = 0.5;
+};
+
+/** Outcome of a simulated frame. */
+struct CauSimResult
+{
+    uint64_t cycles = 0;           ///< total cycles to drain the frame
+    uint64_t gpuStallCycles = 0;   ///< cycles the GPU was back-pressured
+    uint64_t peBusyCycles = 0;     ///< sum over PEs of busy cycles
+    uint64_t peStarveCycles = 0;   ///< sum over PEs of starved cycles
+    uint64_t tilesProcessed = 0;
+    int maxBufferOccupancy = 0;    ///< peak tiles in any one buffer
+
+    /** Mean PE utilization over the run. */
+    double peUtilization() const
+    {
+        const uint64_t total = peBusyCycles + peStarveCycles;
+        return total == 0 ? 0.0
+                          : static_cast<double>(peBusyCycles) /
+                                static_cast<double>(total);
+    }
+
+    /** Fraction of cycles the GPU was stalled on the CAU. */
+    double
+    gpuStallFraction() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(gpuStallCycles) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/** The cycle-approximate pipeline simulator. */
+class CauPipelineSim
+{
+  public:
+    explicit CauPipelineSim(const CauSimConfig &config);
+
+    const CauSimConfig &config() const { return config_; }
+
+    /**
+     * Simulate processing a frame of @p total_pixels pixels.
+     * @throws std::logic_error if conservation is violated (bug guard).
+     */
+    CauSimResult simulateFrame(uint64_t total_pixels) const;
+
+  private:
+    CauSimConfig config_;
+};
+
+} // namespace pce
+
+#endif // PCE_HW_CAU_SIM_HH

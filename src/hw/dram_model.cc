@@ -1,0 +1,35 @@
+#include "hw/dram_model.hh"
+
+#include <stdexcept>
+
+namespace pce {
+
+DramModel::DramModel(const DramConfig &config) : config_(config)
+{
+    if (config_.energyPerPixelPj <= 0 || config_.accessesPerFrame <= 0)
+        throw std::invalid_argument("DramModel: invalid configuration");
+}
+
+double
+DramModel::transferEnergyMj(double bytes) const
+{
+    return bytes * config_.energyPerBytePj() * 1e-9;
+}
+
+double
+DramModel::streamPowerMw(double bytes_per_frame, double fps) const
+{
+    // mJ per frame times frames per second = mW.
+    return transferEnergyMj(bytes_per_frame * config_.accessesPerFrame) *
+           fps;
+}
+
+double
+DramModel::powerSavingMw(double bytes_base, double bytes_ours, double fps,
+                         double overhead_mw) const
+{
+    return streamPowerMw(bytes_base, fps) -
+           streamPowerMw(bytes_ours, fps) - overhead_mw;
+}
+
+} // namespace pce

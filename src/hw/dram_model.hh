@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DRAM traffic energy model (paper Sec. 5.1 and Fig. 13).
+ *
+ * The paper estimates DRAM access energy with Micron's system power
+ * calculator for an 8 Gb, 32-bit LPDDR4 part: 3,477 pJ per (24-bit)
+ * pixel on average, i.e. 1,159 pJ/byte. Framebuffer traffic per frame is
+ * written once (GPU -> DRAM) and read once (DRAM -> display controller),
+ * both compressed, so energy scales with the compressed frame size.
+ *
+ * Power saving over a baseline at a given resolution/frame rate:
+ *   P_save = (bytes_base - bytes_ours) * accesses * fps * E_byte
+ *            - P_CAU
+ * which reproduces the structure of Fig. 13 (the CAU's 201.6 uW is
+ * "faithfully accounted for", Sec. 6.2).
+ */
+
+#ifndef PCE_HW_DRAM_MODEL_HH
+#define PCE_HW_DRAM_MODEL_HH
+
+#include <cstddef>
+
+namespace pce {
+
+/** LPDDR4 energy constants (defaults = paper values). */
+struct DramConfig
+{
+    /**
+     * Average access energy per 24-bit pixel, pJ (Micron calculator).
+     * Calibration against the paper's Fig. 13 indicates this constant
+     * covers the full framebuffer round trip (GPU write + display
+     * read), so accessesPerFrame defaults to 1.
+     */
+    double energyPerPixelPj = 3477.0;
+    /** Framebuffer round trips per frame covered by the constant. */
+    double accessesPerFrame = 1.0;
+
+    /** Energy per byte, pJ. */
+    double energyPerBytePj() const { return energyPerPixelPj / 3.0; }
+};
+
+/** Traffic/energy/power arithmetic for compressed framebuffers. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config = {});
+
+    const DramConfig &config() const { return config_; }
+
+    /** Energy to move @p bytes through DRAM once, in mJ. */
+    double transferEnergyMj(double bytes) const;
+
+    /**
+     * Average DRAM power for a stream of compressed frames, in mW.
+     * @param bytes_per_frame Compressed frame size in bytes.
+     * @param fps Frame rate.
+     */
+    double streamPowerMw(double bytes_per_frame, double fps) const;
+
+    /**
+     * Power saved by an encoding producing @p bytes_ours per frame
+     * versus @p bytes_base, minus @p overhead_mw of encoder power
+     * (Fig. 13), in mW.
+     */
+    double powerSavingMw(double bytes_base, double bytes_ours, double fps,
+                         double overhead_mw) const;
+
+  private:
+    DramConfig config_;
+};
+
+} // namespace pce
+
+#endif // PCE_HW_DRAM_MODEL_HH

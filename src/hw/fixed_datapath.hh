@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fixed-point model of the CAU's Compute Extrema Block (paper Fig. 8).
+ *
+ * The CAU is an ASIC: its dividers, square roots, and MAC arrays
+ * (Synopsys DesignWare parts, Sec. 5.1) operate on fixed-point values,
+ * not the doubles of src/core/quadric.cc. This module reproduces the
+ * Eq. 11-13 datapath with explicit quantization so the repository can
+ * answer the hardware question the paper's RTL implicitly settled: how
+ * wide must the datapath be before quantization neither breaks the
+ * perceptual constraint nor costs compression?
+ *
+ * Dynamic-range handling mirrors what the RTL must do: the quadric's
+ * 1/a^2 coefficients span ~1e2..1e9, so the datapath normalizes the
+ * ellipsoid by its largest reciprocal semi-axis first (the extrema
+ * *direction* is scale-invariant), computes in Q-format, and rescales
+ * at the end.
+ *
+ * An ablation bench (bench/ablation_fixedpoint) sweeps the fractional
+ * width; tests assert convergence to the double-precision datapath.
+ */
+
+#ifndef PCE_HW_FIXED_DATAPATH_HH
+#define PCE_HW_FIXED_DATAPATH_HH
+
+#include <cstdint>
+
+#include "core/quadric.hh"
+#include "perception/discrimination.hh"
+
+namespace pce {
+
+/** Datapath width configuration. */
+struct FixedDatapathConfig
+{
+    /** Fractional bits of the Q-format (total width = 64 minus guard). */
+    int fracBits = 24;
+};
+
+/**
+ * A Q-format fixed-point value on int64 with round-to-nearest
+ * multiplication (the 128-bit intermediate models a full-width
+ * multiplier followed by a truncating shifter, as synthesized MACs do).
+ */
+class Fixed
+{
+  public:
+    Fixed() = default;
+
+    /** Quantize a double at the given fractional width. */
+    static Fixed fromDouble(double v, int frac_bits);
+
+    /** Wrap a raw integer payload (barrel-shifter outputs). */
+    static Fixed fromRaw(int64_t raw, int frac_bits)
+    { return Fixed(raw, frac_bits); }
+
+    /** Raw integer payload (scaled by 2^fracBits). */
+    int64_t raw() const { return raw_; }
+    int fracBits() const { return fracBits_; }
+
+    double toDouble() const;
+
+    Fixed operator+(const Fixed &o) const;
+    Fixed operator-(const Fixed &o) const;
+    Fixed operator*(const Fixed &o) const;
+
+    /** Integer-Newton square root; input must be non-negative. */
+    Fixed sqrt() const;
+
+    /** Reciprocal via long division; input must be non-zero. */
+    Fixed reciprocal() const;
+
+  private:
+    Fixed(int64_t raw, int frac_bits) : raw_(raw), fracBits_(frac_bits)
+    {}
+
+    int64_t raw_ = 0;
+    int fracBits_ = 0;
+};
+
+/**
+ * Eq. 11-13 extrema computed on the fixed-point datapath.
+ *
+ * @param e      Discrimination ellipsoid (DKL center + semi-axes).
+ * @param axis   0 = Red, 1 = Green, 2 = Blue.
+ * @param config Datapath width.
+ */
+ExtremaPair extremaAlongAxisFixed(const Ellipsoid &e, int axis,
+                                  const FixedDatapathConfig &config);
+
+/** Accuracy of the fixed datapath against the double reference. */
+struct FixedDatapathError
+{
+    double maxAbsError = 0.0;  ///< worst per-component extrema error
+    double rmsError = 0.0;
+    /**
+     * Worst ellipsoid-membership value of the fixed extrema: 1 means
+     * exactly on the surface; above 1 + epsilon means the quantized
+     * datapath stepped outside the perceptual constraint.
+     */
+    double maxMembership = 0.0;
+};
+
+/**
+ * Compare the fixed and double datapaths over random colors and
+ * eccentricities drawn from @p model (deterministic seed).
+ */
+FixedDatapathError compareFixedDatapath(const DiscriminationModel &model,
+                                        int samples,
+                                        const FixedDatapathConfig &config);
+
+} // namespace pce
+
+#endif // PCE_HW_FIXED_DATAPATH_HH

@@ -1,0 +1,71 @@
+#include "image/ppm.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pce {
+
+void
+writePpm(const std::string &path, const ImageU8 &img)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("writePpm: cannot open " + path);
+    f << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+    f.write(reinterpret_cast<const char *>(img.data().data()),
+            static_cast<std::streamsize>(img.data().size()));
+    if (!f)
+        throw std::runtime_error("writePpm: write failed for " + path);
+}
+
+namespace {
+
+/** Read the next whitespace/comment-delimited token of a PNM header. */
+std::string
+nextToken(std::istream &in)
+{
+    std::string tok;
+    int c;
+    while ((c = in.get()) != EOF) {
+        if (c == '#') {
+            // Comment runs to end of line.
+            while ((c = in.get()) != EOF && c != '\n') {}
+            continue;
+        }
+        if (std::isspace(c)) {
+            if (!tok.empty())
+                return tok;
+            continue;
+        }
+        tok.push_back(static_cast<char>(c));
+    }
+    return tok;
+}
+
+} // namespace
+
+ImageU8
+readPpm(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("readPpm: cannot open " + path);
+
+    if (nextToken(f) != "P6")
+        throw std::runtime_error("readPpm: not a binary PPM: " + path);
+    const int w = std::stoi(nextToken(f));
+    const int h = std::stoi(nextToken(f));
+    const int maxval = std::stoi(nextToken(f));
+    if (w <= 0 || h <= 0 || maxval != 255)
+        throw std::runtime_error("readPpm: unsupported header in " + path);
+
+    ImageU8 img(w, h);
+    f.read(reinterpret_cast<char *>(img.data().data()),
+           static_cast<std::streamsize>(img.data().size()));
+    if (f.gcount() != static_cast<std::streamsize>(img.data().size()))
+        throw std::runtime_error("readPpm: truncated pixel data in " + path);
+    return img;
+}
+
+} // namespace pce

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Binary PPM (P6) image I/O.
+ *
+ * PPM is used by the examples to dump frames for visual inspection
+ * (original vs. color-adjusted, mirroring the paper's Fig. 9) without any
+ * external dependency. The PNG module (src/png) is a *compression
+ * baseline*, not our interchange format.
+ */
+
+#ifndef PCE_IMAGE_PPM_HH
+#define PCE_IMAGE_PPM_HH
+
+#include <string>
+
+#include "image/image.hh"
+
+namespace pce {
+
+/** Write an 8-bit sRGB image as binary PPM. Throws on I/O failure. */
+void writePpm(const std::string &path, const ImageU8 &img);
+
+/** Read a binary PPM (P6, maxval 255). Throws on parse/I/O failure. */
+ImageU8 readPpm(const std::string &path);
+
+} // namespace pce
+
+#endif // PCE_IMAGE_PPM_HH

@@ -1,0 +1,79 @@
+#include "metrics/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pce {
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Column widths over header + rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+double
+bitsPerPixel(std::size_t total_bits, std::size_t pixels)
+{
+    return pixels == 0 ? 0.0
+                       : static_cast<double>(total_bits) /
+                             static_cast<double>(pixels);
+}
+
+double
+bitsPerPixelFromBytes(std::size_t bytes, std::size_t pixels)
+{
+    return bitsPerPixel(bytes * 8, pixels);
+}
+
+double
+reductionVsRawPercent(double bpp)
+{
+    return 100.0 * (1.0 - bpp / 24.0);
+}
+
+double
+reductionVsBaselinePercent(double ours_bpp, double base_bpp)
+{
+    return base_bpp == 0.0 ? 0.0
+                           : 100.0 * (1.0 - ours_bpp / base_bpp);
+}
+
+} // namespace pce

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reporting helpers shared by the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures as
+ * plain text: a titled, column-aligned table that can be diffed across
+ * runs and pasted into EXPERIMENTS.md. This module also carries the
+ * codec-comparison arithmetic (bits/pixel, reduction percentages) so all
+ * benches report numbers the same way.
+ */
+
+#ifndef PCE_METRICS_REPORT_HH
+#define PCE_METRICS_REPORT_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pce {
+
+/** A column-aligned text table with a title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header)
+    { header_ = std::move(header); }
+
+    /** Append one row of cells. */
+    void addRow(std::vector<std::string> row)
+    { rows_.push_back(std::move(row)); }
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Compressed size expressed as bits per pixel. */
+double bitsPerPixel(std::size_t total_bits, std::size_t pixels);
+
+/** Bytes-based bits-per-pixel (streams measured in bytes). */
+double bitsPerPixelFromBytes(std::size_t bytes, std::size_t pixels);
+
+/** Bandwidth reduction of @p bpp versus a raw 24 bpp frame, percent. */
+double reductionVsRawPercent(double bpp);
+
+/** Bandwidth reduction of @p ours_bpp versus @p base_bpp, percent. */
+double reductionVsBaselinePercent(double ours_bpp, double base_bpp);
+
+} // namespace pce
+
+#endif // PCE_METRICS_REPORT_HH

@@ -1,0 +1,49 @@
+#include "metrics/temporal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pce {
+
+TemporalFlickerStats
+temporalFlicker(const ImageF &original_t, const ImageF &original_t1,
+                const ImageF &adjusted_t, const ImageF &adjusted_t1,
+                double threshold)
+{
+    const int w = original_t.width();
+    const int h = original_t.height();
+    for (const ImageF *img : {&original_t1, &adjusted_t, &adjusted_t1}) {
+        if (img->width() != w || img->height() != h)
+            throw std::invalid_argument("temporalFlicker: size mismatch");
+    }
+
+    TemporalFlickerStats stats;
+    if (w == 0 || h == 0)
+        return stats;
+
+    double sum = 0.0;
+    std::size_t above = 0;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const Vec3 content_motion =
+                original_t1.at(x, y) - original_t.at(x, y);
+            const Vec3 adjusted_motion =
+                adjusted_t1.at(x, y) - adjusted_t.at(x, y);
+            const Vec3 induced = adjusted_motion - content_motion;
+            const double l1 = std::abs(induced.x) +
+                              std::abs(induced.y) +
+                              std::abs(induced.z);
+            sum += l1;
+            stats.maxFlicker = std::max(stats.maxFlicker, l1);
+            if (l1 > threshold)
+                ++above;
+        }
+    }
+    const auto n = static_cast<double>(original_t.pixelCount());
+    stats.meanFlicker = sum / n;
+    stats.fractionAbove = static_cast<double>(above) / n;
+    return stats;
+}
+
+} // namespace pce

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Temporal stability metric for per-frame perceptual adjustment.
+ *
+ * The paper's encoder adjusts every frame independently; two nearly
+ * identical consecutive frames can be nudged to different points inside
+ * their (identical) ellipsoids if tile statistics shift, which shows up
+ * as temporal flicker even when every single frame is within threshold.
+ * Some study participants indeed "noticed artifacts only during rapid
+ * eye/head movement" (Sec. 6.3).
+ *
+ * The metric isolates adjustment-induced temporal energy: the per-pixel
+ * frame-to-frame change of the *adjusted* sequence minus the change
+ * already present in the *original* sequence,
+ *
+ *   flicker = mean_p | (A_{t+1}(p) - A_t(p)) - (O_{t+1}(p) - O_t(p)) |
+ *
+ * in linear RGB. Zero means the adjustment is temporally coherent; the
+ * original content's own motion does not count against it.
+ */
+
+#ifndef PCE_METRICS_TEMPORAL_HH
+#define PCE_METRICS_TEMPORAL_HH
+
+#include "image/image.hh"
+
+namespace pce {
+
+/** Temporal statistics for one consecutive frame pair. */
+struct TemporalFlickerStats
+{
+    /** Mean adjustment-induced temporal delta (L1 over channels). */
+    double meanFlicker = 0.0;
+    /** Worst single-pixel adjustment-induced temporal delta. */
+    double maxFlicker = 0.0;
+    /** Fraction of pixels with flicker above the given threshold. */
+    double fractionAbove = 0.0;
+};
+
+/**
+ * Adjustment-induced flicker between two consecutive frames.
+ *
+ * @param original_t   Original frame at time t.
+ * @param original_t1  Original frame at time t+1 (same size).
+ * @param adjusted_t   Adjusted frame at time t.
+ * @param adjusted_t1  Adjusted frame at time t+1.
+ * @param threshold    Linear-RGB L1 threshold for fractionAbove.
+ */
+TemporalFlickerStats temporalFlicker(const ImageF &original_t,
+                                     const ImageF &original_t1,
+                                     const ImageF &adjusted_t,
+                                     const ImageF &adjusted_t1,
+                                     double threshold = 0.02);
+
+} // namespace pce
+
+#endif // PCE_METRICS_TEMPORAL_HH

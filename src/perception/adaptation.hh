@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dark adaptation extension (paper Sec. 7, related work / future
+ * direction): "Dark adaptation will likely weaken the color
+ * discrimination even more, potentially further improving the
+ * compression rate".
+ *
+ * In a dim viewing environment the visual system adapts away from
+ * photopic vision and chromatic discrimination degrades, so the
+ * discrimination ellipsoids grow beyond the photopic model. This
+ * wrapper applies a luminance-adaptation boost to any inner model:
+ *
+ *   boost = min(maxBoost, 1 + gain * log10(referenceLuminance / L_a))
+ *
+ * for ambient luminance L_a below the photopic reference (no boost at
+ * or above it). The logarithmic form follows the classic adaptation
+ * literature (threshold-versus-intensity curves are near-linear in
+ * log-log coordinates over the mesopic range).
+ */
+
+#ifndef PCE_PERCEPTION_ADAPTATION_HH
+#define PCE_PERCEPTION_ADAPTATION_HH
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perception/discrimination.hh"
+
+namespace pce {
+
+/** Adaptation-boost constants. */
+struct DarkAdaptationParams
+{
+    /** Photopic reference ambient, cd/m^2 (typical indoor display). */
+    double referenceLuminanceCdM2 = 100.0;
+    /** Boost per decade of ambient dimming. */
+    double gainPerDecade = 0.35;
+    /** Saturation of the boost (scotopic floor). */
+    double maxBoost = 2.5;
+};
+
+/** A DiscriminationModel wrapper with dark-adaptation boost. */
+class DarkAdaptationModel : public DiscriminationModel
+{
+  public:
+    /**
+     * @param inner   Photopic discrimination model (must outlive this).
+     * @param ambient_cdm2 Current ambient/display luminance, cd/m^2.
+     * @param params  Boost constants.
+     */
+    DarkAdaptationModel(const DiscriminationModel &inner,
+                        double ambient_cdm2,
+                        const DarkAdaptationParams &params = {})
+        : inner_(inner), params_(params)
+    {
+        if (ambient_cdm2 <= 0.0)
+            throw std::invalid_argument(
+                "DarkAdaptationModel: ambient must be positive");
+        const double decades =
+            std::log10(params_.referenceLuminanceCdM2 / ambient_cdm2);
+        boost_ = std::clamp(1.0 + params_.gainPerDecade *
+                                      std::max(0.0, decades),
+                            1.0, params_.maxBoost);
+    }
+
+    /** The adaptation boost applied to the inner model's semi-axes. */
+    double boost() const { return boost_; }
+
+    Vec3
+    semiAxes(const Vec3 &rgb_linear, double ecc_deg) const override
+    {
+        return inner_.semiAxes(rgb_linear, ecc_deg) * boost_;
+    }
+
+  private:
+    const DiscriminationModel &inner_;
+    DarkAdaptationParams params_;
+    double boost_ = 1.0;
+};
+
+} // namespace pce
+
+#endif // PCE_PERCEPTION_ADAPTATION_HH

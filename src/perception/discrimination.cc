@@ -1,0 +1,69 @@
+#include "perception/discrimination.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "color/dkl.hh"
+
+namespace pce {
+
+double
+Ellipsoid::membership(const Vec3 &dkl) const
+{
+    const Vec3 d = dkl - centerDkl;
+    const Vec3 n = d.cwiseDiv(semiAxes);
+    return n.squaredNorm();
+}
+
+Ellipsoid
+DiscriminationModel::ellipsoidFor(const Vec3 &rgb_linear,
+                                  double ecc_deg) const
+{
+    Ellipsoid e;
+    e.centerDkl = rgbToDkl(rgb_linear);
+    e.semiAxes = semiAxes(rgb_linear, ecc_deg);
+    return e;
+}
+
+AnalyticDiscriminationModel::AnalyticDiscriminationModel(
+    const AnalyticModelParams &params)
+    : params_(params)
+{
+    if (params_.base.minCoeff() <= 0.0)
+        throw std::invalid_argument(
+            "AnalyticDiscriminationModel: base semi-axes must be positive");
+}
+
+Vec3
+AnalyticDiscriminationModel::semiAxes(const Vec3 &rgb_linear,
+                                      double ecc_deg) const
+{
+    const Vec3 rgb = rgb_linear.clamped(0.0, 1.0);
+    const Vec3 dkl = rgbToDkl(rgb);
+
+    // Extent of each DKL axis over the RGB unit cube; the Weber term is
+    // expressed relative to these so its strength is axis-uniform.
+    // K1 = 0.14R + 0.17G           in [0, 0.31]
+    // K2 = -0.21R - 0.71G - 0.07B  in [-0.99, 0]
+    // K3 = 0.21R + 0.72G + 0.07B   in [0, 1.00]
+    static const Vec3 kAxisRange{0.31, 0.99, 1.00};
+
+    const double ecc = std::max(0.0, ecc_deg);
+    const double ecc_scale = 1.0 + params_.eccGain * ecc;
+
+    const double lum =
+        0.2126 * rgb.x + 0.7152 * rgb.y + 0.0722 * rgb.z;
+    const double lum_scale = params_.lumBias + params_.lumGain * lum;
+
+    Vec3 axes;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const double chroma = std::abs(dkl[i]) / kAxisRange[i];
+        const double weber = 1.0 + params_.weberGain * chroma;
+        axes[i] = params_.base[i] * weber * lum_scale * ecc_scale *
+                  params_.globalScale;
+    }
+    return axes;
+}
+
+} // namespace pce

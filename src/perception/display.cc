@@ -1,0 +1,60 @@
+#include "perception/display.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pce {
+
+double
+DisplayGeometry::focalPixels() const
+{
+    const double half_fov_rad = horizontalFovDeg * M_PI / 180.0 / 2.0;
+    return (width / 2.0) / std::tan(half_fov_rad);
+}
+
+double
+DisplayGeometry::eccentricityDeg(double x, double y) const
+{
+    const double f = focalPixels();
+    // Rays from the eye through the display plane at distance f.
+    const Vec3 gaze(fixationX - width / 2.0, fixationY - height / 2.0, f);
+    const Vec3 pix(x - width / 2.0, y - height / 2.0, f);
+    const double cosang =
+        std::clamp(gaze.dot(pix) / (gaze.norm() * pix.norm()), -1.0, 1.0);
+    return std::acos(cosang) * 180.0 / M_PI;
+}
+
+double
+DisplayGeometry::maxEccentricityDeg() const
+{
+    double m = 0.0;
+    const double xs[] = {0.0, static_cast<double>(width - 1)};
+    const double ys[] = {0.0, static_cast<double>(height - 1)};
+    for (double x : xs)
+        for (double y : ys)
+            m = std::max(m, eccentricityDeg(x, y));
+    return m;
+}
+
+EccentricityMap::EccentricityMap(const DisplayGeometry &geom)
+    : width_(geom.width), height_(geom.height),
+      ecc_(static_cast<std::size_t>(geom.width) * geom.height, 0.0)
+{
+    for (int y = 0; y < height_; ++y)
+        for (int x = 0; x < width_; ++x)
+            ecc_[static_cast<std::size_t>(y) * width_ + x] =
+                geom.eccentricityDeg(x, y);
+}
+
+double
+EccentricityMap::fractionBeyond(double deg) const
+{
+    if (ecc_.empty())
+        return 0.0;
+    const auto n = static_cast<double>(
+        std::count_if(ecc_.begin(), ecc_.end(),
+                      [deg](double e) { return e > deg; }));
+    return n / static_cast<double>(ecc_.size());
+}
+
+} // namespace pce

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * HMD display geometry: pixel position -> retinal eccentricity.
+ *
+ * VR displays have a wide field of view (~100 deg, paper Sec. 1); over
+ * 90% of pixels land in peripheral vision. This module models a planar
+ * per-eye display viewed through the headset optics as a simple pinhole
+ * projection: a pixel's eccentricity is the angle between the gaze
+ * direction (through the fixation pixel) and the ray through that pixel.
+ *
+ * Following the paper's methodology (Sec. 5.1), the encoder keeps pixels
+ * within the central foveal region unchanged; the cutoff is expressed as
+ * an eccentricity in degrees (10 deg FoV => 5 deg eccentricity radius).
+ */
+
+#ifndef PCE_PERCEPTION_DISPLAY_HH
+#define PCE_PERCEPTION_DISPLAY_HH
+
+#include <vector>
+
+#include "common/vec3.hh"
+
+namespace pce {
+
+/** Per-eye display description. */
+struct DisplayGeometry
+{
+    /** Per-eye resolution in pixels. */
+    int width = 1832;
+    int height = 1920;
+
+    /** Horizontal field of view of one eye, degrees. */
+    double horizontalFovDeg = 100.0;
+
+    /** Fixation (gaze) point in pixel coordinates. */
+    double fixationX = 1832 / 2.0;
+    double fixationY = 1920 / 2.0;
+
+    /** Focal length in pixels implied by the FoV. */
+    double focalPixels() const;
+
+    /**
+     * Eccentricity (degrees) of pixel (x, y) relative to the fixation
+     * point: the angle between the two view rays.
+     */
+    double eccentricityDeg(double x, double y) const;
+
+    /** Eccentricity of the farthest display corner, degrees. */
+    double maxEccentricityDeg() const;
+};
+
+/**
+ * A precomputed per-pixel eccentricity map for a display geometry.
+ * The encoder queries eccentricity per tile; precomputing avoids
+ * recomputing atan per pixel per frame when the fixation is static.
+ */
+class EccentricityMap
+{
+  public:
+    explicit EccentricityMap(const DisplayGeometry &geom);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    double at(int x, int y) const
+    { return ecc_[static_cast<std::size_t>(y) * width_ + x]; }
+
+    /** Fraction of pixels with eccentricity above @p deg. */
+    double fractionBeyond(double deg) const;
+
+  private:
+    int width_;
+    int height_;
+    std::vector<double> ecc_;
+};
+
+} // namespace pce
+
+#endif // PCE_PERCEPTION_DISPLAY_HH

@@ -1,0 +1,174 @@
+#include "perception/observer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "color/dkl.hh"
+
+namespace pce {
+
+namespace {
+
+/** Per-pixel luminance of a linear-RGB image. */
+std::vector<double>
+luminanceMap(const ImageF &img)
+{
+    std::vector<double> lum(img.pixelCount());
+    for (int y = 0; y < img.height(); ++y)
+        for (int x = 0; x < img.width(); ++x) {
+            const Vec3 &p = img.at(x, y);
+            lum[static_cast<std::size_t>(y) * img.width() + x] =
+                0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z;
+        }
+    return lum;
+}
+
+/**
+ * Luminance max-min over the 5x5 neighborhood (contrast masking). The
+ * support is at least the BD tile radius so that pixels whose movement
+ * was caused by an edge elsewhere in their tile still see that edge.
+ */
+double
+localRange(const std::vector<double> &lum, int w, int h, int x, int y)
+{
+    double lo = 1e300;
+    double hi = -1e300;
+    for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+            const int xx = std::clamp(x + dx, 0, w - 1);
+            const int yy = std::clamp(y + dy, 0, h - 1);
+            const double v =
+                lum[static_cast<std::size_t>(yy) * w + xx];
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    return hi - lo;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+SimulatedObserver::violationMask(const ImageF &original,
+                                 const ImageF &adjusted,
+                                 const EccentricityMap &ecc,
+                                 const DiscriminationModel &model) const
+{
+    if (original.width() != adjusted.width() ||
+        original.height() != adjusted.height())
+        throw std::invalid_argument("SimulatedObserver: size mismatch");
+
+    const int w = original.width();
+    const int h = original.height();
+    std::vector<uint8_t> mask(static_cast<std::size_t>(w) * h, 0);
+    const std::vector<double> lum = luminanceMap(original);
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const Vec3 &orig = original.at(x, y);
+            const Vec3 &adj = adjusted.at(x, y);
+            if (orig == adj)
+                continue;
+
+            const double e = ecc.at(x, y);
+            const double pixel_lum =
+                lum[static_cast<std::size_t>(y) * w + x];
+            // True thresholds fall below the population model in dark
+            // regions (Sec. 6.3 finding), scaled per observer, widened
+            // by the in-scene detection margin, and widened further
+            // where local contrast masks the error (5x5 support).
+            const double dark =
+                1.0 - params_.darkErrorGain * (1.0 - pixel_lum) *
+                          (1.0 - pixel_lum);
+            const double masking =
+                1.0 + params_.maskingGain *
+                          localRange(lum, w, h, x, y);
+            const double scale =
+                std::max(1e-3, params_.detectionMargin *
+                                   thresholdScale_ * dark * masking);
+
+            Ellipsoid personal = model.ellipsoidFor(orig, e);
+            personal.semiAxes = personal.semiAxes * scale;
+            if (!personal.contains(rgbToDkl(adj)))
+                mask[static_cast<std::size_t>(y) * w + x] = 1;
+        }
+    }
+    return mask;
+}
+
+bool
+SimulatedObserver::noticesArtifact(const ImageF &original,
+                                   const ImageF &adjusted,
+                                   const EccentricityMap &ecc,
+                                   const DiscriminationModel &model) const
+{
+    const auto mask = violationMask(original, adjusted, ecc, model);
+    const int w = original.width();
+    const int h = original.height();
+    const int win = std::max(1, params_.windowSize);
+    const double need = params_.clusterFraction;
+
+    for (int y0 = 0; y0 < h; y0 += win) {
+        for (int x0 = 0; x0 < w; x0 += win) {
+            const int x1 = std::min(x0 + win, w);
+            const int y1 = std::min(y0 + win, h);
+            int count = 0;
+            for (int y = y0; y < y1; ++y)
+                for (int x = x0; x < x1; ++x)
+                    count += mask[static_cast<std::size_t>(y) * w + x];
+            const int pixels = (x1 - x0) * (y1 - y0);
+            if (count >= need * pixels && count > 0)
+                return true;
+        }
+    }
+    return false;
+}
+
+double
+SimulatedObserver::supraThresholdFraction(
+    const ImageF &original, const ImageF &adjusted,
+    const EccentricityMap &ecc, const DiscriminationModel &model) const
+{
+    const auto mask = violationMask(original, adjusted, ecc, model);
+    if (mask.empty())
+        return 0.0;
+    const auto n = std::count(mask.begin(), mask.end(), uint8_t(1));
+    return static_cast<double>(n) / static_cast<double>(mask.size());
+}
+
+std::vector<SimulatedObserver>
+drawObserverPopulation(const ObserverPopulationParams &params)
+{
+    Rng rng(params.seed);
+    std::vector<SimulatedObserver> pop;
+    pop.reserve(params.participants);
+    for (int i = 0; i < params.participants; ++i) {
+        const double scale = rng.lognormal(0.0, params.scaleSigma);
+        pop.emplace_back(scale, params);
+    }
+    return pop;
+}
+
+UserStudyResult
+runUserStudy(const std::vector<SimulatedObserver> &population,
+             const ImageF &original, const ImageF &adjusted,
+             const EccentricityMap &ecc, const DiscriminationModel &model)
+{
+    UserStudyResult result;
+    result.participants = static_cast<int>(population.size());
+    double supra_sum = 0.0;
+    for (const auto &obs : population) {
+        if (!obs.noticesArtifact(original, adjusted, ecc, model))
+            ++result.noArtifactCount;
+        supra_sum +=
+            obs.supraThresholdFraction(original, adjusted, ecc, model);
+    }
+    result.meanSupraFraction =
+        population.empty() ? 0.0
+                           : supra_sum / static_cast<double>(
+                                             population.size());
+    return result;
+}
+
+} // namespace pce

@@ -1,0 +1,152 @@
+#include "perception/rbf.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/linsolve.hh"
+
+namespace pce {
+
+RbfDiscriminationModel::RbfDiscriminationModel(
+    const DiscriminationModel &reference, const RbfNetworkParams &params)
+    : params_(params)
+{
+    if (params_.colorGrid < 2 || params_.eccGrid < 2)
+        throw std::invalid_argument("RbfDiscriminationModel: grid too small");
+
+    // Place centers on a regular grid in normalized (r, g, b, ecc) space.
+    const int cg = params_.colorGrid;
+    const int eg = params_.eccGrid;
+    const double color_spacing = 1.0 / (cg - 1);
+    const double ecc_spacing = 1.0 / (eg - 1);
+    // A single isotropic width derived from the larger spacing keeps the
+    // design matrix well conditioned.
+    const double sigma =
+        params_.widthScale * std::max(color_spacing, ecc_spacing);
+    const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+
+    for (int r = 0; r < cg; ++r) {
+        for (int g = 0; g < cg; ++g) {
+            for (int b = 0; b < cg; ++b) {
+                for (int e = 0; e < eg; ++e) {
+                    Center c;
+                    c.pos = {r * color_spacing, g * color_spacing,
+                             b * color_spacing, e * ecc_spacing};
+                    c.invTwoSigmaSq = inv_two_sigma_sq;
+                    centers_.push_back(c);
+                }
+            }
+        }
+    }
+
+    // Training samples on a denser grid.
+    const int tg = params_.trainGrid;
+    std::vector<std::array<double, 4>> inputs;
+    std::array<std::vector<double>, 3> targets;
+    for (int r = 0; r < tg; ++r) {
+        for (int g = 0; g < tg; ++g) {
+            for (int b = 0; b < tg; ++b) {
+                for (int e = 0; e < tg; ++e) {
+                    const Vec3 rgb(r / double(tg - 1), g / double(tg - 1),
+                                   b / double(tg - 1));
+                    const double ecc =
+                        e / double(tg - 1) * params_.maxEccDeg;
+                    const Vec3 axes = reference.semiAxes(rgb, ecc);
+                    inputs.push_back(
+                        normalizeInput(rgb, ecc));
+                    for (std::size_t k = 0; k < 3; ++k)
+                        targets[k].push_back(std::log(axes[k]));
+                }
+            }
+        }
+    }
+
+    // Design matrix: one activation per center plus a constant bias.
+    const std::size_t n_samples = inputs.size();
+    const std::size_t n_feat = centers_.size() + 1;
+    DenseMatrix design(n_samples, n_feat);
+    std::vector<double> phi;
+    for (std::size_t s = 0; s < n_samples; ++s) {
+        activations(inputs[s], phi);
+        for (std::size_t j = 0; j < centers_.size(); ++j)
+            design(s, j) = phi[j];
+        design(s, n_feat - 1) = 1.0;
+    }
+
+    for (std::size_t k = 0; k < 3; ++k)
+        weights_[k] =
+            ridgeLeastSquares(design, targets[k], params_.ridgeLambda);
+}
+
+std::array<double, 4>
+RbfDiscriminationModel::normalizeInput(const Vec3 &rgb, double ecc_deg) const
+{
+    const Vec3 c = rgb.clamped(0.0, 1.0);
+    double e = ecc_deg / params_.maxEccDeg;
+    e = e < 0.0 ? 0.0 : (e > 1.0 ? 1.0 : e);
+    return {c.x, c.y, c.z, e};
+}
+
+void
+RbfDiscriminationModel::activations(const std::array<double, 4> &in,
+                                    std::vector<double> &phi) const
+{
+    phi.resize(centers_.size());
+    for (std::size_t j = 0; j < centers_.size(); ++j) {
+        const auto &c = centers_[j];
+        double d2 = 0.0;
+        for (std::size_t k = 0; k < 4; ++k) {
+            const double d = in[k] - c.pos[k];
+            d2 += d * d;
+        }
+        phi[j] = std::exp(-d2 * c.invTwoSigmaSq);
+    }
+}
+
+Vec3
+RbfDiscriminationModel::semiAxes(const Vec3 &rgb_linear,
+                                 double ecc_deg) const
+{
+    const auto in = normalizeInput(rgb_linear, ecc_deg);
+    std::vector<double> phi;
+    activations(in, phi);
+    Vec3 out;
+    for (std::size_t k = 0; k < 3; ++k) {
+        double acc = weights_[k].back();  // bias
+        for (std::size_t j = 0; j < phi.size(); ++j)
+            acc += weights_[k][j] * phi[j];
+        out[k] = std::exp(acc);
+    }
+    return out;
+}
+
+double
+RbfDiscriminationModel::relativeRmsError(
+    const DiscriminationModel &reference, int eval_grid) const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    const int tg = eval_grid;
+    for (int r = 0; r < tg; ++r) {
+        for (int g = 0; g < tg; ++g) {
+            for (int b = 0; b < tg; ++b) {
+                for (int e = 0; e < tg; ++e) {
+                    const Vec3 rgb(r / double(tg - 1), g / double(tg - 1),
+                                   b / double(tg - 1));
+                    const double ecc =
+                        e / double(tg - 1) * params_.maxEccDeg;
+                    const Vec3 want = reference.semiAxes(rgb, ecc);
+                    const Vec3 got = semiAxes(rgb, ecc);
+                    for (std::size_t k = 0; k < 3; ++k) {
+                        const double rel = (got[k] - want[k]) / want[k];
+                        sum += rel * rel;
+                        ++n;
+                    }
+                }
+            }
+        }
+    }
+    return std::sqrt(sum / static_cast<double>(n));
+}
+
+} // namespace pce

@@ -1,0 +1,66 @@
+#include "png/checksum.hh"
+
+#include <array>
+
+namespace pce {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t n = 0; n < 256; ++n) {
+        uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const auto table = makeCrcTable();
+    return table;
+}
+
+constexpr uint32_t kAdlerMod = 65521;
+
+} // namespace
+
+void
+Crc32::update(const uint8_t *data, std::size_t n)
+{
+    const auto &table = crcTable();
+    for (std::size_t i = 0; i < n; ++i)
+        state_ = table[(state_ ^ data[i]) & 0xffu] ^ (state_ >> 8);
+}
+
+uint32_t
+crc32(const uint8_t *data, std::size_t n)
+{
+    Crc32 c;
+    c.update(data, n);
+    return c.value();
+}
+
+void
+Adler32::update(const uint8_t *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        a_ = (a_ + data[i]) % kAdlerMod;
+        b_ = (b_ + a_) % kAdlerMod;
+    }
+}
+
+uint32_t
+adler32(const uint8_t *data, std::size_t n)
+{
+    Adler32 a;
+    a.update(data, n);
+    return a.value();
+}
+
+} // namespace pce

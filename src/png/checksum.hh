@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CRC-32 (PNG chunk checksum, ISO 3309) and Adler-32 (zlib checksum).
+ */
+
+#ifndef PCE_PNG_CHECKSUM_HH
+#define PCE_PNG_CHECKSUM_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pce {
+
+/** Incrementally updatable CRC-32 as used by PNG. */
+class Crc32
+{
+  public:
+    /** Feed @p n bytes. */
+    void update(const uint8_t *data, std::size_t n);
+
+    /** Final checksum value. */
+    uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  private:
+    uint32_t state_ = 0xffffffffu;
+};
+
+/** One-shot CRC-32 of a buffer. */
+uint32_t crc32(const uint8_t *data, std::size_t n);
+
+/** Incrementally updatable Adler-32 as used by zlib (RFC 1950). */
+class Adler32
+{
+  public:
+    void update(const uint8_t *data, std::size_t n);
+    uint32_t value() const { return (b_ << 16) | a_; }
+
+  private:
+    uint32_t a_ = 1;
+    uint32_t b_ = 0;
+};
+
+/** One-shot Adler-32 of a buffer. */
+uint32_t adler32(const uint8_t *data, std::size_t n);
+
+} // namespace pce
+
+#endif // PCE_PNG_CHECKSUM_HH

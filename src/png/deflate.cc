@@ -1,0 +1,296 @@
+#include "png/deflate.hh"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "common/bitstream.hh"
+#include "png/checksum.hh"
+#include "png/huffman.hh"
+
+namespace pce {
+
+namespace {
+
+// RFC 1951 Sec. 3.2.5: length codes 257..285.
+struct LengthTableRow
+{
+    uint16_t base;
+    uint8_t extra;
+};
+
+constexpr std::array<LengthTableRow, 29> kLengthTable{{
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},
+    {9, 0},   {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1},
+    {19, 2},  {23, 2},  {27, 2},  {31, 2},  {35, 3},  {43, 3},
+    {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}};
+
+// Distance codes 0..29.
+constexpr std::array<LengthTableRow, 30> kDistTable{{
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},     {5, 1},
+    {7, 1},     {9, 2},     {13, 2},    {17, 3},    {25, 3},
+    {33, 4},    {49, 4},    {65, 5},    {97, 5},    {129, 6},
+    {193, 6},   {257, 7},   {385, 7},   {513, 8},   {769, 8},
+    {1025, 9},  {1537, 9},  {2049, 10}, {3073, 10}, {4097, 11},
+    {6145, 11}, {8193, 12}, {12289, 12},{16385, 13},{24577, 13},
+}};
+
+// Order in which code-length-code lengths are transmitted (3.2.7).
+constexpr std::array<uint8_t, 19> kClcOrder{
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+constexpr unsigned kEndOfBlock = 256;
+constexpr std::size_t kLitAlphabet = 286;
+constexpr std::size_t kDistAlphabet = 30;
+
+/** Code-length-code RLE symbol (RFC 1951 3.2.7). */
+struct ClcSymbol
+{
+    uint8_t symbol;  ///< 0..18
+    uint8_t extra;   ///< repeat payload for 16/17/18
+};
+
+/** Run-length encode the concatenated lit+dist code lengths. */
+std::vector<ClcSymbol>
+rleCodeLengths(const std::vector<uint8_t> &lengths)
+{
+    std::vector<ClcSymbol> out;
+    std::size_t i = 0;
+    while (i < lengths.size()) {
+        const uint8_t v = lengths[i];
+        std::size_t run = 1;
+        while (i + run < lengths.size() && lengths[i + run] == v)
+            ++run;
+
+        if (v == 0) {
+            std::size_t left = run;
+            while (left >= 11) {
+                const auto take =
+                    static_cast<uint8_t>(std::min<std::size_t>(left, 138));
+                out.push_back({18, static_cast<uint8_t>(take - 11)});
+                left -= take;
+            }
+            while (left >= 3) {
+                const auto take =
+                    static_cast<uint8_t>(std::min<std::size_t>(left, 10));
+                out.push_back({17, static_cast<uint8_t>(take - 3)});
+                left -= take;
+            }
+            for (; left > 0; --left)
+                out.push_back({0, 0});
+        } else {
+            out.push_back({v, 0});
+            std::size_t left = run - 1;
+            while (left >= 3) {
+                const auto take =
+                    static_cast<uint8_t>(std::min<std::size_t>(left, 6));
+                out.push_back({16, static_cast<uint8_t>(take - 3)});
+                left -= take;
+            }
+            for (; left > 0; --left)
+                out.push_back({v, 0});
+        }
+        i += run;
+    }
+    return out;
+}
+
+void
+emitCode(LsbBitWriter &bw, uint32_t code, uint8_t length)
+{
+    // Huffman codes are emitted MSB-first inside the LSB-first stream.
+    bw.putBits(reverseBits(code, length), length);
+}
+
+/** Emit one dynamic-Huffman DEFLATE block for a token slice. */
+void
+emitDynamicBlock(LsbBitWriter &bw, const std::vector<Lz77Token> &tokens,
+                 std::size_t begin, std::size_t end, bool final_block)
+{
+    // Symbol frequencies for this block.
+    std::vector<uint64_t> lit_freq(kLitAlphabet, 0);
+    std::vector<uint64_t> dist_freq(kDistAlphabet, 0);
+    for (std::size_t i = begin; i < end; ++i) {
+        const auto &t = tokens[i];
+        if (t.isMatch) {
+            lit_freq[lengthCodeFor(t.length).code] += 1;
+            dist_freq[distanceCodeFor(t.distance).code] += 1;
+        } else {
+            lit_freq[t.literal] += 1;
+        }
+    }
+    lit_freq[kEndOfBlock] += 1;
+
+    auto lit_lengths = packageMergeLengths(lit_freq, 15);
+    auto dist_lengths = packageMergeLengths(dist_freq, 15);
+
+    // HLIT/HDIST must cover at least 257/1 codes; a block with no
+    // matches still transmits one distance code (length may be 0, but
+    // at least one entry must exist). Give the all-zero case a dummy
+    // 1-bit code for symbol 0, which decoders accept.
+    if (std::all_of(dist_lengths.begin(), dist_lengths.end(),
+                    [](uint8_t l) { return l == 0; }))
+        dist_lengths[0] = 1;
+
+    // Trim trailing zero lengths.
+    std::size_t hlit = kLitAlphabet;
+    while (hlit > 257 && lit_lengths[hlit - 1] == 0)
+        --hlit;
+    std::size_t hdist = kDistAlphabet;
+    while (hdist > 1 && dist_lengths[hdist - 1] == 0)
+        --hdist;
+
+    // Code-length code over the RLE'd lengths.
+    std::vector<uint8_t> all_lengths(lit_lengths.begin(),
+                                     lit_lengths.begin() + hlit);
+    all_lengths.insert(all_lengths.end(), dist_lengths.begin(),
+                       dist_lengths.begin() + hdist);
+    const auto clc_syms = rleCodeLengths(all_lengths);
+
+    std::vector<uint64_t> clc_freq(19, 0);
+    for (const auto &s : clc_syms)
+        clc_freq[s.symbol] += 1;
+    auto clc_lengths = packageMergeLengths(clc_freq, 7);
+
+    std::size_t hclen = 19;
+    while (hclen > 4 && clc_lengths[kClcOrder[hclen - 1]] == 0)
+        --hclen;
+
+    // Block header.
+    bw.putBits(final_block ? 1 : 0, 1);
+    bw.putBits(2, 2);  // dynamic Huffman
+    bw.putBits(static_cast<uint32_t>(hlit - 257), 5);
+    bw.putBits(static_cast<uint32_t>(hdist - 1), 5);
+    bw.putBits(static_cast<uint32_t>(hclen - 4), 4);
+    for (std::size_t i = 0; i < hclen; ++i)
+        bw.putBits(clc_lengths[kClcOrder[i]], 3);
+
+    const auto clc_codes = canonicalCodes(clc_lengths);
+    for (const auto &s : clc_syms) {
+        emitCode(bw, clc_codes[s.symbol], clc_lengths[s.symbol]);
+        if (s.symbol == 16)
+            bw.putBits(s.extra, 2);
+        else if (s.symbol == 17)
+            bw.putBits(s.extra, 3);
+        else if (s.symbol == 18)
+            bw.putBits(s.extra, 7);
+    }
+
+    // Token payload.
+    const auto lit_codes = canonicalCodes(lit_lengths);
+    const auto dist_codes = canonicalCodes(dist_lengths);
+    for (std::size_t i = begin; i < end; ++i) {
+        const auto &t = tokens[i];
+        if (!t.isMatch) {
+            emitCode(bw, lit_codes[t.literal], lit_lengths[t.literal]);
+            continue;
+        }
+        const LengthCode lc = lengthCodeFor(t.length);
+        emitCode(bw, lit_codes[lc.code], lit_lengths[lc.code]);
+        if (lc.extraBits)
+            bw.putBits(t.length - lc.base, lc.extraBits);
+        const LengthCode dc = distanceCodeFor(t.distance);
+        emitCode(bw, dist_codes[dc.code], dist_lengths[dc.code]);
+        if (dc.extraBits)
+            bw.putBits(t.distance - dc.base, dc.extraBits);
+    }
+    emitCode(bw, lit_codes[kEndOfBlock], lit_lengths[kEndOfBlock]);
+}
+
+/** Emit a stored (uncompressed) block. */
+void
+emitStoredBlock(LsbBitWriter &bw, const uint8_t *data, std::size_t n,
+                bool final_block)
+{
+    bw.putBits(final_block ? 1 : 0, 1);
+    bw.putBits(0, 2);  // stored
+    bw.alignToByte();
+    bw.putAlignedByte(static_cast<uint8_t>(n & 0xff));
+    bw.putAlignedByte(static_cast<uint8_t>((n >> 8) & 0xff));
+    bw.putAlignedByte(static_cast<uint8_t>(~n & 0xff));
+    bw.putAlignedByte(static_cast<uint8_t>((~n >> 8) & 0xff));
+    for (std::size_t i = 0; i < n; ++i)
+        bw.putAlignedByte(data[i]);
+}
+
+} // namespace
+
+LengthCode
+lengthCodeFor(unsigned length)
+{
+    if (length < 3 || length > 258)
+        throw std::invalid_argument("lengthCodeFor: out of range");
+    for (std::size_t i = kLengthTable.size(); i-- > 0;) {
+        if (length >= kLengthTable[i].base)
+            return {static_cast<uint16_t>(257 + i), kLengthTable[i].extra,
+                    kLengthTable[i].base};
+    }
+    throw std::logic_error("lengthCodeFor: unreachable");
+}
+
+LengthCode
+distanceCodeFor(unsigned distance)
+{
+    if (distance < 1 || distance > 32768)
+        throw std::invalid_argument("distanceCodeFor: out of range");
+    for (std::size_t i = kDistTable.size(); i-- > 0;) {
+        if (distance >= kDistTable[i].base)
+            return {static_cast<uint16_t>(i), kDistTable[i].extra,
+                    kDistTable[i].base};
+    }
+    throw std::logic_error("distanceCodeFor: unreachable");
+}
+
+std::vector<uint8_t>
+deflateCompress(const uint8_t *data, std::size_t n,
+                const DeflateParams &params)
+{
+    LsbBitWriter bw;
+    if (n == 0) {
+        // A single empty stored block.
+        emitStoredBlock(bw, data, 0, true);
+        bw.alignToByte();
+        return bw.take();
+    }
+
+    const auto tokens = lz77Tokenize(data, n, params.lz77);
+    const std::size_t per_block = params.maxTokensPerBlock;
+    for (std::size_t begin = 0; begin < tokens.size();
+         begin += per_block) {
+        const std::size_t end =
+            std::min(tokens.size(), begin + per_block);
+        const bool final_block = end == tokens.size();
+        emitDynamicBlock(bw, tokens, begin, end, final_block);
+    }
+    bw.alignToByte();
+    return bw.take();
+}
+
+std::vector<uint8_t>
+zlibCompress(const uint8_t *data, std::size_t n,
+             const DeflateParams &params)
+{
+    std::vector<uint8_t> out;
+    // CMF: deflate with 32K window; FLG chosen so (CMF*256+FLG) % 31 == 0.
+    const uint8_t cmf = 0x78;
+    uint8_t flg = 0x00;
+    const unsigned rem = (cmf * 256u + flg) % 31u;
+    if (rem != 0)
+        flg = static_cast<uint8_t>(31 - rem);
+    out.push_back(cmf);
+    out.push_back(flg);
+
+    const auto body = deflateCompress(data, n, params);
+    out.insert(out.end(), body.begin(), body.end());
+
+    const uint32_t a = adler32(data, n);
+    out.push_back(static_cast<uint8_t>((a >> 24) & 0xff));
+    out.push_back(static_cast<uint8_t>((a >> 16) & 0xff));
+    out.push_back(static_cast<uint8_t>((a >> 8) & 0xff));
+    out.push_back(static_cast<uint8_t>(a & 0xff));
+    return out;
+}
+
+} // namespace pce

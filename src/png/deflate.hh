@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DEFLATE compressor and zlib container (RFC 1951 / RFC 1950).
+ *
+ * The PNG baseline of the paper (Sec. 5.3) needs a real general-purpose
+ * compressor; this module provides one with dynamic-Huffman blocks built
+ * on the LZ77 tokenizer and package-merge Huffman codes. Stored blocks
+ * are used when they are cheaper (e.g., incompressible data).
+ */
+
+#ifndef PCE_PNG_DEFLATE_HH
+#define PCE_PNG_DEFLATE_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "png/lz77.hh"
+
+namespace pce {
+
+/** Compressor configuration. */
+struct DeflateParams
+{
+    Lz77Params lz77;
+    /** Max LZ77 tokens per DEFLATE block before starting a new one. */
+    std::size_t maxTokensPerBlock = 1 << 16;
+};
+
+/** Compress @p data into a raw DEFLATE stream. */
+std::vector<uint8_t> deflateCompress(const uint8_t *data, std::size_t n,
+                                     const DeflateParams &params = {});
+
+inline std::vector<uint8_t>
+deflateCompress(const std::vector<uint8_t> &data,
+                const DeflateParams &params = {})
+{
+    return deflateCompress(data.data(), data.size(), params);
+}
+
+/** Wrap a raw DEFLATE stream in a zlib container (RFC 1950). */
+std::vector<uint8_t> zlibCompress(const uint8_t *data, std::size_t n,
+                                  const DeflateParams &params = {});
+
+inline std::vector<uint8_t>
+zlibCompress(const std::vector<uint8_t> &data,
+             const DeflateParams &params = {})
+{
+    return zlibCompress(data.data(), data.size(), params);
+}
+
+/**
+ * DEFLATE length-code table entry: code index, extra bits, base value
+ * (RFC 1951 Sec. 3.2.5). Exposed for the decoder and tests.
+ */
+struct LengthCode
+{
+    uint16_t code;
+    uint8_t extraBits;
+    uint16_t base;
+};
+
+/** Map a match length (3..258) to its length code. */
+LengthCode lengthCodeFor(unsigned length);
+
+/** Map a match distance (1..32768) to its distance code. */
+LengthCode distanceCodeFor(unsigned distance);
+
+} // namespace pce
+
+#endif // PCE_PNG_DEFLATE_HH

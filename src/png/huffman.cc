@@ -1,0 +1,169 @@
+#include "png/huffman.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pce {
+
+std::vector<uint8_t>
+packageMergeLengths(const std::vector<uint64_t> &freqs, unsigned max_length)
+{
+    const std::size_t n = freqs.size();
+    std::vector<uint8_t> lengths(n, 0);
+
+    // Active symbols, sorted by frequency.
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i)
+        if (freqs[i] > 0)
+            active.push_back(i);
+
+    if (active.empty())
+        return lengths;
+    if (active.size() == 1) {
+        lengths[active[0]] = 1;
+        return lengths;
+    }
+    if ((std::size_t(1) << max_length) < active.size())
+        throw std::invalid_argument(
+            "packageMergeLengths: alphabet too large for max_length");
+
+    std::sort(active.begin(), active.end(),
+              [&freqs](std::size_t a, std::size_t b) {
+                  return freqs[a] < freqs[b];
+              });
+
+    // Package-merge: an item is either an original symbol or a package
+    // of two items from the previous level. We track, per item, how many
+    // times each symbol appears so final lengths are symbol use counts.
+    struct Item
+    {
+        uint64_t weight;
+        std::vector<uint32_t> counts;  // per active-symbol appearance count
+    };
+
+    const std::size_t m = active.size();
+    auto make_leaf_list = [&]() {
+        std::vector<Item> leaves(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            leaves[i].weight = freqs[active[i]];
+            leaves[i].counts.assign(m, 0);
+            leaves[i].counts[i] = 1;
+        }
+        return leaves;
+    };
+
+    std::vector<Item> prev;
+    for (unsigned level = 0; level < max_length; ++level) {
+        // Merge leaves with packages from the previous level.
+        std::vector<Item> merged = make_leaf_list();
+        // Package pairs from prev.
+        for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+            Item pkg;
+            pkg.weight = prev[i].weight + prev[i + 1].weight;
+            pkg.counts.assign(m, 0);
+            for (std::size_t s = 0; s < m; ++s)
+                pkg.counts[s] =
+                    prev[i].counts[s] + prev[i + 1].counts[s];
+            merged.push_back(std::move(pkg));
+        }
+        std::stable_sort(merged.begin(), merged.end(),
+                         [](const Item &a, const Item &b) {
+                             return a.weight < b.weight;
+                         });
+        prev = std::move(merged);
+    }
+
+    // Take the first 2m - 2 items; each symbol's appearance count is its
+    // code length.
+    const std::size_t take = 2 * m - 2;
+    std::vector<uint32_t> symbol_lengths(m, 0);
+    for (std::size_t i = 0; i < take && i < prev.size(); ++i)
+        for (std::size_t s = 0; s < m; ++s)
+            symbol_lengths[s] += prev[i].counts[s];
+
+    for (std::size_t i = 0; i < m; ++i) {
+        if (symbol_lengths[i] == 0 || symbol_lengths[i] > max_length)
+            throw std::logic_error("packageMergeLengths: internal error");
+        lengths[active[i]] = static_cast<uint8_t>(symbol_lengths[i]);
+    }
+    return lengths;
+}
+
+std::vector<uint32_t>
+canonicalCodes(const std::vector<uint8_t> &lengths)
+{
+    constexpr unsigned kMaxLen = 15;
+    std::vector<uint32_t> bl_count(kMaxLen + 1, 0);
+    for (uint8_t len : lengths)
+        if (len > 0)
+            ++bl_count[len];
+
+    std::vector<uint32_t> next_code(kMaxLen + 2, 0);
+    uint32_t code = 0;
+    for (unsigned bits = 1; bits <= kMaxLen; ++bits) {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+
+    std::vector<uint32_t> codes(lengths.size(), 0);
+    for (std::size_t i = 0; i < lengths.size(); ++i)
+        if (lengths[i] > 0)
+            codes[i] = next_code[lengths[i]]++;
+    return codes;
+}
+
+uint32_t
+reverseBits(uint32_t v, unsigned width)
+{
+    uint32_t r = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        r = (r << 1) | (v & 1u);
+        v >>= 1;
+    }
+    return r;
+}
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<uint8_t> &lengths)
+{
+    levels_.assign(kMaxLen + 1, Level{});
+
+    std::vector<uint32_t> bl_count(kMaxLen + 1, 0);
+    for (uint8_t len : lengths) {
+        if (len > kMaxLen)
+            throw std::invalid_argument("HuffmanDecoder: length > 15");
+        if (len > 0)
+            ++bl_count[len];
+    }
+
+    // Kraft check: the code must not be over-subscribed.
+    uint64_t kraft = 0;
+    for (unsigned len = 1; len <= kMaxLen; ++len)
+        kraft += static_cast<uint64_t>(bl_count[len])
+                 << (kMaxLen - len);
+    if (kraft > (uint64_t(1) << kMaxLen))
+        throw std::invalid_argument("HuffmanDecoder: over-subscribed code");
+
+    // First canonical code and symbol offset per length.
+    uint32_t code = 0;
+    uint32_t symbol_offset = 0;
+    for (unsigned len = 1; len <= kMaxLen; ++len) {
+        code = (code + bl_count[len - 1]) << 1;
+        levels_[len].firstCode = code;
+        levels_[len].count = bl_count[len];
+        levels_[len].firstSymbol = symbol_offset;
+        symbol_offset += bl_count[len];
+    }
+
+    // Symbols in canonical order: by length, then by symbol index.
+    symbols_.resize(symbol_offset);
+    std::vector<uint32_t> fill(kMaxLen + 1, 0);
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+        const uint8_t len = lengths[i];
+        if (len == 0)
+            continue;
+        symbols_[levels_[len].firstSymbol + fill[len]++] =
+            static_cast<uint16_t>(i);
+    }
+}
+
+} // namespace pce

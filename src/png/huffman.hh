@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Canonical, length-limited Huffman codes for DEFLATE (RFC 1951).
+ *
+ * Code lengths are derived with the package-merge algorithm, which
+ * produces optimal codes under a maximum-length constraint (DEFLATE
+ * limits literal/length and distance codes to 15 bits and the code-length
+ * alphabet to 7). Codes are then assigned canonically per RFC 1951
+ * Sec. 3.2.2 so that lengths alone reproduce the code table — exactly
+ * what the dynamic-Huffman block header transmits.
+ */
+
+#ifndef PCE_PNG_HUFFMAN_HH
+#define PCE_PNG_HUFFMAN_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace pce {
+
+/**
+ * Compute optimal length-limited code lengths for symbol frequencies.
+ *
+ * Symbols with zero frequency get length 0 (absent from the code).
+ * If only one symbol has nonzero frequency it is assigned length 1,
+ * matching what DEFLATE decoders expect.
+ *
+ * @param freqs      Symbol frequencies.
+ * @param max_length Maximum allowed code length (>= 1).
+ * @return Per-symbol code lengths.
+ * @throws std::invalid_argument if the alphabet cannot be coded within
+ *         max_length bits.
+ */
+std::vector<uint8_t> packageMergeLengths(const std::vector<uint64_t> &freqs,
+                                         unsigned max_length);
+
+/**
+ * Assign canonical DEFLATE codes from code lengths (RFC 1951 3.2.2).
+ * The returned codes are in "natural" MSB-first order; DEFLATE streams
+ * emit them MSB-first within the LSB-first bit stream, which the
+ * encoder handles by reversing bits at emission time.
+ */
+std::vector<uint32_t> canonicalCodes(const std::vector<uint8_t> &lengths);
+
+/** Reverse the low @p width bits of @p v (DEFLATE emission order). */
+uint32_t reverseBits(uint32_t v, unsigned width);
+
+/**
+ * A Huffman decoding table for inflate, built from code lengths.
+ * Decoding walks bit by bit (simple and adequate for tests/benches;
+ * the hot paths in this repository are the BD and perceptual codecs).
+ */
+class HuffmanDecoder
+{
+  public:
+    /** Build from canonical code lengths. Throws on over-subscribed sets. */
+    explicit HuffmanDecoder(const std::vector<uint8_t> &lengths);
+
+    /**
+     * Decode one symbol by consuming bits from @p next_bit, a callable
+     * returning the next stream bit (0/1).
+     * @return Symbol index, or -1 on invalid code.
+     */
+    template <typename NextBit>
+    int
+    decode(NextBit &&next_bit) const
+    {
+        uint32_t code = 0;
+        unsigned len = 0;
+        while (len < kMaxLen) {
+            code = (code << 1) | (next_bit() & 1u);
+            ++len;
+            const auto &level = levels_[len];
+            if (code >= level.firstCode &&
+                code < level.firstCode + level.count)
+                return static_cast<int>(
+                    symbols_[level.firstSymbol + (code - level.firstCode)]);
+        }
+        return -1;
+    }
+
+  private:
+    static constexpr unsigned kMaxLen = 15;
+
+    struct Level
+    {
+        uint32_t firstCode = 0;
+        uint32_t count = 0;
+        uint32_t firstSymbol = 0;
+    };
+
+    std::vector<Level> levels_;
+    std::vector<uint16_t> symbols_;
+};
+
+} // namespace pce
+
+#endif // PCE_PNG_HUFFMAN_HH

@@ -1,0 +1,182 @@
+#include "png/inflate.hh"
+
+#include <array>
+#include <stdexcept>
+
+#include "common/bitstream.hh"
+#include "png/checksum.hh"
+#include "png/huffman.hh"
+
+namespace pce {
+
+namespace {
+
+constexpr std::array<uint16_t, 29> kLengthBase{
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<uint8_t, 29> kLengthExtra{
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+    2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<uint16_t, 30> kDistBase{
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<uint8_t, 30> kDistExtra{
+    0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+constexpr std::array<uint8_t, 19> kClcOrder{
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+std::vector<uint8_t>
+fixedLitLengths()
+{
+    std::vector<uint8_t> lengths(288);
+    for (int i = 0; i <= 143; ++i)
+        lengths[i] = 8;
+    for (int i = 144; i <= 255; ++i)
+        lengths[i] = 9;
+    for (int i = 256; i <= 279; ++i)
+        lengths[i] = 7;
+    for (int i = 280; i <= 287; ++i)
+        lengths[i] = 8;
+    return lengths;
+}
+
+void
+inflateBlockPayload(LsbBitReader &br, const HuffmanDecoder &lit,
+                    const HuffmanDecoder &dist, std::vector<uint8_t> &out)
+{
+    auto next_bit = [&br]() { return br.getBit(); };
+    for (;;) {
+        const int sym = lit.decode(next_bit);
+        if (sym < 0 || br.exhausted())
+            throw std::runtime_error("inflate: bad literal/length code");
+        if (sym < 256) {
+            out.push_back(static_cast<uint8_t>(sym));
+            continue;
+        }
+        if (sym == 256)
+            return;  // end of block
+        const unsigned li = static_cast<unsigned>(sym) - 257;
+        if (li >= kLengthBase.size())
+            throw std::runtime_error("inflate: invalid length symbol");
+        const unsigned length =
+            kLengthBase[li] + br.getBits(kLengthExtra[li]);
+
+        const int dsym = dist.decode(next_bit);
+        if (dsym < 0 || static_cast<unsigned>(dsym) >= kDistBase.size())
+            throw std::runtime_error("inflate: invalid distance symbol");
+        const unsigned distance =
+            kDistBase[dsym] + br.getBits(kDistExtra[dsym]);
+        if (distance == 0 || distance > out.size())
+            throw std::runtime_error("inflate: distance out of range");
+        for (unsigned i = 0; i < length; ++i)
+            out.push_back(out[out.size() - distance]);
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+inflateDecompress(const uint8_t *data, std::size_t n)
+{
+    LsbBitReader br(data, n);
+    std::vector<uint8_t> out;
+
+    bool final_block = false;
+    while (!final_block) {
+        final_block = br.getBit() != 0;
+        const uint32_t btype = br.getBits(2);
+        if (br.exhausted())
+            throw std::runtime_error("inflate: truncated header");
+
+        if (btype == 0) {
+            br.alignToByte();
+            const uint32_t len = br.getBits(8) | (br.getBits(8) << 8);
+            const uint32_t nlen = br.getBits(8) | (br.getBits(8) << 8);
+            if ((len ^ nlen) != 0xffffu)
+                throw std::runtime_error("inflate: stored LEN mismatch");
+            for (uint32_t i = 0; i < len; ++i)
+                out.push_back(static_cast<uint8_t>(br.getBits(8)));
+            if (br.exhausted())
+                throw std::runtime_error("inflate: truncated stored block");
+        } else if (btype == 1) {
+            static const HuffmanDecoder lit(fixedLitLengths());
+            static const HuffmanDecoder dist(
+                std::vector<uint8_t>(30, 5));
+            inflateBlockPayload(br, lit, dist, out);
+        } else if (btype == 2) {
+            const unsigned hlit = br.getBits(5) + 257;
+            const unsigned hdist = br.getBits(5) + 1;
+            const unsigned hclen = br.getBits(4) + 4;
+            std::vector<uint8_t> clc_lengths(19, 0);
+            for (unsigned i = 0; i < hclen; ++i)
+                clc_lengths[kClcOrder[i]] =
+                    static_cast<uint8_t>(br.getBits(3));
+            const HuffmanDecoder clc(clc_lengths);
+
+            std::vector<uint8_t> lengths;
+            lengths.reserve(hlit + hdist);
+            auto next_bit = [&br]() { return br.getBit(); };
+            while (lengths.size() < hlit + hdist) {
+                const int sym = clc.decode(next_bit);
+                if (sym < 0 || br.exhausted())
+                    throw std::runtime_error("inflate: bad CLC code");
+                if (sym < 16) {
+                    lengths.push_back(static_cast<uint8_t>(sym));
+                } else if (sym == 16) {
+                    if (lengths.empty())
+                        throw std::runtime_error(
+                            "inflate: repeat with no previous length");
+                    const unsigned rep = 3 + br.getBits(2);
+                    lengths.insert(lengths.end(), rep, lengths.back());
+                } else if (sym == 17) {
+                    const unsigned rep = 3 + br.getBits(3);
+                    lengths.insert(lengths.end(), rep, 0);
+                } else {
+                    const unsigned rep = 11 + br.getBits(7);
+                    lengths.insert(lengths.end(), rep, 0);
+                }
+            }
+            if (lengths.size() != hlit + hdist)
+                throw std::runtime_error("inflate: code length overflow");
+
+            const std::vector<uint8_t> lit_lengths(
+                lengths.begin(), lengths.begin() + hlit);
+            const std::vector<uint8_t> dist_lengths(
+                lengths.begin() + hlit, lengths.end());
+            const HuffmanDecoder lit(lit_lengths);
+            const HuffmanDecoder dist(dist_lengths);
+            inflateBlockPayload(br, lit, dist, out);
+        } else {
+            throw std::runtime_error("inflate: reserved block type");
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+zlibDecompress(const uint8_t *data, std::size_t n)
+{
+    if (n < 6)
+        throw std::runtime_error("zlib: stream too short");
+    const uint8_t cmf = data[0];
+    const uint8_t flg = data[1];
+    if ((cmf & 0x0f) != 8)
+        throw std::runtime_error("zlib: not deflate");
+    if ((cmf * 256u + flg) % 31u != 0)
+        throw std::runtime_error("zlib: bad header check");
+    if (flg & 0x20)
+        throw std::runtime_error("zlib: preset dictionary unsupported");
+
+    auto out = inflateDecompress(data + 2, n - 6);
+    const uint32_t want = (uint32_t(data[n - 4]) << 24) |
+                          (uint32_t(data[n - 3]) << 16) |
+                          (uint32_t(data[n - 2]) << 8) |
+                          uint32_t(data[n - 1]);
+    if (adler32(out.data(), out.size()) != want)
+        throw std::runtime_error("zlib: adler32 mismatch");
+    return out;
+}
+
+} // namespace pce

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * DEFLATE decompressor (RFC 1951) and zlib unwrapper (RFC 1950).
+ *
+ * Supports stored, fixed-Huffman, and dynamic-Huffman blocks. Used as the
+ * round-trip oracle for the compressor in tests and by the PNG decoder.
+ */
+
+#ifndef PCE_PNG_INFLATE_HH
+#define PCE_PNG_INFLATE_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace pce {
+
+/** Decompress a raw DEFLATE stream. Throws std::runtime_error on error. */
+std::vector<uint8_t> inflateDecompress(const uint8_t *data, std::size_t n);
+
+inline std::vector<uint8_t>
+inflateDecompress(const std::vector<uint8_t> &data)
+{
+    return inflateDecompress(data.data(), data.size());
+}
+
+/** Unwrap a zlib container and verify its Adler-32 checksum. */
+std::vector<uint8_t> zlibDecompress(const uint8_t *data, std::size_t n);
+
+inline std::vector<uint8_t>
+zlibDecompress(const std::vector<uint8_t> &data)
+{
+    return zlibDecompress(data.data(), data.size());
+}
+
+} // namespace pce
+
+#endif // PCE_PNG_INFLATE_HH

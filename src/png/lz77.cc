@@ -1,0 +1,154 @@
+#include "png/lz77.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pce {
+
+namespace {
+
+constexpr std::size_t kWindowSize = 32768;
+constexpr unsigned kMinMatch = 3;
+constexpr unsigned kMaxMatch = 258;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = std::size_t(1) << kHashBits;
+
+uint32_t
+hash3(const uint8_t *p)
+{
+    const uint32_t v = p[0] | (p[1] << 8) | (p[2] << 16);
+    return (v * 0x9e3779b1u) >> (32 - kHashBits);
+}
+
+/** Longest match at @p pos against @p cand, capped to the input end. */
+unsigned
+matchLength(const uint8_t *data, std::size_t n, std::size_t pos,
+            std::size_t cand)
+{
+    const unsigned cap = static_cast<unsigned>(
+        std::min<std::size_t>(kMaxMatch, n - pos));
+    unsigned len = 0;
+    while (len < cap && data[cand + len] == data[pos + len])
+        ++len;
+    return len;
+}
+
+} // namespace
+
+std::vector<Lz77Token>
+lz77Tokenize(const uint8_t *data, std::size_t n, const Lz77Params &params)
+{
+    std::vector<Lz77Token> tokens;
+    tokens.reserve(n / 4);
+
+    // head[h]: most recent position with hash h; prev[i % window]: chain.
+    std::vector<int64_t> head(kHashSize, -1);
+    std::vector<int64_t> prev(kWindowSize, -1);
+
+    auto insert = [&](std::size_t pos) {
+        if (pos + kMinMatch > n)
+            return;
+        const uint32_t h = hash3(data + pos);
+        prev[pos % kWindowSize] = head[h];
+        head[h] = static_cast<int64_t>(pos);
+    };
+
+    auto find_best = [&](std::size_t pos, unsigned &best_len,
+                         std::size_t &best_dist) {
+        best_len = 0;
+        best_dist = 0;
+        if (pos + kMinMatch > n)
+            return;
+        int64_t cand = head[hash3(data + pos)];
+        unsigned chain = params.maxChainLength;
+        const std::size_t min_pos =
+            pos >= kWindowSize ? pos - kWindowSize : 0;
+        while (cand >= 0 && chain-- > 0) {
+            const auto c = static_cast<std::size_t>(cand);
+            if (c < min_pos || c >= pos)
+                break;
+            const unsigned len = matchLength(data, n, pos, c);
+            if (len > best_len) {
+                best_len = len;
+                best_dist = pos - c;
+                if (len >= params.niceLength || len >= kMaxMatch)
+                    break;
+            }
+            cand = prev[c % kWindowSize];
+        }
+        if (best_len < kMinMatch)
+            best_len = 0;
+    };
+
+    std::size_t pos = 0;
+    while (pos < n) {
+        unsigned len;
+        std::size_t dist;
+        find_best(pos, len, dist);
+
+        if (len >= kMinMatch && params.lazyMatching && pos + 1 < n) {
+            // Lazy evaluation: if the next position has a strictly
+            // better match, emit a literal here instead.
+            insert(pos);
+            unsigned next_len;
+            std::size_t next_dist;
+            find_best(pos + 1, next_len, next_dist);
+            if (next_len > len) {
+                Lz77Token t;
+                t.isMatch = false;
+                t.literal = data[pos];
+                tokens.push_back(t);
+                ++pos;
+                continue;
+            }
+            // Keep the current match; pos was already inserted.
+            Lz77Token t;
+            t.isMatch = true;
+            t.length = static_cast<uint16_t>(len);
+            t.distance = static_cast<uint16_t>(dist);
+            tokens.push_back(t);
+            for (std::size_t i = pos + 1; i < pos + len; ++i)
+                insert(i);
+            pos += len;
+            continue;
+        }
+
+        if (len >= kMinMatch) {
+            Lz77Token t;
+            t.isMatch = true;
+            t.length = static_cast<uint16_t>(len);
+            t.distance = static_cast<uint16_t>(dist);
+            tokens.push_back(t);
+            for (std::size_t i = pos; i < pos + len; ++i)
+                insert(i);
+            pos += len;
+        } else {
+            Lz77Token t;
+            t.isMatch = false;
+            t.literal = data[pos];
+            tokens.push_back(t);
+            insert(pos);
+            ++pos;
+        }
+    }
+    return tokens;
+}
+
+std::vector<uint8_t>
+lz77Expand(const std::vector<Lz77Token> &tokens)
+{
+    std::vector<uint8_t> out;
+    for (const auto &t : tokens) {
+        if (!t.isMatch) {
+            out.push_back(t.literal);
+            continue;
+        }
+        if (t.distance == 0 || t.distance > out.size())
+            throw std::invalid_argument("lz77Expand: bad distance");
+        for (unsigned i = 0; i < t.length; ++i)
+            out.push_back(out[out.size() - t.distance]);
+    }
+    return out;
+}
+
+} // namespace pce

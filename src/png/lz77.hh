@@ -1,0 +1,46 @@
+/**
+ * @file
+ * LZ77 match finder for DEFLATE (RFC 1951 semantics).
+ *
+ * Produces a token stream of literals and (length, distance) matches with
+ * length in [3, 258] and distance in [1, 32768], using hash chains over
+ * 3-byte prefixes with a bounded chain search and lazy matching — the
+ * same construction zlib uses, sized for this repository's needs.
+ */
+
+#ifndef PCE_PNG_LZ77_HH
+#define PCE_PNG_LZ77_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace pce {
+
+/** One LZ77 token: a literal byte or a back-reference. */
+struct Lz77Token
+{
+    bool isMatch = false;
+    uint8_t literal = 0;    ///< valid when !isMatch
+    uint16_t length = 0;    ///< 3..258, valid when isMatch
+    uint16_t distance = 0;  ///< 1..32768, valid when isMatch
+};
+
+/** Tuning knobs for the match finder. */
+struct Lz77Params
+{
+    unsigned maxChainLength = 128;  ///< hash-chain probes per position
+    unsigned niceLength = 128;      ///< stop searching at this match length
+    bool lazyMatching = true;       ///< defer match by one byte if better
+};
+
+/** Tokenize @p data. The output reproduces @p data exactly when expanded. */
+std::vector<Lz77Token> lz77Tokenize(const uint8_t *data, std::size_t n,
+                                    const Lz77Params &params = {});
+
+/** Expand tokens back to bytes (test oracle for the tokenizer). */
+std::vector<uint8_t> lz77Expand(const std::vector<Lz77Token> &tokens);
+
+} // namespace pce
+
+#endif // PCE_PNG_LZ77_HH

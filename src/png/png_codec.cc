@@ -1,0 +1,256 @@
+#include "png/png_codec.hh"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "png/checksum.hh"
+#include "png/inflate.hh"
+
+namespace pce {
+
+namespace {
+
+constexpr uint8_t kSignature[8] = {0x89, 'P', 'N', 'G', '\r', '\n',
+                                   0x1a, '\n'};
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+    out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return (uint32_t(p[0]) << 24) | (uint32_t(p[1]) << 16) |
+           (uint32_t(p[2]) << 8) | uint32_t(p[3]);
+}
+
+void
+appendChunk(std::vector<uint8_t> &out, const char type[4],
+            const std::vector<uint8_t> &payload)
+{
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    const std::size_t crc_start = out.size();
+    out.insert(out.end(), type, type + 4);
+    out.insert(out.end(), payload.begin(), payload.end());
+    out.reserve(out.size() + 4);
+    putU32(out, crc32(out.data() + crc_start, out.size() - crc_start));
+}
+
+int
+paeth(int a, int b, int c)
+{
+    const int p = a + b - c;
+    const int pa = std::abs(p - a);
+    const int pb = std::abs(p - b);
+    const int pc = std::abs(p - c);
+    if (pa <= pb && pa <= pc)
+        return a;
+    return pb <= pc ? b : c;
+}
+
+/** Filter one row with the given type; bpp = 3 for RGB. */
+void
+filterRow(uint8_t type, const uint8_t *row, const uint8_t *prev,
+          std::size_t rowbytes, uint8_t *out)
+{
+    constexpr int bpp = 3;
+    for (std::size_t i = 0; i < rowbytes; ++i) {
+        const int x = row[i];
+        const int a = i >= bpp ? row[i - bpp] : 0;
+        const int b = prev ? prev[i] : 0;
+        const int c = (prev && i >= bpp) ? prev[i - bpp] : 0;
+        int v;
+        switch (type) {
+          case 0: v = x; break;
+          case 1: v = x - a; break;
+          case 2: v = x - b; break;
+          case 3: v = x - (a + b) / 2; break;
+          case 4: v = x - paeth(a, b, c); break;
+          default:
+            throw std::logic_error("filterRow: bad type");
+        }
+        out[i] = static_cast<uint8_t>(v & 0xff);
+    }
+}
+
+/** Reverse a row filter in place. */
+void
+unfilterRow(uint8_t type, uint8_t *row, const uint8_t *prev,
+            std::size_t rowbytes)
+{
+    constexpr int bpp = 3;
+    for (std::size_t i = 0; i < rowbytes; ++i) {
+        const int a = i >= bpp ? row[i - bpp] : 0;
+        const int b = prev ? prev[i] : 0;
+        const int c = (prev && i >= bpp) ? prev[i - bpp] : 0;
+        int v = row[i];
+        switch (type) {
+          case 0: break;
+          case 1: v += a; break;
+          case 2: v += b; break;
+          case 3: v += (a + b) / 2; break;
+          case 4: v += paeth(a, b, c); break;
+          default:
+            throw std::runtime_error("unfilterRow: bad filter type");
+        }
+        row[i] = static_cast<uint8_t>(v & 0xff);
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+pngFilterScanlines(const ImageU8 &img)
+{
+    const std::size_t rowbytes = static_cast<std::size_t>(img.width()) * 3;
+    std::vector<uint8_t> out;
+    out.reserve((rowbytes + 1) * img.height());
+
+    std::vector<uint8_t> candidate(rowbytes);
+    std::vector<uint8_t> best(rowbytes);
+    for (int y = 0; y < img.height(); ++y) {
+        const uint8_t *row = img.pixel(0, y);
+        const uint8_t *prev = y > 0 ? img.pixel(0, y - 1) : nullptr;
+
+        // libpng heuristic: pick the filter with the minimum sum of
+        // absolute values of the filtered bytes (as signed).
+        uint8_t best_type = 0;
+        uint64_t best_score = ~uint64_t(0);
+        for (uint8_t type = 0; type <= 4; ++type) {
+            filterRow(type, row, prev, rowbytes, candidate.data());
+            uint64_t score = 0;
+            for (uint8_t v : candidate) {
+                const int s = v < 128 ? v : 256 - v;
+                score += static_cast<uint64_t>(s);
+            }
+            if (score < best_score) {
+                best_score = score;
+                best_type = type;
+                best.swap(candidate);
+            }
+        }
+        out.push_back(best_type);
+        out.insert(out.end(), best.begin(), best.end());
+        // `best` may have been swapped from candidate; re-filter to keep
+        // the buffer sized for the next iteration (vectors stay equal
+        // size, so nothing to do).
+    }
+    return out;
+}
+
+ImageU8
+pngUnfilterScanlines(const std::vector<uint8_t> &filtered, int width,
+                     int height)
+{
+    const std::size_t rowbytes = static_cast<std::size_t>(width) * 3;
+    if (filtered.size() !=
+        (rowbytes + 1) * static_cast<std::size_t>(height))
+        throw std::runtime_error("pngUnfilterScanlines: size mismatch");
+
+    ImageU8 img(width, height);
+    for (int y = 0; y < height; ++y) {
+        const std::size_t off =
+            static_cast<std::size_t>(y) * (rowbytes + 1);
+        const uint8_t type = filtered[off];
+        uint8_t *row = img.pixel(0, y);
+        std::memcpy(row, filtered.data() + off + 1, rowbytes);
+        const uint8_t *prev = y > 0 ? img.pixel(0, y - 1) : nullptr;
+        unfilterRow(type, row, prev, rowbytes);
+    }
+    return img;
+}
+
+std::vector<uint8_t>
+pngEncode(const ImageU8 &img, const DeflateParams &params)
+{
+    std::vector<uint8_t> out(kSignature, kSignature + 8);
+
+    std::vector<uint8_t> ihdr;
+    putU32(ihdr, static_cast<uint32_t>(img.width()));
+    putU32(ihdr, static_cast<uint32_t>(img.height()));
+    ihdr.push_back(8);  // bit depth
+    ihdr.push_back(2);  // color type: truecolor RGB
+    ihdr.push_back(0);  // compression: deflate
+    ihdr.push_back(0);  // filter method 0
+    ihdr.push_back(0);  // no interlace
+    appendChunk(out, "IHDR", ihdr);
+
+    const auto filtered = pngFilterScanlines(img);
+    const auto idat = zlibCompress(filtered, params);
+    appendChunk(out, "IDAT", idat);
+
+    appendChunk(out, "IEND", {});
+    return out;
+}
+
+ImageU8
+pngDecode(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.size() < 8 || std::memcmp(bytes.data(), kSignature, 8) != 0)
+        throw std::runtime_error("pngDecode: bad signature");
+
+    int width = 0;
+    int height = 0;
+    std::vector<uint8_t> idat;
+    std::size_t pos = 8;
+    bool saw_end = false;
+    while (pos + 8 <= bytes.size() && !saw_end) {
+        const uint32_t len = getU32(bytes.data() + pos);
+        if (pos + 12 + len > bytes.size())
+            throw std::runtime_error("pngDecode: truncated chunk");
+        const char *type =
+            reinterpret_cast<const char *>(bytes.data() + pos + 4);
+        const uint8_t *payload = bytes.data() + pos + 8;
+
+        const uint32_t want_crc = getU32(payload + len);
+        if (crc32(bytes.data() + pos + 4, len + 4) != want_crc)
+            throw std::runtime_error("pngDecode: chunk CRC mismatch");
+
+        if (std::memcmp(type, "IHDR", 4) == 0) {
+            if (len != 13)
+                throw std::runtime_error("pngDecode: bad IHDR");
+            width = static_cast<int>(getU32(payload));
+            height = static_cast<int>(getU32(payload + 4));
+            // Cap dimensions so corrupted headers cannot drive huge
+            // allocations or overflow the scanline-size arithmetic.
+            if (width <= 0 || height <= 0 || width > (1 << 20) ||
+                height > (1 << 20))
+                throw std::runtime_error("pngDecode: absurd dimensions");
+            if (payload[8] != 8 || payload[9] != 2 || payload[12] != 0)
+                throw std::runtime_error(
+                    "pngDecode: only 8-bit RGB non-interlaced supported");
+        } else if (std::memcmp(type, "IDAT", 4) == 0) {
+            idat.insert(idat.end(), payload, payload + len);
+        } else if (std::memcmp(type, "IEND", 4) == 0) {
+            saw_end = true;
+        }
+        pos += 12 + len;
+    }
+    if (!saw_end || width <= 0 || height <= 0)
+        throw std::runtime_error("pngDecode: missing chunks");
+
+    const auto filtered = zlibDecompress(idat);
+    return pngUnfilterScanlines(filtered, width, height);
+}
+
+void
+writePng(const std::string &path, const ImageU8 &img)
+{
+    const auto bytes = pngEncode(img);
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("writePng: cannot open " + path);
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f)
+        throw std::runtime_error("writePng: write failed for " + path);
+}
+
+} // namespace pce

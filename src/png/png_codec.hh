@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PNG encoder/decoder for 8-bit RGB images (the Sec. 5.3 PNG baseline).
+ *
+ * Encoding applies per-scanline filtering (types 0-4 with the libpng
+ * minimum-sum-of-absolute-differences heuristic) followed by our DEFLATE
+ * (src/png/deflate.hh) inside a standard IHDR/IDAT/IEND container, so the
+ * output is a valid PNG file. The decoder reverses filtering and verifies
+ * both CRCs and the zlib Adler-32, serving as the lossless round-trip
+ * oracle in tests.
+ *
+ * The paper uses PNG only as an offline upper-ish baseline (it is too
+ * slow for framebuffer traffic, Sec. 5.3); the benchmark harness reports
+ * its compressed size alongside BD and ours in Fig. 10.
+ */
+
+#ifndef PCE_PNG_PNG_CODEC_HH
+#define PCE_PNG_PNG_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.hh"
+#include "png/deflate.hh"
+
+namespace pce {
+
+/** Encode an image as a standalone PNG byte stream. */
+std::vector<uint8_t> pngEncode(const ImageU8 &img,
+                               const DeflateParams &params = {});
+
+/** Decode a PNG produced by pngEncode (8-bit RGB, non-interlaced). */
+ImageU8 pngDecode(const std::vector<uint8_t> &bytes);
+
+/** Write a PNG file to disk. */
+void writePng(const std::string &path, const ImageU8 &img);
+
+/**
+ * Apply PNG scanline filtering to raw RGB rows, returning the filtered
+ * byte stream (one filter-type byte per row). Exposed for tests.
+ */
+std::vector<uint8_t> pngFilterScanlines(const ImageU8 &img);
+
+/** Reverse pngFilterScanlines. Exposed for tests. */
+ImageU8 pngUnfilterScanlines(const std::vector<uint8_t> &filtered,
+                             int width, int height);
+
+} // namespace pce
+
+#endif // PCE_PNG_PNG_CODEC_HH

@@ -1,0 +1,436 @@
+#include "render/scenes.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hh"
+
+namespace pce {
+
+namespace {
+
+/** Per-scene base seeds so scenes are mutually decorrelated. */
+uint64_t
+sceneSeed(SceneId id)
+{
+    switch (id) {
+      case SceneId::Office:   return 0x0ff1ce;
+      case SceneId::Fortnite: return 0xf0127172;
+      case SceneId::Skyline:  return 0x55711;
+      case SceneId::Dumbo:    return 0xd0b0;
+      case SceneId::Thai:     return 0x7a41;
+      case SceneId::Monkey:   return 0x303437;
+    }
+    return 0;
+}
+
+Vec3
+clampColor(const Vec3 &c)
+{
+    return c.clamped(0.0, 1.0);
+}
+
+/**
+ * A normalized pixel-space context shared by the scene functions:
+ * u in [-aspect, aspect], v in [-1, 1], with a per-eye parallax
+ * offset applied at a scene-chosen depth.
+ */
+struct PixelCtx
+{
+    double u;       ///< horizontal, aspect-corrected
+    double v;       ///< vertical, +1 at the bottom
+    double eyeOff;  ///< signed horizontal parallax magnitude
+    double time;
+    uint64_t seed;
+};
+
+/** Parallax: shift u for content at 1/depth (smaller depth = nearer). */
+double
+shifted(const PixelCtx &ctx, double inv_depth)
+{
+    return ctx.u + ctx.eyeOff * inv_depth;
+}
+
+// ---------------------------------------------------------------------
+// office: indoor midtones — walls, a floor grid of desks, soft shading.
+// ---------------------------------------------------------------------
+Vec3
+shadeOffice(const PixelCtx &ctx)
+{
+    const double u = shifted(ctx, 0.3);
+    // Warm wall gradient.
+    Vec3 color(0.32 + 0.06 * ctx.v, 0.30 + 0.05 * ctx.v,
+               0.27 + 0.04 * ctx.v);
+
+    // Floor below the horizon with a perspective desk grid.
+    if (ctx.v > 0.12) {
+        const double depth = 0.25 / (ctx.v - 0.1);
+        const double fx = shifted(ctx, 1.0 / (1.0 + depth)) * depth * 6.0;
+        const double fz = depth * 6.0;
+        const double grid =
+            (std::fmod(std::abs(fx), 1.0) < 0.08 ||
+             std::fmod(std::abs(fz), 1.0) < 0.08)
+                ? 0.6
+                : 1.0;
+        const double carpet =
+            0.8 + 0.2 * fbmNoise(fx * 2.0, fz * 2.0, ctx.seed, 3);
+        color = Vec3(0.30, 0.26, 0.22) * grid * carpet;
+    } else {
+        // Window band with daylight on the back wall.
+        if (std::abs(u + 0.45) < 0.22 && ctx.v < -0.15 && ctx.v > -0.75) {
+            const double sky = 0.55 - 0.25 * (ctx.v + 0.45);
+            color = Vec3(0.45 * sky, 0.55 * sky, 0.75 * sky);
+        }
+        // Poster rectangles.
+        if (std::abs(u - 0.5) < 0.15 && std::abs(ctx.v + 0.4) < 0.2) {
+            const double t =
+                fbmNoise(u * 10.0, ctx.v * 10.0, ctx.seed + 7, 2);
+            color = Vec3(0.35 + 0.25 * t, 0.2 + 0.15 * t, 0.15);
+        }
+    }
+
+    // Gentle office lighting falloff and paper-like texture.
+    const double vign =
+        1.0 - 0.25 * (ctx.u * ctx.u + ctx.v * ctx.v);
+    const double tex =
+        0.97 + 0.03 * fbmNoise(ctx.u * 40.0, ctx.v * 40.0, ctx.seed, 2);
+    return clampColor(color * vign * tex);
+}
+
+// ---------------------------------------------------------------------
+// fortnite: bright, saturated green hills under a vivid sky.
+// ---------------------------------------------------------------------
+Vec3
+shadeFortnite(const PixelCtx &ctx)
+{
+    const double u = shifted(ctx, 0.15);
+
+    // Rolling hill line varies with u and time (slow drift).
+    const double hill =
+        0.15 + 0.25 * fbmNoise(u * 1.5 + ctx.time * 0.05, 3.7,
+                               ctx.seed, 3);
+    if (ctx.v < hill) {
+        // Sky: bright cyan-blue gradient with puffy clouds.
+        const double h = (hill - ctx.v) / (1.0 + hill);
+        Vec3 sky(0.35 + 0.2 * h, 0.55 + 0.25 * h, 0.9);
+        const double cloud =
+            fbmNoise(u * 2.0 + ctx.time * 0.1, ctx.v * 3.0,
+                     ctx.seed + 3, 4);
+        if (cloud > 0.6) {
+            const double c = (cloud - 0.6) / 0.4;
+            sky = lerp(sky, Vec3(0.95, 0.95, 0.97), c);
+        }
+        // Sun disc.
+        const double du = u - 0.7;
+        const double dv = ctx.v + 0.75;
+        if (du * du + dv * dv < 0.012)
+            sky = Vec3(1.0, 0.95, 0.75);
+        return clampColor(sky);
+    }
+
+    // Terrain: layered bright greens with grass texture.
+    const double depth = (ctx.v - hill) / (1.0 - hill);
+    const double gx = shifted(ctx, 0.6) * (3.0 + depth * 10.0);
+    const double gz = depth * 12.0 + ctx.time * 0.2;
+    const double grass = fbmNoise(gx, gz, ctx.seed + 11, 4);
+    Vec3 green(0.18 + 0.1 * grass, 0.62 + 0.25 * grass,
+               0.16 + 0.08 * grass);
+    // Light patches of yellow-green.
+    const double patch = fbmNoise(gx * 0.3, gz * 0.3, ctx.seed + 13, 2);
+    if (patch > 0.55)
+        green = lerp(green, Vec3(0.55, 0.78, 0.25),
+                     (patch - 0.55) * 1.5);
+    return clampColor(green);
+}
+
+// ---------------------------------------------------------------------
+// skyline: high-contrast city silhouettes with lit window grids.
+// ---------------------------------------------------------------------
+Vec3
+shadeSkyline(const PixelCtx &ctx)
+{
+    // Dusk sky gradient.
+    const double t = (ctx.v + 1.0) / 2.0;  // 0 top .. 1 bottom
+    Vec3 color = lerp(Vec3(0.15, 0.25, 0.55), Vec3(0.85, 0.55, 0.35),
+                      t * t);
+
+    // Two building layers with different parallax.
+    for (int layer = 0; layer < 2; ++layer) {
+        const double inv_depth = layer == 0 ? 0.3 : 0.8;
+        const double u = shifted(ctx, inv_depth);
+        const double cell = layer == 0 ? 0.28 : 0.18;
+        const double idx = std::floor(u / cell);
+        const double frac = u / cell - idx;
+        const double h =
+            0.1 + 0.55 * hashNoise(static_cast<int32_t>(idx),
+                                   layer * 77, ctx.seed + layer);
+        const double skyline_v = 0.65 - h;  // buildings rise from v=0.65
+        if (ctx.v > skyline_v && ctx.v < 0.75 && frac > 0.06 &&
+            frac < 0.94) {
+            const Vec3 facade =
+                layer == 0 ? Vec3(0.24, 0.23, 0.26)
+                           : Vec3(0.16, 0.15, 0.19);
+            color = facade;
+            // Window grid; some windows lit. Window pitch is kept to a
+            // handful of pixels at typical render resolutions so that
+            // window interiors form flat tiles with hard edges between
+            // them (the content statistic the codecs care about).
+            const int wx = static_cast<int>(frac * 4.0);
+            const int wy = static_cast<int>((ctx.v - skyline_v) * 8.0);
+            const bool on_window =
+                (static_cast<int>(frac * 8.0) % 2 == 0) &&
+                (static_cast<int>((ctx.v - skyline_v) * 16.0) % 2 == 0);
+            if (on_window) {
+                // Glazing reflects the dusk sky; a small fraction of
+                // windows are lit from inside.
+                const double lit =
+                    hashNoise(wx + static_cast<int32_t>(idx) * 31, wy,
+                              ctx.seed + 100 + layer);
+                if (lit > 0.85)
+                    color = Vec3(0.55, 0.48, 0.3);
+                else
+                    color = lerp(color, Vec3(0.3, 0.32, 0.42), 0.6);
+            }
+        }
+    }
+
+    // Water band at the bottom reflecting the bright dusk sky.
+    if (ctx.v > 0.75) {
+        const double ripple =
+            fbmNoise(ctx.u * 8.0, ctx.v * 40.0 + ctx.time, ctx.seed + 9,
+                     3);
+        color = Vec3(0.45 + 0.08 * ripple, 0.38 + 0.06 * ripple,
+                     0.42 + 0.09 * ripple);
+    }
+    return clampColor(color);
+}
+
+// ---------------------------------------------------------------------
+// dumbo: dark night street — the classic DUMBO bridge view at night.
+// ---------------------------------------------------------------------
+Vec3
+shadeDumbo(const PixelCtx &ctx)
+{
+    // Very dark blue night gradient.
+    const double t = (ctx.v + 1.0) / 2.0;
+    Vec3 color = lerp(Vec3(0.035, 0.04, 0.08), Vec3(0.08, 0.07, 0.09),
+                      t);
+
+    // Bridge tower silhouette framing the view.
+    const double u = shifted(ctx, 0.4);
+    if (std::abs(u) > 0.55 && ctx.v < 0.55) {
+        color = Vec3(0.01, 0.01, 0.015);
+        // Brick texture barely visible.
+        const double brick =
+            fbmNoise(u * 20.0, ctx.v * 20.0, ctx.seed, 2);
+        color += Vec3(0.02, 0.015, 0.01) * brick;
+    }
+
+    // Street with lamps.
+    if (ctx.v > 0.35) {
+        const double depth = 0.2 / (ctx.v - 0.3);
+        const double road =
+            0.02 + 0.02 * fbmNoise(u * 6.0, depth * 8.0, ctx.seed + 5, 3);
+        color = Vec3(road * 1.1, road, road * 1.2);
+        // Lamp glow pools.
+        for (int lamp = -1; lamp <= 1; ++lamp) {
+            const double lx = lamp * 0.45;
+            const double d2 = (u - lx) * (u - lx) +
+                              (ctx.v - 0.55) * (ctx.v - 0.55) * 4.0;
+            const double glow = std::exp(-d2 * 40.0);
+            color += Vec3(0.5, 0.38, 0.15) * glow;
+        }
+    }
+
+    // A few bright windows high up.
+    const int wx = static_cast<int>((u + 2.0) * 14.0);
+    const int wy = static_cast<int>((ctx.v + 2.0) * 14.0);
+    if (ctx.v < 0.1 && std::abs(u) > 0.6 &&
+        hashNoise(wx, wy, ctx.seed + 21) > 0.93)
+        color += Vec3(0.35, 0.28, 0.12);
+
+    // Night-time sensor grain: low-light footage is never clean, and
+    // per-pixel grain is what makes dark tiles non-flat for the codecs.
+    const double grain =
+        hashNoise(static_cast<int32_t>(ctx.u * 4096.0),
+                  static_cast<int32_t>(ctx.v * 4096.0), ctx.seed + 33) -
+        0.5;
+    color += Vec3(1.0, 1.0, 1.1) * (grain * 0.012);
+
+    return clampColor(color);
+}
+
+// ---------------------------------------------------------------------
+// thai: warm temple interior — gold ornaments on red walls.
+// ---------------------------------------------------------------------
+Vec3
+shadeThai(const PixelCtx &ctx)
+{
+    const double u = shifted(ctx, 0.35);
+
+    // Warm red wall base with candle-light vertical gradient.
+    const double light = 0.55 + 0.25 * std::cos(ctx.v * 1.5);
+    Vec3 color = Vec3(0.45, 0.12, 0.08) * light;
+
+    // Repeating ornamental bands (gold).
+    const double band = std::abs(std::sin(ctx.v * 9.0));
+    if (band > 0.82) {
+        const double orn =
+            fbmNoise(u * 30.0, ctx.v * 30.0, ctx.seed + 2, 3);
+        const double g = (band - 0.82) / 0.18;
+        color = lerp(color, Vec3(0.85, 0.62, 0.18) * (0.6 + 0.4 * orn),
+                     g);
+    }
+
+    // Central Buddha alcove: brighter gold.
+    const double d2 = u * u * 2.0 + (ctx.v + 0.1) * (ctx.v + 0.1);
+    if (d2 < 0.16) {
+        const double glow = 1.0 - d2 / 0.16;
+        const double statue =
+            fbmNoise(u * 12.0, ctx.v * 12.0, ctx.seed + 4, 3);
+        color = lerp(color,
+                     Vec3(0.9, 0.7, 0.25) * (0.5 + 0.5 * statue),
+                     glow * 0.8);
+    }
+
+    // Pillars with parallax.
+    const double pu = shifted(ctx, 0.7);
+    const double pillar = std::fmod(std::abs(pu * 1.3 + 10.0), 1.0);
+    if (pillar < 0.12 && std::abs(ctx.v) < 0.85) {
+        const double shade = 0.6 + 0.4 * (pillar / 0.12);
+        color = Vec3(0.5, 0.2, 0.1) * shade * light;
+    }
+    return clampColor(color);
+}
+
+// ---------------------------------------------------------------------
+// monkey: dark jungle — dense foliage, low luminance, green-brown.
+// ---------------------------------------------------------------------
+Vec3
+shadeMonkey(const PixelCtx &ctx)
+{
+    const double u = shifted(ctx, 0.5);
+
+    // Dense canopy: layered dark green noise.
+    const double canopy =
+        fbmNoise(u * 6.0, ctx.v * 6.0 + ctx.time * 0.05, ctx.seed, 5);
+    Vec3 color(0.02 + 0.05 * canopy, 0.05 + 0.11 * canopy,
+               0.02 + 0.04 * canopy);
+
+    // Moonlight shafts.
+    const double shaft =
+        std::exp(-std::pow((u - 0.2 + 0.3 * ctx.v) * 4.0, 2.0));
+    color += Vec3(0.04, 0.06, 0.05) * shaft *
+             (0.5 + 0.5 * fbmNoise(u * 3.0, ctx.v * 9.0, ctx.seed + 8,
+                                   2));
+
+    // Tree trunks (near layer, stronger parallax).
+    const double tu = shifted(ctx, 0.9);
+    const double trunk = std::fmod(std::abs(tu * 0.9 + 5.0), 1.0);
+    if (trunk < 0.1) {
+        const double bark =
+            fbmNoise(tu * 25.0, ctx.v * 25.0, ctx.seed + 6, 3);
+        color = Vec3(0.05 + 0.04 * bark, 0.035 + 0.03 * bark,
+                     0.02 + 0.015 * bark);
+    }
+
+    // Occasional bright eyes/fireflies.
+    const int fx = static_cast<int>((u + 4.0) * 30.0);
+    const int fy = static_cast<int>((ctx.v + 4.0) * 30.0);
+    if (hashNoise(fx, fy, ctx.seed + 17) > 0.995)
+        color += Vec3(0.25, 0.28, 0.1);
+
+    return clampColor(color);
+}
+
+} // namespace
+
+const std::vector<SceneId> &
+allScenes()
+{
+    static const std::vector<SceneId> scenes{
+        SceneId::Office, SceneId::Fortnite, SceneId::Skyline,
+        SceneId::Dumbo, SceneId::Thai, SceneId::Monkey};
+    return scenes;
+}
+
+const char *
+sceneName(SceneId id)
+{
+    switch (id) {
+      case SceneId::Office:   return "office";
+      case SceneId::Fortnite: return "fortnite";
+      case SceneId::Skyline:  return "skyline";
+      case SceneId::Dumbo:    return "dumbo";
+      case SceneId::Thai:     return "thai";
+      case SceneId::Monkey:   return "monkey";
+    }
+    return "unknown";
+}
+
+ImageF
+renderScene(SceneId id, const RenderOptions &options)
+{
+    if (options.width <= 0 || options.height <= 0)
+        throw std::invalid_argument("renderScene: bad resolution");
+    if (options.eye != 0 && options.eye != 1)
+        throw std::invalid_argument("renderScene: eye must be 0 or 1");
+
+    ImageF img(options.width, options.height);
+    const double aspect =
+        static_cast<double>(options.width) / options.height;
+    // +-0.008 of horizontal parallax at unit inverse depth.
+    const double eye_off = options.eye == 0 ? -0.008 : 0.008;
+    const uint64_t seed = sceneSeed(id) ^ options.seed;
+
+    for (int y = 0; y < options.height; ++y) {
+        for (int x = 0; x < options.width; ++x) {
+            PixelCtx ctx;
+            ctx.u = (2.0 * (x + 0.5) / options.width - 1.0) * aspect;
+            ctx.v = 2.0 * (y + 0.5) / options.height - 1.0;
+            ctx.eyeOff = eye_off;
+            ctx.time = options.time;
+            ctx.seed = seed;
+
+            Vec3 c;
+            switch (id) {
+              case SceneId::Office:   c = shadeOffice(ctx); break;
+              case SceneId::Fortnite: c = shadeFortnite(ctx); break;
+              case SceneId::Skyline:  c = shadeSkyline(ctx); break;
+              case SceneId::Dumbo:    c = shadeDumbo(ctx); break;
+              case SceneId::Thai:     c = shadeThai(ctx); break;
+              case SceneId::Monkey:   c = shadeMonkey(ctx); break;
+            }
+            // Sub-quantization dither (~+-1 sRGB code), as real
+            // renderers apply against banding. Purely-analytic shading
+            // would otherwise hand entropy coders (PNG) long exact
+            // matches that real framebuffers never contain.
+            const double dither =
+                hashNoise(x * 3 + options.eye, y * 3 + 1,
+                          seed ^ 0xd17e4) -
+                0.5;
+            c += Vec3(1.0, 1.0, 1.0) * (dither * 0.006);
+            img.at(x, y) = c.clamped(0.0, 1.0);
+        }
+    }
+    return img;
+}
+
+StereoFrame
+renderStereo(SceneId id, int width, int height, double time)
+{
+    RenderOptions opts;
+    opts.width = width;
+    opts.height = height;
+    opts.time = time;
+
+    StereoFrame frame;
+    opts.eye = 0;
+    frame.left = renderScene(id, opts);
+    opts.eye = 1;
+    frame.right = renderScene(id, opts);
+    return frame;
+}
+
+} // namespace pce

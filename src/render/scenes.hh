@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Procedural VR scene renderer (substitute for the paper's six scenes).
+ *
+ * The paper evaluates on six VR scenes from the color-perception study of
+ * Duinkharjav et al. [22]: office, fortnite, skyline, dumbo, thai, and
+ * monkey. Those Unity assets are not distributed, so this module renders
+ * six procedural scenes that match the *statistical* properties the
+ * paper's analysis attributes to each (Sec. 6.3):
+ *
+ *  - fortnite: bright outdoor scene dominated by greens (no participant
+ *    noticed artifacts there — green-hue shifts hide in green content);
+ *  - dumbo and monkey: dark scenes (most noticeable artifacts);
+ *  - office and thai: indoor midtone scenes;
+ *  - skyline: high-contrast outdoor with hard edges.
+ *
+ * The compression behaviour under test depends on tile-level statistics
+ * (flat regions, gradients, texture energy, luminance, hue), not on
+ * semantic content, so these stand-ins exercise the identical code paths
+ * (DESIGN.md, Substitutions).
+ *
+ * All scenes are deterministic functions of (pixel, eye, seed): renders
+ * are bit-exactly reproducible. Stereo rendering applies a small
+ * horizontal parallax shift, giving the two sub-frames per frame used by
+ * the paper (Sec. 5.1).
+ */
+
+#ifndef PCE_RENDER_SCENES_HH
+#define PCE_RENDER_SCENES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.hh"
+
+namespace pce {
+
+/** The six evaluation scenes (paper Sec. 5.1). */
+enum class SceneId
+{
+    Office,
+    Fortnite,
+    Skyline,
+    Dumbo,
+    Thai,
+    Monkey,
+};
+
+/** All scenes in the paper's figure order. */
+const std::vector<SceneId> &allScenes();
+
+/** Lower-case scene name as used in the paper's figures. */
+const char *sceneName(SceneId id);
+
+/** Rendering options. */
+struct RenderOptions
+{
+    int width = 640;
+    int height = 640;
+    /** 0 = left eye, 1 = right eye (small parallax shift). */
+    int eye = 0;
+    /** Animation time in seconds (scenes are 20 s loops, Sec. 5.2). */
+    double time = 0.0;
+    /** Extra seed, combined with the scene's own. */
+    uint64_t seed = 0;
+};
+
+/** Render one scene to a linear-RGB frame. */
+ImageF renderScene(SceneId id, const RenderOptions &options);
+
+/** A stereo frame: the two per-eye sub-frames (Sec. 5.1). */
+struct StereoFrame
+{
+    ImageF left;
+    ImageF right;
+};
+
+/** Render both eyes at the given per-eye resolution. */
+StereoFrame renderStereo(SceneId id, int width, int height,
+                         double time = 0.0);
+
+} // namespace pce
+
+#endif // PCE_RENDER_SCENES_HH

@@ -1,0 +1,276 @@
+#include "scc/scc_codec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "color/dkl.hh"
+#include "color/srgb.hh"
+#include "common/bitstream.hh"
+
+namespace pce {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x534343;  // "SCC"
+constexpr unsigned kMagicBits = 24;
+constexpr unsigned kDimBits = 16;
+constexpr unsigned kIndexWidthBits = 5;
+
+} // namespace
+
+std::size_t
+SccCodebook::cellIndex(uint8_t r, uint8_t g, uint8_t b) const
+{
+    const int s = params_.gridStep;
+    const int ir = r / s;
+    const int ig = g / s;
+    const int ib = b / s;
+    return (static_cast<std::size_t>(ir) * gridDim_ + ig) * gridDim_ + ib;
+}
+
+void
+SccCodebook::cellCenterSrgb(std::size_t cell, uint8_t rgb[3]) const
+{
+    const int s = params_.gridStep;
+    const int ib = static_cast<int>(cell % gridDim_);
+    const int ig = static_cast<int>((cell / gridDim_) % gridDim_);
+    const int ir = static_cast<int>(cell / gridDim_ / gridDim_);
+    rgb[0] = static_cast<uint8_t>(std::min(255, ir * s + s / 2));
+    rgb[1] = static_cast<uint8_t>(std::min(255, ig * s + s / 2));
+    rgb[2] = static_cast<uint8_t>(std::min(255, ib * s + s / 2));
+}
+
+Vec3
+SccCodebook::cellCenterLinear(std::size_t cell) const
+{
+    uint8_t rgb[3];
+    cellCenterSrgb(cell, rgb);
+    return srgb8ToLinear(rgb);
+}
+
+SccCodebook::SccCodebook(const DiscriminationModel &model,
+                         const SccParams &params)
+    : params_(params)
+{
+    if (params_.gridStep <= 0 || 256 % params_.gridStep != 0)
+        throw std::invalid_argument(
+            "SccCodebook: gridStep must divide 256");
+    gridDim_ = 256 / params_.gridStep;
+
+    const std::size_t n_cells =
+        static_cast<std::size_t>(gridDim_) * gridDim_ * gridDim_;
+    assignment_.assign(n_cells, UINT32_MAX);
+
+    // Precompute per-cell DKL coordinates once.
+    std::vector<Vec3> cell_dkl(n_cells);
+    for (std::size_t i = 0; i < n_cells; ++i)
+        cell_dkl[i] = rgbToDkl(cellCenterLinear(i));
+
+    // Per-candidate ellipsoid, evaluated at the cell center.
+    auto ellipsoid_of = [&](std::size_t cell) {
+        Ellipsoid e;
+        e.centerDkl = cell_dkl[cell];
+        e.semiAxes =
+            model.semiAxes(cellCenterLinear(cell), params_.eccDeg);
+        return e;
+    };
+
+    // Enumerate the lattice cells inside a candidate's ellipsoid via its
+    // RGB-space bounding box. The box is derived from the DKL->RGB
+    // linear map: extent along RGB axis i = |row_i(M^-1) * diag(axes)|.
+    const Mat3 &inv = dkl2rgbMatrix();
+    auto covered_cells = [&](std::size_t cell, const Ellipsoid &e,
+                             auto &&visit) {
+        Vec3 extent;
+        for (std::size_t i = 0; i < 3; ++i) {
+            const Vec3 row = inv.row(i).cwiseMul(e.semiAxes);
+            extent[i] = row.norm();
+        }
+        uint8_t center_srgb[3];
+        cellCenterSrgb(cell, center_srgb);
+        const Vec3 center_lin = cellCenterLinear(cell);
+        // Convert linear extents to sRGB code ranges conservatively by
+        // probing the gamma at the interval ends.
+        int lo[3], hi[3];
+        for (int i = 0; i < 3; ++i) {
+            const double lo_lin =
+                std::max(0.0, center_lin[i] - extent[i]);
+            const double hi_lin =
+                std::min(1.0, center_lin[i] + extent[i]);
+            lo[i] = linearToSrgb8(lo_lin) / params_.gridStep;
+            hi[i] = linearToSrgb8(hi_lin) / params_.gridStep;
+        }
+        for (int ir = lo[0]; ir <= hi[0]; ++ir) {
+            for (int ig = lo[1]; ig <= hi[1]; ++ig) {
+                for (int ib = lo[2]; ib <= hi[2]; ++ib) {
+                    const std::size_t c =
+                        (static_cast<std::size_t>(ir) * gridDim_ + ig) *
+                            gridDim_ +
+                        ib;
+                    if (e.contains(cell_dkl[c]))
+                        visit(c);
+                }
+            }
+        }
+    };
+
+    // Lazy greedy set cover. Priority queue of (stale coverage, cell);
+    // recompute on pop, re-push if stale (submodularity makes the stale
+    // value an upper bound).
+    std::vector<Ellipsoid> cand_ellipsoid(n_cells);
+    using Entry = std::pair<uint32_t, uint32_t>;  // (coverage, cell)
+    std::priority_queue<Entry> queue;
+
+    std::size_t uncovered = n_cells;
+    std::vector<uint8_t> is_covered(n_cells, 0);
+
+    auto coverage_now = [&](std::size_t cell) {
+        uint32_t count = 0;
+        covered_cells(cell, cand_ellipsoid[cell], [&](std::size_t c) {
+            if (!is_covered[c])
+                ++count;
+        });
+        return count;
+    };
+
+    for (std::size_t cell = 0; cell < n_cells; ++cell) {
+        cand_ellipsoid[cell] = ellipsoid_of(cell);
+        // Initial upper bound: full ellipsoid population (everything is
+        // uncovered at t=0, so this is exact).
+        queue.emplace(coverage_now(cell), static_cast<uint32_t>(cell));
+    }
+
+    uint32_t epoch = 0;
+    std::vector<uint32_t> last_epoch(n_cells, 0);
+
+    while (uncovered > 0 && !queue.empty()) {
+        auto [cov, cell] = queue.top();
+        queue.pop();
+        if (last_epoch[cell] != epoch) {
+            // Stale entry: recompute and re-push.
+            const uint32_t fresh = coverage_now(cell);
+            last_epoch[cell] = epoch;
+            if (fresh > 0)
+                queue.emplace(fresh, cell);
+            continue;
+        }
+        if (cov == 0)
+            continue;
+
+        // Accept this candidate.
+        const auto rep = static_cast<uint32_t>(centers_.size());
+        centers_.push_back(cell);
+        covered_cells(cell, cand_ellipsoid[cell], [&](std::size_t c) {
+            if (!is_covered[c]) {
+                is_covered[c] = 1;
+                assignment_[c] = rep;
+                --uncovered;
+            }
+        });
+        ++epoch;
+    }
+
+    if (uncovered > 0)
+        throw std::logic_error("SccCodebook: cover incomplete");
+}
+
+unsigned
+SccCodebook::bitsPerPixel() const
+{
+    unsigned bits = 0;
+    while ((std::size_t(1) << bits) < centers_.size())
+        ++bits;
+    return std::max(1u, bits);
+}
+
+uint32_t
+SccCodebook::encodeColor(uint8_t r, uint8_t g, uint8_t b) const
+{
+    return assignment_[cellIndex(r, g, b)];
+}
+
+void
+SccCodebook::decodeColor(uint32_t index, uint8_t rgb[3]) const
+{
+    cellCenterSrgb(centers_.at(index), rgb);
+}
+
+std::vector<uint8_t>
+SccCodebook::encode(const ImageU8 &img) const
+{
+    BitWriter bw;
+    bw.putBits(kMagic, kMagicBits);
+    bw.putBits(static_cast<uint32_t>(img.width()), kDimBits);
+    bw.putBits(static_cast<uint32_t>(img.height()), kDimBits);
+    const unsigned w = bitsPerPixel();
+    bw.putBits(w, kIndexWidthBits);
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            const uint8_t *p = img.pixel(x, y);
+            bw.putBits(encodeColor(p[0], p[1], p[2]), w);
+        }
+    }
+    bw.alignToByte();
+    return bw.take();
+}
+
+ImageU8
+SccCodebook::decode(const std::vector<uint8_t> &stream) const
+{
+    BitReader br(stream);
+    if (br.getBits(kMagicBits) != kMagic)
+        throw std::runtime_error("SccCodebook::decode: bad magic");
+    const int w = static_cast<int>(br.getBits(kDimBits));
+    const int h = static_cast<int>(br.getBits(kDimBits));
+    const unsigned width = br.getBits(kIndexWidthBits);
+    if (w <= 0 || h <= 0 || width == 0 || width > 24)
+        throw std::runtime_error("SccCodebook::decode: bad header");
+    if (stream.size() * 8 <
+        static_cast<std::size_t>(w) * h * width)
+        throw std::runtime_error(
+            "SccCodebook::decode: stream too short for header");
+
+    ImageU8 img(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const uint32_t idx = br.getBits(width);
+            decodeColor(idx, img.pixel(x, y));
+        }
+    }
+    if (br.exhausted())
+        throw std::runtime_error("SccCodebook::decode: truncated");
+    return img;
+}
+
+double
+SccCodebook::encodeTableBytesFullRes() const
+{
+    return double(1 << 24) * bitsPerPixel() / 8.0;
+}
+
+std::size_t
+SccCodebook::verifyCover(const DiscriminationModel &model) const
+{
+    std::size_t violations = 0;
+    const std::size_t n_cells =
+        static_cast<std::size_t>(gridDim_) * gridDim_ * gridDim_;
+    for (std::size_t cell = 0; cell < n_cells; ++cell) {
+        const uint32_t rep = assignment_[cell];
+        if (rep == UINT32_MAX) {
+            ++violations;
+            continue;
+        }
+        const std::size_t rep_cell = centers_[rep];
+        Ellipsoid e;
+        e.centerDkl = rgbToDkl(cellCenterLinear(rep_cell));
+        e.semiAxes =
+            model.semiAxes(cellCenterLinear(rep_cell), params_.eccDeg);
+        if (!e.contains(rgbToDkl(cellCenterLinear(cell))))
+            ++violations;
+    }
+    return violations;
+}
+
+} // namespace pce

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the environment-variable configuration helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+
+namespace pce {
+namespace {
+
+class EnvTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        unsetenv("PCE_TEST_VARIABLE");
+    }
+
+    void
+    set(const char *value)
+    {
+        setenv("PCE_TEST_VARIABLE", value, 1);
+    }
+};
+
+TEST_F(EnvTest, IntFallsBackWhenUnset)
+{
+    unsetenv("PCE_TEST_VARIABLE");
+    EXPECT_EQ(envInt("PCE_TEST_VARIABLE", 42), 42);
+}
+
+TEST_F(EnvTest, IntParsesValue)
+{
+    set("1234");
+    EXPECT_EQ(envInt("PCE_TEST_VARIABLE", 42), 1234);
+    set("-7");
+    EXPECT_EQ(envInt("PCE_TEST_VARIABLE", 42), -7);
+}
+
+TEST_F(EnvTest, IntRejectsGarbage)
+{
+    set("12abc");
+    EXPECT_EQ(envInt("PCE_TEST_VARIABLE", 42), 42);
+    set("");
+    EXPECT_EQ(envInt("PCE_TEST_VARIABLE", 42), 42);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack)
+{
+    set("2.5");
+    EXPECT_DOUBLE_EQ(envDouble("PCE_TEST_VARIABLE", 1.0), 2.5);
+    set("not-a-number");
+    EXPECT_DOUBLE_EQ(envDouble("PCE_TEST_VARIABLE", 1.0), 1.0);
+    unsetenv("PCE_TEST_VARIABLE");
+    EXPECT_DOUBLE_EQ(envDouble("PCE_TEST_VARIABLE", 3.5), 3.5);
+}
+
+TEST_F(EnvTest, StringPassesThrough)
+{
+    set("hello");
+    EXPECT_EQ(envString("PCE_TEST_VARIABLE", "def"), "hello");
+    unsetenv("PCE_TEST_VARIABLE");
+    EXPECT_EQ(envString("PCE_TEST_VARIABLE", "def"), "def");
+    set("");
+    EXPECT_EQ(envString("PCE_TEST_VARIABLE", "def"), "def");
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the dense Cholesky / ridge least-squares solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/linsolve.hh"
+#include "common/rng.hh"
+
+namespace pce {
+namespace {
+
+DenseMatrix
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    DenseMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniform(-1.0, 1.0);
+    return m;
+}
+
+TEST(CholeskySolve, IdentitySystem)
+{
+    DenseMatrix a(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        a(i, i) = 1.0;
+    const std::vector<double> b{1.0, 2.0, 3.0};
+    const auto x = choleskySolve(a, b);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(x[i], b[i], 1e-12);
+}
+
+TEST(CholeskySolve, RandomSpdSystems)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 2 + rng.uniformInt(20);
+        const DenseMatrix g = randomMatrix(n + 4, n, rng);
+        // Gram matrix of a tall random matrix is SPD (w.h.p.), plus a
+        // small diagonal for conditioning.
+        DenseMatrix a = g.gram();
+        for (std::size_t i = 0; i < n; ++i)
+            a(i, i) += 0.1;
+
+        std::vector<double> want(n);
+        for (auto &v : want)
+            v = rng.uniform(-2.0, 2.0);
+
+        // b = A * want.
+        std::vector<double> b(n, 0.0);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                b[r] += a(r, c) * want[c];
+
+        const auto x = choleskySolve(a, b);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], want[i], 1e-8);
+    }
+}
+
+TEST(CholeskySolve, RejectsIndefinite)
+{
+    DenseMatrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 1) = -1.0;
+    EXPECT_THROW(choleskySolve(a, {1.0, 1.0}), std::domain_error);
+}
+
+TEST(CholeskySolve, RejectsShapeMismatch)
+{
+    DenseMatrix a(2, 3);
+    EXPECT_THROW(choleskySolve(a, {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(RidgeLeastSquares, RecoversExactSolutionNoiseFree)
+{
+    Rng rng(4);
+    const std::size_t rows = 40;
+    const std::size_t cols = 6;
+    const DenseMatrix a = randomMatrix(rows, cols, rng);
+    std::vector<double> want(cols);
+    for (auto &v : want)
+        v = rng.uniform(-1.0, 1.0);
+    const auto b = a.times(want);
+
+    const auto x = ridgeLeastSquares(a, b, 1e-12);
+    for (std::size_t i = 0; i < cols; ++i)
+        EXPECT_NEAR(x[i], want[i], 1e-6);
+}
+
+TEST(RidgeLeastSquares, RegularizationShrinksNorm)
+{
+    Rng rng(5);
+    const DenseMatrix a = randomMatrix(30, 5, rng);
+    std::vector<double> b(30);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+
+    auto norm = [](const std::vector<double> &v) {
+        double s = 0.0;
+        for (double x : v)
+            s += x * x;
+        return std::sqrt(s);
+    };
+    const auto weak = ridgeLeastSquares(a, b, 1e-9);
+    const auto strong = ridgeLeastSquares(a, b, 100.0);
+    EXPECT_LT(norm(strong), norm(weak));
+}
+
+TEST(DenseMatrix, GramIsSymmetric)
+{
+    Rng rng(6);
+    const DenseMatrix a = randomMatrix(10, 7, rng);
+    const DenseMatrix g = a.gram();
+    ASSERT_EQ(g.rows(), 7u);
+    ASSERT_EQ(g.cols(), 7u);
+    for (std::size_t i = 0; i < 7; ++i)
+        for (std::size_t j = 0; j < 7; ++j)
+            EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+}
+
+TEST(DenseMatrix, TransposeTimesMatchesManual)
+{
+    DenseMatrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 3.0;
+    a(1, 1) = 4.0;
+    const auto v = a.transposeTimes({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(v[0], 4.0);
+    EXPECT_DOUBLE_EQ(v[1], 6.0);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG and procedural noise primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace pce {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 7.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(7);
+    const int n = 50000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalIsPositive)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng rng(9);
+    const uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(9);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(HashNoise, DeterministicAndBounded)
+{
+    for (int x = -20; x <= 20; x += 7) {
+        for (int y = -20; y <= 20; y += 5) {
+            const double v = hashNoise(x, y, 42);
+            EXPECT_GE(v, 0.0);
+            EXPECT_LT(v, 1.0);
+            EXPECT_EQ(v, hashNoise(x, y, 42));
+        }
+    }
+}
+
+TEST(HashNoise, SeedChangesField)
+{
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += hashNoise(i, i * 3, 1) == hashNoise(i, i * 3, 2);
+    EXPECT_LT(same, 3);
+}
+
+TEST(ValueNoise, SmoothBetweenLatticePoints)
+{
+    // At lattice points, value noise equals the hash; between them it
+    // interpolates, so it must stay within the hull of the 4 corners.
+    const uint64_t seed = 77;
+    for (double x = 0.1; x < 3.0; x += 0.37) {
+        for (double y = 0.1; y < 3.0; y += 0.41) {
+            const double v = valueNoise(x, y, seed);
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(FbmNoise, BoundedAndDeterministic)
+{
+    for (double x = -2.0; x < 2.0; x += 0.31) {
+        const double v = fbmNoise(x, x * 1.7, 5, 4);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        EXPECT_EQ(v, fbmNoise(x, x * 1.7, 5, 4));
+    }
+}
+
+TEST(FbmNoise, MoreOctavesAddDetail)
+{
+    // 1-octave fbm equals value noise; more octaves must differ
+    // somewhere (they add higher-frequency energy).
+    bool differs = false;
+    for (double x = 0.0; x < 4.0; x += 0.13) {
+        if (std::abs(fbmNoise(x, 1.3, 9, 1) - fbmNoise(x, 1.3, 9, 5)) >
+            1e-6)
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the Vec3/Mat3 linear algebra substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/mat3.hh"
+#include "common/rng.hh"
+#include "common/vec3.hh"
+
+namespace pce {
+namespace {
+
+TEST(Vec3, BasicArithmetic)
+{
+    const Vec3 a(1.0, 2.0, 3.0);
+    const Vec3 b(4.0, -5.0, 6.0);
+    EXPECT_EQ(a + b, Vec3(5.0, -3.0, 9.0));
+    EXPECT_EQ(a - b, Vec3(-3.0, 7.0, -3.0));
+    EXPECT_EQ(a * 2.0, Vec3(2.0, 4.0, 6.0));
+    EXPECT_EQ(2.0 * a, a * 2.0);
+    EXPECT_EQ(-a, Vec3(-1.0, -2.0, -3.0));
+    EXPECT_EQ(a / 2.0, Vec3(0.5, 1.0, 1.5));
+}
+
+TEST(Vec3, CompoundAssignment)
+{
+    Vec3 v(1.0, 1.0, 1.0);
+    v += Vec3(1.0, 2.0, 3.0);
+    EXPECT_EQ(v, Vec3(2.0, 3.0, 4.0));
+    v -= Vec3(1.0, 1.0, 1.0);
+    EXPECT_EQ(v, Vec3(1.0, 2.0, 3.0));
+    v *= 3.0;
+    EXPECT_EQ(v, Vec3(3.0, 6.0, 9.0));
+}
+
+TEST(Vec3, DotAndCross)
+{
+    const Vec3 x(1.0, 0.0, 0.0);
+    const Vec3 y(0.0, 1.0, 0.0);
+    const Vec3 z(0.0, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+    EXPECT_EQ(x.cross(y), z);
+    EXPECT_EQ(y.cross(z), x);
+    EXPECT_EQ(z.cross(x), y);
+    // Anti-commutativity.
+    EXPECT_EQ(x.cross(y), -(y.cross(x)));
+}
+
+TEST(Vec3, CrossIsOrthogonal)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3 a(rng.uniform(-1, 1), rng.uniform(-1, 1),
+                     rng.uniform(-1, 1));
+        const Vec3 b(rng.uniform(-1, 1), rng.uniform(-1, 1),
+                     rng.uniform(-1, 1));
+        const Vec3 c = a.cross(b);
+        EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+        EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+    }
+}
+
+TEST(Vec3, NormAndNormalize)
+{
+    const Vec3 v(3.0, 4.0, 0.0);
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.squaredNorm(), 25.0);
+    EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3, IndexAccess)
+{
+    Vec3 v(1.0, 2.0, 3.0);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+    EXPECT_DOUBLE_EQ(v[2], 3.0);
+    v[1] = 9.0;
+    EXPECT_DOUBLE_EQ(v.y, 9.0);
+}
+
+TEST(Vec3, ClampAndExtrema)
+{
+    const Vec3 v(-0.5, 0.5, 1.5);
+    EXPECT_EQ(v.clamped(0.0, 1.0), Vec3(0.0, 0.5, 1.0));
+    EXPECT_DOUBLE_EQ(v.maxCoeff(), 1.5);
+    EXPECT_DOUBLE_EQ(v.minCoeff(), -0.5);
+}
+
+TEST(Vec3, CwiseOps)
+{
+    const Vec3 a(2.0, 3.0, 4.0);
+    const Vec3 b(4.0, 6.0, 8.0);
+    EXPECT_EQ(a.cwiseMul(b), Vec3(8.0, 18.0, 32.0));
+    EXPECT_EQ(b.cwiseDiv(a), Vec3(2.0, 2.0, 2.0));
+}
+
+TEST(Vec3, Lerp)
+{
+    const Vec3 a(0.0, 0.0, 0.0);
+    const Vec3 b(1.0, 2.0, 4.0);
+    EXPECT_EQ(lerp(a, b, 0.0), a);
+    EXPECT_EQ(lerp(a, b, 1.0), b);
+    EXPECT_EQ(lerp(a, b, 0.5), Vec3(0.5, 1.0, 2.0));
+}
+
+TEST(Mat3, IdentityBehaviour)
+{
+    const Mat3 id = Mat3::identity();
+    const Vec3 v(1.0, -2.0, 3.0);
+    EXPECT_EQ(id * v, v);
+    EXPECT_DOUBLE_EQ(id.determinant(), 1.0);
+}
+
+TEST(Mat3, MatrixVectorProduct)
+{
+    const Mat3 m(1, 2, 3,
+                 4, 5, 6,
+                 7, 8, 10);
+    const Vec3 v(1.0, 1.0, 1.0);
+    EXPECT_EQ(m * v, Vec3(6.0, 15.0, 25.0));
+}
+
+TEST(Mat3, MatrixMatrixProduct)
+{
+    const Mat3 a(1, 2, 0,
+                 0, 1, 0,
+                 0, 0, 1);
+    const Mat3 b(1, 0, 0,
+                 3, 1, 0,
+                 0, 0, 1);
+    const Mat3 c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 3.0);
+}
+
+TEST(Mat3, TransposeInvolution)
+{
+    const Mat3 m(1, 2, 3,
+                 4, 5, 6,
+                 7, 8, 9);
+    const Mat3 t = m.transpose();
+    EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+    const Mat3 tt = t.transpose();
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(tt(r, c), m(r, c));
+}
+
+TEST(Mat3, InverseRoundTrip)
+{
+    Rng rng(7);
+    int tested = 0;
+    while (tested < 50) {
+        Mat3 m;
+        for (std::size_t r = 0; r < 3; ++r)
+            for (std::size_t c = 0; c < 3; ++c)
+                m(r, c) = rng.uniform(-2.0, 2.0);
+        if (std::abs(m.determinant()) < 1e-3)
+            continue;  // skip near-singular draws
+        const Mat3 inv = m.inverse();
+        const Mat3 prod = m * inv;
+        for (std::size_t r = 0; r < 3; ++r)
+            for (std::size_t c = 0; c < 3; ++c)
+                EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+        ++tested;
+    }
+}
+
+TEST(Mat3, SingularInverseThrows)
+{
+    const Mat3 m(1, 2, 3,
+                 2, 4, 6,
+                 0, 0, 1);
+    EXPECT_THROW(m.inverse(), std::domain_error);
+}
+
+TEST(Mat3, DiagonalConstruction)
+{
+    const Mat3 d = Mat3::diagonal(Vec3(2.0, 3.0, 4.0));
+    EXPECT_EQ(d * Vec3(1.0, 1.0, 1.0), Vec3(2.0, 3.0, 4.0));
+    EXPECT_DOUBLE_EQ(d.determinant(), 24.0);
+}
+
+TEST(Mat3, RowColAccessors)
+{
+    const Mat3 m(1, 2, 3,
+                 4, 5, 6,
+                 7, 8, 9);
+    EXPECT_EQ(m.row(1), Vec3(4.0, 5.0, 6.0));
+    EXPECT_EQ(m.col(2), Vec3(3.0, 6.0, 9.0));
+}
+
+} // namespace
+} // namespace pce

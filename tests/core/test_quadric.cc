@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the quadric transform and extrema datapath (paper Sec. 3.4,
+ * Eq. 9-13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "color/dkl.hh"
+#include "common/rng.hh"
+#include "core/quadric.hh"
+#include "perception/discrimination.hh"
+
+namespace pce {
+namespace {
+
+Ellipsoid
+randomEllipsoid(Rng &rng)
+{
+    const AnalyticDiscriminationModel model;
+    const Vec3 rgb(rng.uniform(0.05, 0.95), rng.uniform(0.05, 0.95),
+                   rng.uniform(0.05, 0.95));
+    return model.ellipsoidFor(rgb, rng.uniform(0.0, 45.0));
+}
+
+TEST(Quadric, CenterIsStrictlyInside)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const Quadric q = Quadric::fromDklEllipsoid(e);
+        EXPECT_LT(q.value(dklToRgb(e.centerDkl)), 0.0);
+    }
+}
+
+TEST(Quadric, DklSurfacePointsLieOnQuadric)
+{
+    // Sample the DKL ellipsoid surface, map to RGB, evaluate the RGB
+    // quadric: the transform (Eq. 10) must preserve the surface.
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const Quadric q = Quadric::fromDklEllipsoid(e);
+        for (int s = 0; s < 20; ++s) {
+            Vec3 dir(rng.gaussian(), rng.gaussian(), rng.gaussian());
+            dir = dir / dir.norm();
+            const Vec3 surface_dkl =
+                e.centerDkl + dir.cwiseMul(e.semiAxes);
+            EXPECT_NEAR(q.value(dklToRgb(surface_dkl)), 0.0, 1e-6);
+        }
+    }
+}
+
+TEST(Quadric, MembershipAgreesWithEllipsoid)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const Quadric q = Quadric::fromDklEllipsoid(e);
+        // Points near the surface, inside and outside.
+        Vec3 dir(rng.gaussian(), rng.gaussian(), rng.gaussian());
+        dir = dir / dir.norm();
+        const Vec3 inside =
+            e.centerDkl + dir.cwiseMul(e.semiAxes) * 0.9;
+        const Vec3 outside =
+            e.centerDkl + dir.cwiseMul(e.semiAxes) * 1.1;
+        EXPECT_TRUE(q.contains(dklToRgb(inside), 1e-9));
+        EXPECT_FALSE(q.contains(dklToRgb(outside), 1e-9));
+    }
+}
+
+TEST(Quadric, PaperCoefficientFormEvaluatesConsistently)
+{
+    // Eq. 9: A x^2 + B y^2 + C z^2 + D x + E y + F z + G xy + H yz +
+    // I zx + 1 must vanish exactly where the unnormalized quadric does.
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const Quadric q = Quadric::fromDklEllipsoid(e);
+        const auto [A, B, C, D, E, F, G, H, I] = [&q]() {
+            const auto c = q.paperCoefficients();
+            return std::tuple(c[0], c[1], c[2], c[3], c[4], c[5], c[6],
+                              c[7], c[8]);
+        }();
+        Vec3 dir(rng.gaussian(), rng.gaussian(), rng.gaussian());
+        dir = dir / dir.norm();
+        const Vec3 p = dklToRgb(e.centerDkl + dir.cwiseMul(e.semiAxes));
+        const double paper_value = A * p.x * p.x + B * p.y * p.y +
+                                   C * p.z * p.z + D * p.x + E * p.y +
+                                   F * p.z + G * p.x * p.y +
+                                   H * p.y * p.z + I * p.z * p.x + 1.0;
+        EXPECT_NEAR(paper_value, 0.0, 1e-6);
+    }
+}
+
+class ExtremaAxisTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ExtremaAxisTest, PaperDatapathMatchesLagrangeForm)
+{
+    // The Eq. 11-13 hardware datapath and the independent Lagrangian
+    // closed form must produce the same extrema.
+    const int axis = GetParam();
+    Rng rng(5 + axis);
+    for (int i = 0; i < 500; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const ExtremaPair a = extremaAlongAxis(e, axis);
+        const ExtremaPair b = extremaAlongAxisLagrange(e, axis);
+        EXPECT_LT((a.high - b.high).norm(), 1e-9);
+        EXPECT_LT((a.low - b.low).norm(), 1e-9);
+    }
+}
+
+TEST_P(ExtremaAxisTest, ExtremaLieOnTheEllipsoidSurface)
+{
+    const int axis = GetParam();
+    Rng rng(8 + axis);
+    for (int i = 0; i < 300; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const ExtremaPair ex = extremaAlongAxis(e, axis);
+        EXPECT_NEAR(e.membership(rgbToDkl(ex.high)), 1.0, 1e-9);
+        EXPECT_NEAR(e.membership(rgbToDkl(ex.low)), 1.0, 1e-9);
+    }
+}
+
+TEST_P(ExtremaAxisTest, NoSampledPointBeatsTheExtrema)
+{
+    // Optimality: random surface samples must not exceed the computed
+    // extrema along the axis.
+    const int axis = GetParam();
+    Rng rng(11 + axis);
+    for (int i = 0; i < 50; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const ExtremaPair ex = extremaAlongAxis(e, axis);
+        for (int s = 0; s < 100; ++s) {
+            Vec3 dir(rng.gaussian(), rng.gaussian(), rng.gaussian());
+            dir = dir / dir.norm();
+            const Vec3 p =
+                dklToRgb(e.centerDkl + dir.cwiseMul(e.semiAxes));
+            EXPECT_LE(p[axis], ex.high[axis] + 1e-9);
+            EXPECT_GE(p[axis], ex.low[axis] - 1e-9);
+        }
+    }
+}
+
+TEST_P(ExtremaAxisTest, HighIsAboveCenterAboveLow)
+{
+    const int axis = GetParam();
+    Rng rng(14 + axis);
+    for (int i = 0; i < 200; ++i) {
+        const Ellipsoid e = randomEllipsoid(rng);
+        const ExtremaPair ex = extremaAlongAxis(e, axis);
+        const Vec3 center_rgb = dklToRgb(e.centerDkl);
+        EXPECT_GT(ex.high[axis], center_rgb[axis]);
+        EXPECT_LT(ex.low[axis], center_rgb[axis]);
+        // The extrema chord passes through the center: midpoint of the
+        // two support points is the center for a symmetric body.
+        const Vec3 mid = (ex.high + ex.low) * 0.5;
+        EXPECT_LT((mid - center_rgb).norm(), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, ExtremaAxisTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Extrema, RejectsBadAxis)
+{
+    Rng rng(20);
+    const Ellipsoid e = randomEllipsoid(rng);
+    EXPECT_THROW(extremaAlongAxis(e, 3), std::invalid_argument);
+    EXPECT_THROW(extremaAlongAxisLagrange(e, -1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the cycle-approximate CAU pipeline simulator (Sec. 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cau_model.hh"
+#include "hw/cau_sim.hh"
+
+namespace pce {
+namespace {
+
+CauSimConfig
+paperConfig()
+{
+    CauSimConfig config;
+    config.peCount = 96;
+    config.bufferTilesPerPe = 2;
+    config.tilePixels = 16;
+    config.gpuPixelsPerCycle = 1536.0;  // peak GPU output
+    return config;
+}
+
+TEST(CauSim, PaperDesignPointRunsStallFree)
+{
+    // Sec. 4.2 / 6.1: 96 PEs with double-buffered pending buffers match
+    // the GPU's peak tile rate -- no GPU back-pressure.
+    const CauPipelineSim sim(paperConfig());
+    const auto result = sim.simulateFrame(uint64_t(1536) * 16 * 1000);
+    EXPECT_EQ(result.gpuStallCycles, 0u);
+    EXPECT_GT(result.peUtilization(), 0.99);
+}
+
+TEST(CauSim, TileConservation)
+{
+    const CauPipelineSim sim(paperConfig());
+    const uint64_t pixels = 5408ull * 2736ull;
+    const auto result = sim.simulateFrame(pixels);
+    EXPECT_EQ(result.tilesProcessed, (pixels + 15) / 16);
+}
+
+TEST(CauSim, HalvingPeCountStallsTheGpu)
+{
+    CauSimConfig config = paperConfig();
+    config.peCount = 48;
+    const CauPipelineSim sim(config);
+    const auto result = sim.simulateFrame(uint64_t(1536) * 16 * 200);
+    EXPECT_GT(result.gpuStallFraction(), 0.4);
+
+    // Throughput degrades toward the PE-bound rate: roughly twice the
+    // cycles of the balanced design.
+    const auto balanced =
+        CauPipelineSim(paperConfig())
+            .simulateFrame(uint64_t(1536) * 16 * 200);
+    EXPECT_GT(result.cycles, balanced.cycles * 3 / 2);
+}
+
+TEST(CauSim, OverProvisionedPesStarve)
+{
+    CauSimConfig config = paperConfig();
+    config.peCount = 192;  // twice what the GPU can feed
+    const CauPipelineSim sim(config);
+    const auto result = sim.simulateFrame(uint64_t(1536) * 16 * 500);
+    EXPECT_EQ(result.gpuStallCycles, 0u);
+    EXPECT_LT(result.peUtilization(), 0.55);
+}
+
+TEST(CauSim, BuffersNeverExceedCapacity)
+{
+    for (int depth : {1, 2, 4}) {
+        CauSimConfig config = paperConfig();
+        config.bufferTilesPerPe = depth;
+        const auto result = CauPipelineSim(config).simulateFrame(
+            uint64_t(1536) * 16 * 100);
+        EXPECT_LE(result.maxBufferOccupancy, depth);
+    }
+}
+
+TEST(CauSim, BurstyTrafficNeedsDeeperBuffers)
+{
+    // At a 40% duty cycle the GPU bursts above the CAU's consumption
+    // rate (120 tiles/cycle vs 96); single-buffering back-pressures
+    // during bursts while deeper buffers absorb them.
+    CauSimConfig shallow = paperConfig();
+    shallow.traffic = GpuTraffic::Bursty;
+    shallow.dutyCycle = 0.4;
+    shallow.burstCycles = 8;
+    shallow.gpuPixelsPerCycle = 768.0;  // average; peak = 1920 px
+    shallow.bufferTilesPerPe = 1;
+
+    CauSimConfig deep = shallow;
+    deep.bufferTilesPerPe = 4;
+
+    const uint64_t pixels = uint64_t(1536) * 16 * 200;
+    const auto r_shallow = CauPipelineSim(shallow).simulateFrame(pixels);
+    const auto r_deep = CauPipelineSim(deep).simulateFrame(pixels);
+    EXPECT_GT(r_shallow.gpuStallCycles, r_deep.gpuStallCycles);
+}
+
+TEST(CauSim, UnderfedCauStarvesWithoutStalling)
+{
+    CauSimConfig config = paperConfig();
+    config.gpuPixelsPerCycle = 768.0;  // GPU at half rate
+    const auto result = CauPipelineSim(config).simulateFrame(
+        uint64_t(1536) * 16 * 200);
+    EXPECT_EQ(result.gpuStallCycles, 0u);
+    EXPECT_NEAR(result.peUtilization(), 0.5, 0.05);
+}
+
+TEST(CauSim, AgreesWithAnalyticalDelayAtDesignPoint)
+{
+    // At the balanced design point the simulated frame time should
+    // match the analytical sustained-rate delay model within a few
+    // percent (pipeline fill/drain overhead).
+    const CauModel analytic;
+    const CauPipelineSim sim(paperConfig());
+    const uint64_t w = 5408;
+    const uint64_t h = 2736;
+
+    // The analytic model assumes the *sustained* GPU rate of 1 px per
+    // core per CAU cycle (512/cycle); configure the sim to match.
+    CauSimConfig sustained = paperConfig();
+    sustained.gpuPixelsPerCycle = 512.0;
+    const auto result =
+        CauPipelineSim(sustained).simulateFrame(w * h);
+    const double sim_us =
+        static_cast<double>(result.cycles) * 6.0 / 1000.0;
+    const double analytic_us =
+        analytic.compressionDelayUs(static_cast<int>(w),
+                                    static_cast<int>(h));
+    EXPECT_NEAR(sim_us, analytic_us, analytic_us * 0.05);
+}
+
+TEST(CauSim, RejectsInvalidConfig)
+{
+    CauSimConfig config = paperConfig();
+    config.peCount = 0;
+    EXPECT_THROW(CauPipelineSim{config}, std::invalid_argument);
+
+    config = paperConfig();
+    config.traffic = GpuTraffic::Bursty;
+    config.dutyCycle = 0.0;
+    EXPECT_THROW(CauPipelineSim{config}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace pce

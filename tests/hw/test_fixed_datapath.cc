@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the fixed-point Compute-Extrema datapath model (Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "color/dkl.hh"
+#include "common/rng.hh"
+#include "hw/fixed_datapath.hh"
+
+namespace pce {
+namespace {
+
+TEST(Fixed, RoundTripsDoubles)
+{
+    for (double v : {0.0, 1.0, -1.0, 0.123456, -3.75, 19.99}) {
+        const Fixed f = Fixed::fromDouble(v, 24);
+        EXPECT_NEAR(f.toDouble(), v, 1.0 / (1 << 24));
+    }
+}
+
+TEST(Fixed, ArithmeticMatchesDoubles)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-8.0, 8.0);
+        const double b = rng.uniform(-8.0, 8.0);
+        const Fixed fa = Fixed::fromDouble(a, 24);
+        const Fixed fb = Fixed::fromDouble(b, 24);
+        EXPECT_NEAR((fa + fb).toDouble(), a + b, 1e-6);
+        EXPECT_NEAR((fa - fb).toDouble(), a - b, 1e-6);
+        EXPECT_NEAR((fa * fb).toDouble(), a * b, 1e-5);
+    }
+}
+
+TEST(Fixed, SqrtMatchesDouble)
+{
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const double v = rng.uniform(1e-4, 50.0);
+        const Fixed f = Fixed::fromDouble(v, 24);
+        EXPECT_NEAR(f.sqrt().toDouble(), std::sqrt(v), 1e-5)
+            << "v = " << v;
+    }
+    EXPECT_DOUBLE_EQ(Fixed::fromDouble(0.0, 24).sqrt().toDouble(), 0.0);
+}
+
+TEST(Fixed, ReciprocalMatchesDouble)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const double v = rng.uniform(0.05, 20.0);
+        const Fixed f = Fixed::fromDouble(v, 24);
+        EXPECT_NEAR(f.reciprocal().toDouble(), 1.0 / v, 1e-4)
+            << "v = " << v;
+    }
+}
+
+TEST(Fixed, DomainErrors)
+{
+    EXPECT_THROW(Fixed::fromDouble(-1.0, 24).sqrt(), std::domain_error);
+    EXPECT_THROW(Fixed::fromDouble(0.0, 24).reciprocal(),
+                 std::domain_error);
+    EXPECT_THROW(Fixed::fromDouble(1.0, 0), std::invalid_argument);
+}
+
+class FixedWidthTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FixedWidthTest, ExtremaTrackDoubleReference)
+{
+    const int frac_bits = GetParam();
+    const AnalyticDiscriminationModel model;
+    const FixedDatapathConfig config{frac_bits};
+    const auto err = compareFixedDatapath(model, 100, config);
+
+    // Wider datapaths are (weakly) more accurate; concrete bounds per
+    // width keep the trend honest (measured profile: ~3.8e-3 max at
+    // F=24, ~2.7e-4 at F=28, ~1.8e-5 at F=32).
+    if (frac_bits >= 28) {
+        EXPECT_LT(err.maxAbsError, 1e-3);
+    } else if (frac_bits >= 24) {
+        EXPECT_LT(err.maxAbsError, 1e-2);
+    } else if (frac_bits >= 20) {
+        EXPECT_LT(err.maxAbsError, 2e-1);
+    }
+    EXPECT_LE(err.rmsError, err.maxAbsError);
+}
+
+TEST_P(FixedWidthTest, FixedExtremaRemainNearTheSurface)
+{
+    // Membership > 1 means the quantized datapath left the perceptual
+    // constraint; it must stay within a width-dependent epsilon.
+    const int frac_bits = GetParam();
+    const AnalyticDiscriminationModel model;
+    const auto err = compareFixedDatapath(
+        model, 100, FixedDatapathConfig{frac_bits});
+    if (frac_bits >= 24) {
+        EXPECT_LT(err.maxMembership, 1.05);
+    } else if (frac_bits >= 20) {
+        EXPECT_LT(err.maxMembership, 1.6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FixedWidthTest,
+                         ::testing::Values(16, 20, 24, 28, 32));
+
+TEST(FixedDatapath, AccuracyImprovesWithWidth)
+{
+    const AnalyticDiscriminationModel model;
+    double prev = 1e300;
+    for (int frac_bits : {14, 20, 26, 32}) {
+        const auto err = compareFixedDatapath(
+            model, 60, FixedDatapathConfig{frac_bits});
+        EXPECT_LE(err.rmsError, prev * 1.5)
+            << "frac_bits " << frac_bits;
+        prev = err.rmsError;
+    }
+}
+
+TEST(FixedDatapath, RejectsBadAxis)
+{
+    const AnalyticDiscriminationModel model;
+    const Ellipsoid e = model.ellipsoidFor(Vec3(0.5, 0.5, 0.5), 20.0);
+    EXPECT_THROW(extremaAlongAxisFixed(e, 3, FixedDatapathConfig{}),
+                 std::invalid_argument);
+}
+
+TEST(FixedDatapath, HighAndLowOrderedLikeReference)
+{
+    const AnalyticDiscriminationModel model;
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        const Vec3 rgb(rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9),
+                       rng.uniform(0.1, 0.9));
+        const Ellipsoid e = model.ellipsoidFor(rgb, 25.0);
+        for (int axis : {0, 2}) {
+            const auto pair =
+                extremaAlongAxisFixed(e, axis, FixedDatapathConfig{});
+            EXPECT_GE(pair.high[axis], pair.low[axis]);
+        }
+    }
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Edge cases of the PPM reader/writer: comments, whitespace, and
+ * malformed headers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "image/ppm.hh"
+
+namespace pce {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+tempPath(const char *name)
+{
+    return (fs::temp_directory_path() / name).string();
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream f(path, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(PpmEdge, HeaderCommentsAreSkipped)
+{
+    const std::string path = tempPath("pce_comment.ppm");
+    std::string content = "P6\n# a comment line\n2 # inline\n1\n255\n";
+    content += std::string("\x01\x02\x03\x04\x05\x06", 6);
+    writeBytes(path, content);
+    const ImageU8 img = readPpm(path);
+    EXPECT_EQ(img.width(), 2);
+    EXPECT_EQ(img.height(), 1);
+    EXPECT_EQ(img.channel(0, 0, 0), 1);
+    EXPECT_EQ(img.channel(1, 0, 2), 6);
+    fs::remove(path);
+}
+
+TEST(PpmEdge, RejectsWrongMagic)
+{
+    const std::string path = tempPath("pce_magic.ppm");
+    writeBytes(path, "P5\n2 1\n255\nxxxxxx");
+    EXPECT_THROW(readPpm(path), std::runtime_error);
+    fs::remove(path);
+}
+
+TEST(PpmEdge, RejectsUnsupportedMaxval)
+{
+    const std::string path = tempPath("pce_maxval.ppm");
+    writeBytes(path, "P6\n1 1\n65535\n\x00\x00\x00\x00\x00\x00");
+    EXPECT_THROW(readPpm(path), std::runtime_error);
+    fs::remove(path);
+}
+
+TEST(PpmEdge, RejectsTruncatedPixels)
+{
+    const std::string path = tempPath("pce_trunc.ppm");
+    writeBytes(path, "P6\n4 4\n255\nshort");
+    EXPECT_THROW(readPpm(path), std::runtime_error);
+    fs::remove(path);
+}
+
+TEST(PpmEdge, WriteRejectsBadPath)
+{
+    const ImageU8 img(2, 2);
+    EXPECT_THROW(writePpm("/nonexistent-dir/file.ppm", img),
+                 std::runtime_error);
+}
+
+TEST(PpmEdge, SinglePixelRoundTrip)
+{
+    const std::string path = tempPath("pce_single.ppm");
+    ImageU8 img(1, 1);
+    img.setChannel(0, 0, 0, 200);
+    img.setChannel(0, 0, 1, 100);
+    img.setChannel(0, 0, 2, 50);
+    writePpm(path, img);
+    EXPECT_EQ(readPpm(path), img);
+    fs::remove(path);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the reporting helpers shared by the benchmark harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/report.hh"
+
+namespace pce {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPrintsTitle)
+{
+    TextTable table("Demo");
+    table.setHeader({"scene", "bpp"});
+    table.addRow({"office", "7.17"});
+    table.addRow({"fortnite-long-name", "5.51"});
+    std::ostringstream ss;
+    table.print(ss);
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("office"), std::string::npos);
+    EXPECT_NE(out.find("fortnite-long-name"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Both value cells start in the same column: find the lines.
+    std::istringstream lines(out);
+    std::string line;
+    std::vector<std::string> rows;
+    while (std::getline(lines, line))
+        rows.push_back(line);
+    ASSERT_GE(rows.size(), 4u);
+    EXPECT_EQ(rows[3].find("7.17"), rows[4].find("5.51"));
+}
+
+TEST(TextTable, WorksWithoutHeader)
+{
+    TextTable table("NoHeader");
+    table.addRow({"a", "b"});
+    std::ostringstream ss;
+    table.print(ss);
+    EXPECT_NE(ss.str().find("a"), std::string::npos);
+}
+
+TEST(FmtDouble, PrecisionControl)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(3.14159, 4), "3.1416");
+    EXPECT_EQ(fmtDouble(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(BitsPerPixel, BasicMath)
+{
+    EXPECT_DOUBLE_EQ(bitsPerPixel(2400, 100), 24.0);
+    EXPECT_DOUBLE_EQ(bitsPerPixel(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(bitsPerPixel(100, 0), 0.0);
+    EXPECT_DOUBLE_EQ(bitsPerPixelFromBytes(300, 100), 24.0);
+}
+
+TEST(Reduction, VsRaw)
+{
+    EXPECT_DOUBLE_EQ(reductionVsRawPercent(24.0), 0.0);
+    EXPECT_DOUBLE_EQ(reductionVsRawPercent(12.0), 50.0);
+    EXPECT_DOUBLE_EQ(reductionVsRawPercent(8.0),
+                     100.0 * (1.0 - 8.0 / 24.0));
+}
+
+TEST(Reduction, VsBaseline)
+{
+    EXPECT_DOUBLE_EQ(reductionVsBaselinePercent(8.0, 12.0),
+                     100.0 * (1.0 - 8.0 / 12.0));
+    EXPECT_DOUBLE_EQ(reductionVsBaselinePercent(12.0, 12.0), 0.0);
+    // Negative when we are worse than the baseline (PNG sometimes wins,
+    // Fig. 10).
+    EXPECT_LT(reductionVsBaselinePercent(14.0, 12.0), 0.0);
+    EXPECT_DOUBLE_EQ(reductionVsBaselinePercent(8.0, 0.0), 0.0);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the temporal-flicker metric and the temporal behaviour of
+ * the perceptual encoder on animated scenes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "metrics/temporal.hh"
+#include "render/scenes.hh"
+
+namespace pce {
+namespace {
+
+TEST(TemporalFlicker, ZeroWhenAdjustmentIsCoherent)
+{
+    // Identical adjustment offsets at t and t+1: induced flicker = 0
+    // even though both content and adjustment are nonzero.
+    const int n = 16;
+    ImageF orig_t(n, n, Vec3(0.4, 0.4, 0.4));
+    ImageF orig_t1(n, n, Vec3(0.5, 0.5, 0.5));  // content moves
+    ImageF adj_t(n, n, Vec3(0.42, 0.4, 0.4));   // constant offset
+    ImageF adj_t1(n, n, Vec3(0.52, 0.5, 0.5));
+    const auto stats =
+        temporalFlicker(orig_t, orig_t1, adj_t, adj_t1);
+    EXPECT_NEAR(stats.meanFlicker, 0.0, 1e-12);
+    EXPECT_NEAR(stats.maxFlicker, 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.fractionAbove, 0.0);
+}
+
+TEST(TemporalFlicker, DetectsInducedFlicker)
+{
+    // Static content, oscillating adjustment: pure induced flicker.
+    const int n = 16;
+    const ImageF orig(n, n, Vec3(0.4, 0.4, 0.4));
+    const ImageF adj_t(n, n, Vec3(0.45, 0.4, 0.4));
+    const ImageF adj_t1(n, n, Vec3(0.35, 0.4, 0.4));
+    const auto stats = temporalFlicker(orig, orig, adj_t, adj_t1);
+    EXPECT_NEAR(stats.meanFlicker, 0.1, 1e-12);
+    EXPECT_NEAR(stats.maxFlicker, 0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.fractionAbove, 1.0);
+}
+
+TEST(TemporalFlicker, ThresholdSplitsPopulation)
+{
+    const int n = 8;
+    const ImageF orig(n, n, Vec3(0.5, 0.5, 0.5));
+    ImageF adj_t = orig;
+    ImageF adj_t1 = orig;
+    // Half the pixels flicker strongly.
+    for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n / 2; ++x)
+            adj_t1.at(x, y) = Vec3(0.6, 0.5, 0.5);
+    const auto stats =
+        temporalFlicker(orig, orig, adj_t, adj_t1, 0.05);
+    EXPECT_NEAR(stats.fractionAbove, 0.5, 1e-12);
+}
+
+TEST(TemporalFlicker, RejectsSizeMismatch)
+{
+    const ImageF a(4, 4);
+    const ImageF b(5, 4);
+    EXPECT_THROW(temporalFlicker(a, b, a, a), std::invalid_argument);
+}
+
+TEST(TemporalFlicker, EncoderIsReasonablyStableOnAnimation)
+{
+    // Two consecutive frames of an animated scene: the encoder's
+    // induced flicker should stay well below the adjustment magnitude
+    // itself (deterministic per-tile decisions keep static regions
+    // static).
+    const int n = 96;
+    DisplayGeometry g;
+    g.width = n;
+    g.height = n;
+    g.fixationX = n / 2.0;
+    g.fixationY = n / 2.0;
+    const EccentricityMap ecc(g);
+    const AnalyticDiscriminationModel model;
+    const PerceptualEncoder enc(model, {});
+
+    const double dt = 1.0 / 72.0;
+    const ImageF orig_t =
+        renderScene(SceneId::Fortnite, {n, n, 0, 1.0, 0});
+    const ImageF orig_t1 =
+        renderScene(SceneId::Fortnite, {n, n, 0, 1.0 + dt, 0});
+    const ImageF adj_t = enc.adjustFrame(orig_t, ecc);
+    const ImageF adj_t1 = enc.adjustFrame(orig_t1, ecc);
+
+    const auto stats =
+        temporalFlicker(orig_t, orig_t1, adj_t, adj_t1);
+    // Mean adjustment magnitude for context.
+    double adj_mag = 0.0;
+    for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n; ++x) {
+            const Vec3 d = adj_t.at(x, y) - orig_t.at(x, y);
+            adj_mag +=
+                std::abs(d.x) + std::abs(d.y) + std::abs(d.z);
+        }
+    adj_mag /= static_cast<double>(orig_t.pixelCount());
+
+    EXPECT_LT(stats.meanFlicker, adj_mag)
+        << "induced flicker should not exceed the adjustment itself";
+    EXPECT_GE(stats.meanFlicker, 0.0);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the dark-adaptation model extension (paper Sec. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perception/adaptation.hh"
+
+namespace pce {
+namespace {
+
+const AnalyticDiscriminationModel &
+photopic()
+{
+    static const AnalyticDiscriminationModel m;
+    return m;
+}
+
+TEST(DarkAdaptation, NoBoostAtOrAboveReference)
+{
+    const DarkAdaptationModel at_ref(photopic(), 100.0);
+    const DarkAdaptationModel bright(photopic(), 500.0);
+    EXPECT_DOUBLE_EQ(at_ref.boost(), 1.0);
+    EXPECT_DOUBLE_EQ(bright.boost(), 1.0);
+
+    const Vec3 rgb(0.4, 0.4, 0.4);
+    const Vec3 a = photopic().semiAxes(rgb, 20.0);
+    const Vec3 b = at_ref.semiAxes(rgb, 20.0);
+    EXPECT_DOUBLE_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.z, b.z);
+}
+
+TEST(DarkAdaptation, BoostGrowsAsAmbientDims)
+{
+    double prev = 0.0;
+    for (double ambient : {100.0, 10.0, 1.0, 0.1}) {
+        const DarkAdaptationModel model(photopic(), ambient);
+        EXPECT_GE(model.boost(), prev);
+        prev = model.boost();
+    }
+    EXPECT_GT(prev, 1.5);
+}
+
+TEST(DarkAdaptation, BoostPerDecadeMatchesGain)
+{
+    DarkAdaptationParams params;
+    params.gainPerDecade = 0.4;
+    params.maxBoost = 10.0;
+    const DarkAdaptationModel one_decade(photopic(), 10.0, params);
+    const DarkAdaptationModel two_decades(photopic(), 1.0, params);
+    EXPECT_NEAR(one_decade.boost(), 1.4, 1e-12);
+    EXPECT_NEAR(two_decades.boost(), 1.8, 1e-12);
+}
+
+TEST(DarkAdaptation, BoostSaturates)
+{
+    DarkAdaptationParams params;
+    params.maxBoost = 1.7;
+    const DarkAdaptationModel pitch_black(photopic(), 1e-6, params);
+    EXPECT_DOUBLE_EQ(pitch_black.boost(), 1.7);
+}
+
+TEST(DarkAdaptation, ScalesAllAxesUniformly)
+{
+    const DarkAdaptationModel dim(photopic(), 1.0);
+    const Vec3 rgb(0.3, 0.5, 0.7);
+    const Vec3 a = photopic().semiAxes(rgb, 15.0);
+    const Vec3 b = dim.semiAxes(rgb, 15.0);
+    EXPECT_NEAR(b.x / a.x, dim.boost(), 1e-12);
+    EXPECT_NEAR(b.y / a.y, dim.boost(), 1e-12);
+    EXPECT_NEAR(b.z / a.z, dim.boost(), 1e-12);
+}
+
+TEST(DarkAdaptation, RejectsNonPositiveAmbient)
+{
+    EXPECT_THROW(DarkAdaptationModel(photopic(), 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(DarkAdaptationModel(photopic(), -5.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace pce

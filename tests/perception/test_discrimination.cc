@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the discrimination-ellipsoid model (paper Sec. 2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "color/dkl.hh"
+#include "common/rng.hh"
+#include "perception/discrimination.hh"
+
+namespace pce {
+namespace {
+
+TEST(Ellipsoid, MembershipAtCenterAndSurface)
+{
+    Ellipsoid e;
+    e.centerDkl = Vec3(0.1, -0.2, 0.3);
+    e.semiAxes = Vec3(0.01, 0.02, 0.03);
+    EXPECT_DOUBLE_EQ(e.membership(e.centerDkl), 0.0);
+    // Surface point along the first axis.
+    EXPECT_NEAR(e.membership(e.centerDkl + Vec3(0.01, 0.0, 0.0)), 1.0,
+                1e-12);
+    EXPECT_TRUE(e.contains(e.centerDkl + Vec3(0.01, 0.0, 0.0)));
+    EXPECT_FALSE(e.contains(e.centerDkl + Vec3(0.011, 0.0, 0.0)));
+}
+
+TEST(AnalyticModel, AxesArePositiveEverywhere)
+{
+    const AnalyticDiscriminationModel model;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const Vec3 rgb(rng.uniform(), rng.uniform(), rng.uniform());
+        const Vec3 axes = model.semiAxes(rgb, rng.uniform(0.0, 60.0));
+        EXPECT_GT(axes.minCoeff(), 0.0);
+    }
+}
+
+class EccentricityMonotonicTest
+    : public ::testing::TestWithParam<double>  // luminance of test color
+{};
+
+TEST_P(EccentricityMonotonicTest, AxesGrowWithEccentricity)
+{
+    // Paper Fig. 2: discrimination weakens (ellipsoids grow) with
+    // eccentricity, for every color.
+    const AnalyticDiscriminationModel model;
+    const double l = GetParam();
+    const Vec3 rgb(l, l, l);
+    Vec3 prev = model.semiAxes(rgb, 0.0);
+    for (double ecc = 2.0; ecc <= 40.0; ecc += 2.0) {
+        const Vec3 axes = model.semiAxes(rgb, ecc);
+        EXPECT_GT(axes.x, prev.x);
+        EXPECT_GT(axes.y, prev.y);
+        EXPECT_GT(axes.z, prev.z);
+        prev = axes;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Luminances, EccentricityMonotonicTest,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.8, 1.0));
+
+TEST(AnalyticModel, RgbEllipsoidElongatedAlongBlueNotGreen)
+{
+    // The Sec. 3.2 relaxation rests on ellipsoids being elongated along
+    // Red or Blue in linear RGB, and tightest along Green.
+    const AnalyticDiscriminationModel model;
+    const Mat3 &inv = dkl2rgbMatrix();
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const Vec3 rgb(rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9),
+                       rng.uniform(0.1, 0.9));
+        const Vec3 axes = model.semiAxes(rgb, rng.uniform(5.0, 30.0));
+        Vec3 extent;
+        for (std::size_t k = 0; k < 3; ++k)
+            extent[k] = inv.row(k).cwiseMul(axes).norm();
+        EXPECT_GT(extent.z, extent.y);  // B > G
+        EXPECT_GT(extent.x, extent.y);  // R > G
+    }
+}
+
+TEST(AnalyticModel, BrighterColorsHaveLargerThresholds)
+{
+    const AnalyticDiscriminationModel model;
+    const Vec3 dark = model.semiAxes(Vec3(0.1, 0.1, 0.1), 15.0);
+    const Vec3 bright = model.semiAxes(Vec3(0.9, 0.9, 0.9), 15.0);
+    EXPECT_GT(bright.x, dark.x);
+    EXPECT_GT(bright.y, dark.y);
+    EXPECT_GT(bright.z, dark.z);
+}
+
+TEST(AnalyticModel, NegativeEccentricityClampedToFovea)
+{
+    const AnalyticDiscriminationModel model;
+    const Vec3 rgb(0.5, 0.5, 0.5);
+    const Vec3 a = model.semiAxes(rgb, -3.0);
+    const Vec3 b = model.semiAxes(rgb, 0.0);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+    EXPECT_EQ(a.z, b.z);
+}
+
+TEST(AnalyticModel, GlobalScaleScalesAxesLinearly)
+{
+    AnalyticModelParams params;
+    params.globalScale = 2.0;
+    const AnalyticDiscriminationModel base;
+    const AnalyticDiscriminationModel scaled(params);
+    const Vec3 rgb(0.3, 0.6, 0.4);
+    const Vec3 a = base.semiAxes(rgb, 12.0);
+    const Vec3 b = scaled.semiAxes(rgb, 12.0);
+    EXPECT_NEAR(b.x, 2.0 * a.x, 1e-15);
+    EXPECT_NEAR(b.y, 2.0 * a.y, 1e-15);
+    EXPECT_NEAR(b.z, 2.0 * a.z, 1e-15);
+}
+
+TEST(AnalyticModel, RejectsNonPositiveBase)
+{
+    AnalyticModelParams params;
+    params.base = Vec3(0.0, 1e-4, 1e-4);
+    EXPECT_THROW(AnalyticDiscriminationModel{params},
+                 std::invalid_argument);
+}
+
+TEST(DiscriminationModel, EllipsoidForCentersAtDklOfColor)
+{
+    const AnalyticDiscriminationModel model;
+    const Vec3 rgb(0.25, 0.5, 0.75);
+    const Ellipsoid e = model.ellipsoidFor(rgb, 10.0);
+    const Vec3 dkl = rgbToDkl(rgb);
+    EXPECT_NEAR(e.centerDkl.x, dkl.x, 1e-15);
+    EXPECT_NEAR(e.centerDkl.y, dkl.y, 1e-15);
+    EXPECT_NEAR(e.centerDkl.z, dkl.z, 1e-15);
+    EXPECT_TRUE(e.contains(dkl));
+}
+
+TEST(ScaledModel, AppliesConstantFactor)
+{
+    const AnalyticDiscriminationModel base;
+    const ScaledDiscriminationModel half(base, 0.5);
+    const Vec3 rgb(0.4, 0.4, 0.4);
+    const Vec3 a = base.semiAxes(rgb, 20.0);
+    const Vec3 b = half.semiAxes(rgb, 20.0);
+    EXPECT_NEAR(b.x, 0.5 * a.x, 1e-15);
+    EXPECT_NEAR(b.z, 0.5 * a.z, 1e-15);
+    EXPECT_DOUBLE_EQ(half.scale(), 0.5);
+}
+
+TEST(AnalyticModel, FovealThresholdsNearQuantizationStep)
+{
+    // At zero eccentricity the Green RGB extent should be on the order
+    // of one 8-bit quantization step (sub-JND encoding headroom).
+    const AnalyticDiscriminationModel model;
+    const Mat3 &inv = dkl2rgbMatrix();
+    const Vec3 axes = model.semiAxes(Vec3(0.5, 0.5, 0.5), 0.0);
+    const double g_extent = inv.row(1).cwiseMul(axes).norm();
+    EXPECT_LT(g_extent, 0.02);
+    EXPECT_GT(g_extent, 0.0005);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for HMD display geometry and eccentricity maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perception/display.hh"
+
+namespace pce {
+namespace {
+
+DisplayGeometry
+smallDisplay()
+{
+    DisplayGeometry g;
+    g.width = 200;
+    g.height = 100;
+    g.horizontalFovDeg = 100.0;
+    g.fixationX = 100.0;
+    g.fixationY = 50.0;
+    return g;
+}
+
+TEST(DisplayGeometry, FixationHasZeroEccentricity)
+{
+    const DisplayGeometry g = smallDisplay();
+    EXPECT_NEAR(g.eccentricityDeg(g.fixationX, g.fixationY), 0.0, 1e-9);
+}
+
+TEST(DisplayGeometry, EccentricityGrowsFromFixation)
+{
+    const DisplayGeometry g = smallDisplay();
+    double prev = -1.0;
+    for (int x = 100; x < 200; x += 10) {
+        const double e = g.eccentricityDeg(x, 50.0);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(DisplayGeometry, EdgeReachesHalfFov)
+{
+    // With central fixation, the horizontal display edge sits at the
+    // half-FoV angle.
+    const DisplayGeometry g = smallDisplay();
+    EXPECT_NEAR(g.eccentricityDeg(0.0, 50.0), 50.0, 0.5);
+    EXPECT_NEAR(g.eccentricityDeg(200.0, 50.0), 50.0, 0.5);
+}
+
+TEST(DisplayGeometry, FocalLengthMatchesFov)
+{
+    const DisplayGeometry g = smallDisplay();
+    // tan(50 deg) = (w/2) / f.
+    EXPECT_NEAR((g.width / 2.0) / g.focalPixels(),
+                std::tan(50.0 * M_PI / 180.0), 1e-12);
+}
+
+TEST(DisplayGeometry, MaxEccentricityAtACorner)
+{
+    const DisplayGeometry g = smallDisplay();
+    const double m = g.maxEccentricityDeg();
+    EXPECT_GE(m + 1e-9, g.eccentricityDeg(0.0, 0.0));
+    EXPECT_GE(m, 50.0);  // corners are beyond the horizontal edge
+}
+
+TEST(DisplayGeometry, OffCenterFixationShiftsField)
+{
+    DisplayGeometry g = smallDisplay();
+    g.fixationX = 150.0;
+    EXPECT_NEAR(g.eccentricityDeg(150.0, 50.0), 0.0, 1e-4);
+    EXPECT_GT(g.eccentricityDeg(0.0, 50.0),
+              g.eccentricityDeg(200.0, 50.0));
+}
+
+TEST(EccentricityMap, MatchesDirectEvaluation)
+{
+    const DisplayGeometry g = smallDisplay();
+    const EccentricityMap map(g);
+    ASSERT_EQ(map.width(), g.width);
+    ASSERT_EQ(map.height(), g.height);
+    for (int y = 0; y < g.height; y += 17) {
+        for (int x = 0; x < g.width; x += 13) {
+            EXPECT_DOUBLE_EQ(map.at(x, y), g.eccentricityDeg(x, y));
+        }
+    }
+}
+
+TEST(EccentricityMap, VastMajorityOfPixelsPeripheral)
+{
+    // Paper Sec. 1: above 90% of pixels fall outside 20 degrees on a
+    // wide-FoV display (quoted for ~100-degree FoV headsets).
+    DisplayGeometry g;
+    g.width = 400;
+    g.height = 400;
+    g.horizontalFovDeg = 100.0;
+    g.fixationX = 200.0;
+    g.fixationY = 200.0;
+    const EccentricityMap map(g);
+    EXPECT_GT(map.fractionBeyond(20.0), 0.80);
+    EXPECT_GT(map.fractionBeyond(5.0), 0.97);
+}
+
+TEST(EccentricityMap, FractionBeyondIsMonotone)
+{
+    const EccentricityMap map(smallDisplay());
+    double prev = 1.1;
+    for (double deg = 0.0; deg <= 60.0; deg += 5.0) {
+        const double f = map.fractionBeyond(deg);
+        EXPECT_LE(f, prev);
+        prev = f;
+    }
+    EXPECT_DOUBLE_EQ(map.fractionBeyond(90.0), 0.0);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the simulated observer population (paper Sec. 5.2, Fig. 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perception/discrimination.hh"
+#include "perception/display.hh"
+#include "perception/observer.hh"
+
+namespace pce {
+namespace {
+
+EccentricityMap
+testMap(int w, int h)
+{
+    DisplayGeometry g;
+    g.width = w;
+    g.height = h;
+    g.fixationX = w / 2.0;
+    g.fixationY = h / 2.0;
+    return EccentricityMap(g);
+}
+
+TEST(Observer, IdenticalFramesShowNoArtifacts)
+{
+    const AnalyticDiscriminationModel model;
+    const ImageF frame(32, 32, Vec3(0.4, 0.4, 0.4));
+    const EccentricityMap ecc = testMap(32, 32);
+    ObserverPopulationParams params;
+    const SimulatedObserver obs(1.0, params);
+    EXPECT_FALSE(obs.noticesArtifact(frame, frame, ecc, model));
+    EXPECT_DOUBLE_EQ(
+        obs.supraThresholdFraction(frame, frame, ecc, model), 0.0);
+}
+
+TEST(Observer, GrossDistortionIsAlwaysNoticed)
+{
+    const AnalyticDiscriminationModel model;
+    const ImageF original(32, 32, Vec3(0.4, 0.4, 0.4));
+    ImageF adjusted(32, 32, Vec3(0.9, 0.1, 0.9));  // far outside any JND
+    const EccentricityMap ecc = testMap(32, 32);
+    ObserverPopulationParams params;
+    const SimulatedObserver obs(1.0, params);
+    EXPECT_TRUE(obs.noticesArtifact(original, adjusted, ecc, model));
+    EXPECT_GT(obs.supraThresholdFraction(original, adjusted, ecc, model),
+              0.9);
+}
+
+TEST(Observer, SensitiveObserverNoticesMore)
+{
+    const AnalyticDiscriminationModel model;
+    const int n = 48;
+    ImageF original(n, n);
+    ImageF adjusted(n, n);
+    // Moderate distortion: near the population threshold.
+    for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+            original.at(x, y) = Vec3(0.5, 0.5, 0.5);
+            adjusted.at(x, y) = Vec3(0.5, 0.5, 0.55);
+        }
+    }
+    const EccentricityMap ecc = testMap(n, n);
+    ObserverPopulationParams params;
+    const SimulatedObserver sensitive(0.3, params);
+    const SimulatedObserver tolerant(3.0, params);
+    EXPECT_GE(sensitive.supraThresholdFraction(original, adjusted, ecc,
+                                               model),
+              tolerant.supraThresholdFraction(original, adjusted, ecc,
+                                              model));
+}
+
+TEST(Observer, DarkContentIsJudgedMoreStrictly)
+{
+    // The same absolute color shift should violate more often on dark
+    // content (Sec. 6.3's low-luminance model error).
+    const AnalyticDiscriminationModel model;
+    const int n = 32;
+    const EccentricityMap ecc = testMap(n, n);
+    ObserverPopulationParams params;
+    params.darkErrorGain = 0.7;
+    const SimulatedObserver obs(1.0, params);
+
+    auto supra_for = [&](double level, double delta) {
+        ImageF orig(n, n, Vec3(level, level, level));
+        ImageF adj(n, n, Vec3(level, level, level + delta));
+        return obs.supraThresholdFraction(orig, adj, ecc, model);
+    };
+    // Pick a shift in the transition band. Dark content must violate at
+    // least as often as bright content; find a delta separating them.
+    bool separated = false;
+    for (double delta = 0.002; delta <= 0.2; delta *= 1.5) {
+        const double dark = supra_for(0.08, delta);
+        const double bright = supra_for(0.7, delta);
+        EXPECT_GE(dark + 1e-12, bright);
+        if (dark > 0.5 && bright < 0.5)
+            separated = true;
+    }
+    EXPECT_TRUE(separated);
+}
+
+TEST(ObserverPopulation, DeterministicDraw)
+{
+    ObserverPopulationParams params;
+    const auto a = drawObserverPopulation(params);
+    const auto b = drawObserverPopulation(params);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), static_cast<std::size_t>(params.participants));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].thresholdScale(), b[i].thresholdScale());
+}
+
+TEST(ObserverPopulation, ScalesVaryAroundUnity)
+{
+    ObserverPopulationParams params;
+    params.participants = 200;
+    const auto pop = drawObserverPopulation(params);
+    double sum = 0.0;
+    for (const auto &o : pop)
+        sum += o.thresholdScale();
+    EXPECT_NEAR(sum / pop.size(), 1.0, 0.15);
+    bool below = false;
+    bool above = false;
+    for (const auto &o : pop) {
+        below |= o.thresholdScale() < 0.9;
+        above |= o.thresholdScale() > 1.1;
+    }
+    EXPECT_TRUE(below);
+    EXPECT_TRUE(above);
+}
+
+TEST(UserStudy, AggregatesPopulationVerdicts)
+{
+    const AnalyticDiscriminationModel model;
+    const ImageF frame(32, 32, Vec3(0.4, 0.4, 0.4));
+    const EccentricityMap ecc = testMap(32, 32);
+    ObserverPopulationParams params;
+    const auto pop = drawObserverPopulation(params);
+    const auto result = runUserStudy(pop, frame, frame, ecc, model);
+    EXPECT_EQ(result.participants, params.participants);
+    EXPECT_EQ(result.noArtifactCount, params.participants);
+    EXPECT_DOUBLE_EQ(result.meanSupraFraction, 0.0);
+}
+
+TEST(Observer, SizeMismatchThrows)
+{
+    const AnalyticDiscriminationModel model;
+    const ImageF a(8, 8);
+    const ImageF b(9, 8);
+    const EccentricityMap ecc = testMap(8, 8);
+    ObserverPopulationParams params;
+    const SimulatedObserver obs(1.0, params);
+    EXPECT_THROW(obs.noticesArtifact(a, b, ecc, model),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace pce

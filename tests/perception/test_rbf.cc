@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the RBF-network discrimination model (the paper's deployed
+ * form of Phi, Sec. 2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "perception/rbf.hh"
+
+namespace pce {
+namespace {
+
+/** One shared fitted network (construction costs ~a second). */
+const RbfDiscriminationModel &
+fittedModel()
+{
+    static const AnalyticDiscriminationModel reference;
+    static const RbfDiscriminationModel model(reference);
+    return model;
+}
+
+TEST(RbfModel, FitErrorIsSmall)
+{
+    const AnalyticDiscriminationModel reference;
+    // Under 10% relative RMS error across the whole (color, ecc) domain:
+    // the encoder's behaviour is insensitive at this level, matching
+    // the paper's use of an RBF approximation for GPU evaluation.
+    EXPECT_LT(fittedModel().relativeRmsError(reference, 6), 0.10);
+}
+
+TEST(RbfModel, PredictionsArePositive)
+{
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const Vec3 rgb(rng.uniform(), rng.uniform(), rng.uniform());
+        const Vec3 axes =
+            fittedModel().semiAxes(rgb, rng.uniform(0.0, 50.0));
+        EXPECT_GT(axes.minCoeff(), 0.0);
+    }
+}
+
+TEST(RbfModel, TracksEccentricityGrowth)
+{
+    // The fit must preserve the monotone eccentricity trend that the
+    // encoder exploits (checked loosely at a 10-degree stride).
+    const Vec3 rgb(0.5, 0.5, 0.5);
+    double prev = fittedModel().semiAxes(rgb, 0.0).z;
+    for (double ecc = 10.0; ecc <= 40.0; ecc += 10.0) {
+        const double axis = fittedModel().semiAxes(rgb, ecc).z;
+        EXPECT_GT(axis, prev);
+        prev = axis;
+    }
+}
+
+TEST(RbfModel, CenterCountMatchesGrid)
+{
+    RbfNetworkParams params;
+    params.colorGrid = 3;
+    params.eccGrid = 2;
+    params.trainGrid = 4;
+    const AnalyticDiscriminationModel reference;
+    const RbfDiscriminationModel model(reference, params);
+    EXPECT_EQ(model.centerCount(), 3u * 3u * 3u * 2u);
+}
+
+TEST(RbfModel, InputsAreClampedToDomain)
+{
+    // Out-of-range inputs must not produce garbage (the pipeline clamps
+    // colors, but defensive evaluation matters for tooling).
+    const Vec3 axes_in = fittedModel().semiAxes(Vec3(0.5, 0.5, 0.5), 50.0);
+    const Vec3 axes_out =
+        fittedModel().semiAxes(Vec3(0.5, 0.5, 0.5), 500.0);
+    EXPECT_NEAR(axes_in.z, axes_out.z, 1e-12);
+}
+
+TEST(RbfModel, RejectsDegenerateGrid)
+{
+    RbfNetworkParams params;
+    params.colorGrid = 1;
+    const AnalyticDiscriminationModel reference;
+    EXPECT_THROW(RbfDiscriminationModel(reference, params),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace pce

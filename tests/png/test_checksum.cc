@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Known-answer tests for CRC-32 and Adler-32.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "png/checksum.hh"
+
+namespace pce {
+namespace {
+
+uint32_t
+crcOf(const std::string &s)
+{
+    return crc32(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+uint32_t
+adlerOf(const std::string &s)
+{
+    return adler32(reinterpret_cast<const uint8_t *>(s.data()),
+                   s.size());
+}
+
+TEST(Crc32, StandardTestVector)
+{
+    // The canonical CRC-32 check value.
+    EXPECT_EQ(crcOf("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput)
+{
+    EXPECT_EQ(crcOf(""), 0x00000000u);
+}
+
+TEST(Crc32, KnownStrings)
+{
+    EXPECT_EQ(crcOf("a"), 0xE8B7BE43u);
+    EXPECT_EQ(crcOf("abc"), 0x352441C2u);
+    EXPECT_EQ(crcOf("The quick brown fox jumps over the lazy dog"),
+              0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string s = "incremental-checksum-data-0123456789";
+    Crc32 inc;
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()), 10);
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()) + 10,
+               s.size() - 10);
+    EXPECT_EQ(inc.value(), crcOf(s));
+}
+
+TEST(Crc32, PngIendChunk)
+{
+    // The IEND chunk CRC is fixed in every PNG file: type bytes only.
+    const uint8_t type[4] = {'I', 'E', 'N', 'D'};
+    EXPECT_EQ(crc32(type, 4), 0xAE426082u);
+}
+
+TEST(Adler32, StandardTestVectors)
+{
+    // RFC 1950 examples / well-known values.
+    EXPECT_EQ(adlerOf(""), 1u);
+    EXPECT_EQ(adlerOf("a"), 0x00620062u);
+    EXPECT_EQ(adlerOf("abc"), 0x024d0127u);
+    EXPECT_EQ(adlerOf("Wikipedia"), 0x11E60398u);
+}
+
+TEST(Adler32, IncrementalMatchesOneShot)
+{
+    const std::string s(10000, 'x');
+    Adler32 inc;
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()), 5000);
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()) + 5000, 5000);
+    EXPECT_EQ(inc.value(), adlerOf(s));
+}
+
+TEST(Adler32, ModularReductionOnLongInput)
+{
+    // Long 0xff-runs force many modular reductions.
+    const std::string s(100000, '\xff');
+    const uint32_t v = adlerOf(s);
+    const uint32_t a = v & 0xffff;
+    const uint32_t b = v >> 16;
+    EXPECT_LT(a, 65521u);
+    EXPECT_LT(b, 65521u);
+}
+
+} // namespace
+} // namespace pce

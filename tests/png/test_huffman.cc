@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for length-limited Huffman code construction (package-merge) and
+ * the canonical DEFLATE code assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "png/huffman.hh"
+
+namespace pce {
+namespace {
+
+/** Kraft sum scaled by 2^15 (integer-exact). */
+uint64_t
+kraftSum(const std::vector<uint8_t> &lengths)
+{
+    uint64_t sum = 0;
+    for (uint8_t l : lengths)
+        if (l > 0)
+            sum += uint64_t(1) << (15 - l);
+    return sum;
+}
+
+TEST(PackageMerge, AllZeroFrequencies)
+{
+    const auto lengths = packageMergeLengths({0, 0, 0}, 15);
+    for (uint8_t l : lengths)
+        EXPECT_EQ(l, 0);
+}
+
+TEST(PackageMerge, SingleSymbolGetsLengthOne)
+{
+    const auto lengths = packageMergeLengths({0, 42, 0}, 15);
+    EXPECT_EQ(lengths[0], 0);
+    EXPECT_EQ(lengths[1], 1);
+    EXPECT_EQ(lengths[2], 0);
+}
+
+TEST(PackageMerge, TwoSymbols)
+{
+    const auto lengths = packageMergeLengths({100, 1}, 15);
+    EXPECT_EQ(lengths[0], 1);
+    EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(PackageMerge, KraftInequalityHolds)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint64_t> freqs(2 + rng.uniformInt(60));
+        for (auto &f : freqs)
+            f = rng.uniformInt(1000);
+        const auto lengths = packageMergeLengths(freqs, 15);
+        EXPECT_LE(kraftSum(lengths), uint64_t(1) << 15);
+        // Every used symbol coded; every unused symbol not.
+        for (std::size_t i = 0; i < freqs.size(); ++i) {
+            if (freqs[i] > 0)
+                EXPECT_GT(lengths[i], 0);
+            else
+                EXPECT_EQ(lengths[i], 0);
+        }
+    }
+}
+
+TEST(PackageMerge, RespectsLengthLimit)
+{
+    // Exponential frequencies force deep unconstrained Huffman trees;
+    // the limited code must cap at the limit.
+    std::vector<uint64_t> freqs;
+    uint64_t f = 1;
+    for (int i = 0; i < 20; ++i) {
+        freqs.push_back(f);
+        f *= 3;
+    }
+    for (unsigned limit : {7u, 10u, 15u}) {
+        const auto lengths = packageMergeLengths(freqs, limit);
+        for (uint8_t l : lengths) {
+            EXPECT_GT(l, 0);
+            EXPECT_LE(l, limit);
+        }
+        EXPECT_LE(kraftSum(lengths), uint64_t(1) << 15);
+    }
+}
+
+TEST(PackageMerge, MoreFrequentSymbolsGetShorterCodes)
+{
+    const std::vector<uint64_t> freqs{1, 2, 4, 8, 16, 32, 64, 128};
+    const auto lengths = packageMergeLengths(freqs, 15);
+    for (std::size_t i = 1; i < freqs.size(); ++i)
+        EXPECT_LE(lengths[i], lengths[i - 1]);
+}
+
+TEST(PackageMerge, MatchesUnconstrainedHuffmanCost)
+{
+    // With a generous limit, package-merge is plain Huffman-optimal.
+    // Compare total cost against a directly computed Huffman tree cost
+    // for a known case: freqs {5,9,12,13,16,45} -> classic example with
+    // optimal cost 5*4+9*4+12*3+13*3+16*3+45*1 = 224.
+    const std::vector<uint64_t> freqs{5, 9, 12, 13, 16, 45};
+    const auto lengths = packageMergeLengths(freqs, 15);
+    uint64_t cost = 0;
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        cost += freqs[i] * lengths[i];
+    EXPECT_EQ(cost, 224u);
+}
+
+TEST(PackageMerge, ThrowsWhenAlphabetExceedsLimit)
+{
+    // 5 symbols cannot be coded with 2-bit codes... they can (4 codes
+    // of length 2 is full): 5 need at least length 3 for some. With
+    // limit 2 -> only 4 codewords available.
+    std::vector<uint64_t> freqs(5, 1);
+    EXPECT_THROW(packageMergeLengths(freqs, 2), std::invalid_argument);
+}
+
+TEST(CanonicalCodes, Rfc1951WorkedExample)
+{
+    // RFC 1951 3.2.2 example: lengths (3,3,3,3,3,2,4,4) produce codes
+    // 010,011,100,101,110,00,1110,1111.
+    const std::vector<uint8_t> lengths{3, 3, 3, 3, 3, 2, 4, 4};
+    const auto codes = canonicalCodes(lengths);
+    EXPECT_EQ(codes[0], 0b010u);
+    EXPECT_EQ(codes[1], 0b011u);
+    EXPECT_EQ(codes[2], 0b100u);
+    EXPECT_EQ(codes[3], 0b101u);
+    EXPECT_EQ(codes[4], 0b110u);
+    EXPECT_EQ(codes[5], 0b00u);
+    EXPECT_EQ(codes[6], 0b1110u);
+    EXPECT_EQ(codes[7], 0b1111u);
+}
+
+TEST(CanonicalCodes, PrefixFreeProperty)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<uint64_t> freqs(2 + rng.uniformInt(40));
+        for (auto &f : freqs)
+            f = 1 + rng.uniformInt(500);
+        const auto lengths = packageMergeLengths(freqs, 15);
+        const auto codes = canonicalCodes(lengths);
+        // Check pairwise prefix-freedom.
+        for (std::size_t i = 0; i < codes.size(); ++i) {
+            for (std::size_t j = 0; j < codes.size(); ++j) {
+                if (i == j || lengths[i] == 0 || lengths[j] == 0)
+                    continue;
+                if (lengths[i] <= lengths[j]) {
+                    const uint32_t prefix =
+                        codes[j] >> (lengths[j] - lengths[i]);
+                    EXPECT_NE(prefix, codes[i])
+                        << "code " << i << " prefixes code " << j;
+                }
+            }
+        }
+    }
+}
+
+TEST(ReverseBits, KnownValues)
+{
+    EXPECT_EQ(reverseBits(0b1, 1), 0b1u);
+    EXPECT_EQ(reverseBits(0b10, 2), 0b01u);
+    EXPECT_EQ(reverseBits(0b1100, 4), 0b0011u);
+    EXPECT_EQ(reverseBits(0b10110, 5), 0b01101u);
+}
+
+TEST(HuffmanDecoder, DecodesCanonicalStream)
+{
+    const std::vector<uint8_t> lengths{3, 3, 3, 3, 3, 2, 4, 4};
+    const auto codes = canonicalCodes(lengths);
+    const HuffmanDecoder decoder(lengths);
+
+    // Encode symbols 5, 0, 7 MSB-first into a flat bit vector.
+    std::vector<int> bits;
+    for (int sym : {5, 0, 7}) {
+        for (int b = lengths[sym] - 1; b >= 0; --b)
+            bits.push_back((codes[sym] >> b) & 1);
+    }
+    std::size_t pos = 0;
+    auto next_bit = [&]() { return bits[pos++]; };
+    EXPECT_EQ(decoder.decode(next_bit), 5);
+    EXPECT_EQ(decoder.decode(next_bit), 0);
+    EXPECT_EQ(decoder.decode(next_bit), 7);
+    EXPECT_EQ(pos, bits.size());
+}
+
+TEST(HuffmanDecoder, RoundTripsRandomCodes)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<uint64_t> freqs(2 + rng.uniformInt(30));
+        for (auto &f : freqs)
+            f = 1 + rng.uniformInt(100);
+        const auto lengths = packageMergeLengths(freqs, 15);
+        const auto codes = canonicalCodes(lengths);
+        const HuffmanDecoder decoder(lengths);
+
+        std::vector<int> symbols;
+        std::vector<int> bits;
+        for (int i = 0; i < 100; ++i) {
+            const int sym =
+                static_cast<int>(rng.uniformInt(freqs.size()));
+            symbols.push_back(sym);
+            for (int b = lengths[sym] - 1; b >= 0; --b)
+                bits.push_back((codes[sym] >> b) & 1);
+        }
+        std::size_t pos = 0;
+        auto next_bit = [&]() { return bits[pos++]; };
+        for (int want : symbols)
+            EXPECT_EQ(decoder.decode(next_bit), want);
+    }
+}
+
+TEST(HuffmanDecoder, RejectsOversubscribedLengths)
+{
+    // Three codes of length 1 are over-subscribed.
+    EXPECT_THROW(HuffmanDecoder({1, 1, 1}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the PNG encoder/decoder (the Sec. 5.3 PNG baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.hh"
+#include "png/png_codec.hh"
+
+namespace pce {
+namespace {
+
+ImageU8
+randomImage(int w, int h, uint64_t seed)
+{
+    Rng rng(seed);
+    ImageU8 img(w, h);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    return img;
+}
+
+ImageU8
+gradientImage(int w, int h)
+{
+    ImageU8 img(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            img.setChannel(x, y, 0, static_cast<uint8_t>(x & 0xff));
+            img.setChannel(x, y, 1, static_cast<uint8_t>(y & 0xff));
+            img.setChannel(x, y, 2,
+                           static_cast<uint8_t>((x + y) & 0xff));
+        }
+    }
+    return img;
+}
+
+TEST(PngFilter, RoundTripsAllContent)
+{
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        const ImageU8 img = randomImage(23, 17, seed);
+        const auto filtered = pngFilterScanlines(img);
+        EXPECT_EQ(pngUnfilterScanlines(filtered, 23, 17), img);
+    }
+}
+
+TEST(PngFilter, GradientPrefersDifferencingFilters)
+{
+    // A smooth gradient should rarely pick filter type 0 (None): the
+    // sum-of-absolute heuristic favors Sub/Up/Paeth there.
+    const ImageU8 img = gradientImage(64, 64);
+    const auto filtered = pngFilterScanlines(img);
+    const std::size_t rowbytes = 64 * 3 + 1;
+    int type0 = 0;
+    for (int y = 0; y < 64; ++y)
+        type0 += filtered[y * rowbytes] == 0;
+    EXPECT_LT(type0, 8);
+}
+
+TEST(PngFilter, FilteredSizeIncludesTypeBytes)
+{
+    const ImageU8 img = randomImage(10, 5, 4);
+    const auto filtered = pngFilterScanlines(img);
+    EXPECT_EQ(filtered.size(), static_cast<std::size_t>(5 * (10 * 3 + 1)));
+}
+
+class PngRoundTripTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(PngRoundTripTest, EncodeDecodeIsLossless)
+{
+    const auto [w, h] = GetParam();
+    const ImageU8 img = randomImage(w, h, 100 + w + h);
+    const auto png = pngEncode(img);
+    EXPECT_EQ(pngDecode(png), img);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PngRoundTripTest,
+                         ::testing::Values(std::pair(1, 1),
+                                           std::pair(16, 16),
+                                           std::pair(64, 48),
+                                           std::pair(33, 7),
+                                           std::pair(128, 3)));
+
+TEST(Png, SignatureAndChunksWellFormed)
+{
+    const auto png = pngEncode(gradientImage(8, 8));
+    ASSERT_GE(png.size(), 8u);
+    const uint8_t sig[8] = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1a,
+                            '\n'};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(png[i], sig[i]);
+    // IHDR follows immediately with length 13.
+    EXPECT_EQ(png[8], 0);
+    EXPECT_EQ(png[9], 0);
+    EXPECT_EQ(png[10], 0);
+    EXPECT_EQ(png[11], 13);
+    EXPECT_EQ(png[12], 'I');
+    EXPECT_EQ(png[13], 'H');
+}
+
+TEST(Png, SmoothContentCompressesWell)
+{
+    const ImageU8 img = gradientImage(128, 128);
+    const auto png = pngEncode(img);
+    EXPECT_LT(png.size(), img.byteSize() / 4);
+}
+
+TEST(Png, RandomContentDoesNotExplode)
+{
+    const ImageU8 img = randomImage(64, 64, 9);
+    const auto png = pngEncode(img);
+    // Incompressible data should cost at most a few percent overhead.
+    EXPECT_LT(png.size(), img.byteSize() * 11 / 10);
+}
+
+TEST(Png, DecodeRejectsCorruptCrc)
+{
+    auto png = pngEncode(gradientImage(8, 8));
+    // Flip a byte inside the IDAT payload (well after the header).
+    png[png.size() / 2] ^= 0x01;
+    EXPECT_THROW(pngDecode(png), std::runtime_error);
+}
+
+TEST(Png, DecodeRejectsBadSignature)
+{
+    auto png = pngEncode(gradientImage(4, 4));
+    png[0] = 0x00;
+    EXPECT_THROW(pngDecode(png), std::runtime_error);
+}
+
+TEST(Png, DecodeRejectsTruncatedFile)
+{
+    auto png = pngEncode(gradientImage(16, 16));
+    png.resize(png.size() - 10);
+    EXPECT_THROW(pngDecode(png), std::runtime_error);
+}
+
+TEST(Png, WritesReadableFile)
+{
+    namespace fs = std::filesystem;
+    const ImageU8 img = gradientImage(12, 9);
+    const std::string path =
+        (fs::temp_directory_path() / "pce_test.png").string();
+    writePng(path, img);
+    EXPECT_GT(fs::file_size(path), 50u);
+    fs::remove(path);
+}
+
+} // namespace
+} // namespace pce

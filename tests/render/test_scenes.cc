@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the procedural VR scenes (paper Sec. 5.1 substitution).
+ */
+
+#include <gtest/gtest.h>
+
+#include "render/scenes.hh"
+
+namespace pce {
+namespace {
+
+TEST(Scenes, AllSixScenesPresent)
+{
+    ASSERT_EQ(allScenes().size(), 6u);
+    EXPECT_STREQ(sceneName(allScenes()[0]), "office");
+    EXPECT_STREQ(sceneName(allScenes()[1]), "fortnite");
+    EXPECT_STREQ(sceneName(allScenes()[2]), "skyline");
+    EXPECT_STREQ(sceneName(allScenes()[3]), "dumbo");
+    EXPECT_STREQ(sceneName(allScenes()[4]), "thai");
+    EXPECT_STREQ(sceneName(allScenes()[5]), "monkey");
+}
+
+class SceneRenderTest : public ::testing::TestWithParam<SceneId>
+{};
+
+TEST_P(SceneRenderTest, DeterministicRendering)
+{
+    const RenderOptions opts{64, 64, 0, 1.5, 0};
+    const ImageF a = renderScene(GetParam(), opts);
+    const ImageF b = renderScene(GetParam(), opts);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            ASSERT_EQ(a.at(x, y), b.at(x, y));
+}
+
+TEST_P(SceneRenderTest, PixelsInGamut)
+{
+    const ImageF img = renderScene(GetParam(), {48, 48, 0, 0.0, 0});
+    for (const Vec3 &p : img.pixels()) {
+        EXPECT_GE(p.minCoeff(), 0.0);
+        EXPECT_LE(p.maxCoeff(), 1.0);
+    }
+}
+
+TEST_P(SceneRenderTest, StereoEyesDiffer)
+{
+    const StereoFrame frame = renderStereo(GetParam(), 64, 64);
+    EXPECT_EQ(frame.left.width(), 64);
+    EXPECT_EQ(frame.right.width(), 64);
+    int differing = 0;
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            differing += !(frame.left.at(x, y) == frame.right.at(x, y));
+    EXPECT_GT(differing, 64);  // parallax shifts visible structure
+}
+
+TEST_P(SceneRenderTest, HasSpatialVariation)
+{
+    // No scene is a flat card: tile-level variance must exist for the
+    // codecs to have anything to do.
+    const ImageF img = renderScene(GetParam(), {64, 64, 0, 0.0, 0});
+    const Vec3 mean = img.meanColor();
+    double var = 0.0;
+    for (const Vec3 &p : img.pixels())
+        var += (p - mean).squaredNorm();
+    var /= static_cast<double>(img.pixelCount());
+    EXPECT_GT(var, 1e-4) << sceneName(GetParam());
+}
+
+TEST_P(SceneRenderTest, TimeAnimatesSomeScenes)
+{
+    const ImageF t0 = renderScene(GetParam(), {48, 48, 0, 0.0, 0});
+    const ImageF t1 = renderScene(GetParam(), {48, 48, 0, 10.0, 0});
+    // Time affects at least the animated scenes; for static ones this
+    // simply must not crash. Count as informational.
+    SUCCEED() << sceneName(GetParam()) << " meanLum t0="
+              << t0.meanLuminance() << " t10=" << t1.meanLuminance();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenes, SceneRenderTest, ::testing::ValuesIn(allScenes()),
+    [](const ::testing::TestParamInfo<SceneId> &info) {
+        return std::string(sceneName(info.param));
+    });
+
+TEST(SceneStatistics, FortniteIsBrightAndGreenDominant)
+{
+    // Paper Sec. 6.3: fortnite is "a bright scene with a large amount
+    // of green" -- no participant noticed artifacts there.
+    const ImageF img =
+        renderScene(SceneId::Fortnite, {96, 96, 0, 0.0, 0});
+    const Vec3 mean = img.meanColor();
+    EXPECT_GT(img.meanLuminance(), 0.35);
+    EXPECT_GT(mean.y, mean.x);  // green above red
+}
+
+TEST(SceneStatistics, DumboAndMonkeyAreDark)
+{
+    // Paper Sec. 6.3: "dumbo and monkey, both dark scenes".
+    const double lum_dumbo =
+        renderScene(SceneId::Dumbo, {96, 96, 0, 0.0, 0})
+            .meanLuminance();
+    const double lum_monkey =
+        renderScene(SceneId::Monkey, {96, 96, 0, 0.0, 0})
+            .meanLuminance();
+    EXPECT_LT(lum_dumbo, 0.12);
+    EXPECT_LT(lum_monkey, 0.12);
+    // And clearly darker than the bright scene.
+    const double lum_fortnite =
+        renderScene(SceneId::Fortnite, {96, 96, 0, 0.0, 0})
+            .meanLuminance();
+    EXPECT_LT(lum_dumbo * 3.0, lum_fortnite);
+}
+
+TEST(SceneStatistics, ThaiIsWarm)
+{
+    const Vec3 mean =
+        renderScene(SceneId::Thai, {96, 96, 0, 0.0, 0}).meanColor();
+    EXPECT_GT(mean.x, mean.z);  // red above blue
+}
+
+TEST(Scenes, ResolutionIsRespected)
+{
+    const ImageF img =
+        renderScene(SceneId::Office, {123, 45, 0, 0.0, 0});
+    EXPECT_EQ(img.width(), 123);
+    EXPECT_EQ(img.height(), 45);
+}
+
+TEST(Scenes, InvalidOptionsThrow)
+{
+    EXPECT_THROW(renderScene(SceneId::Office, {0, 10, 0, 0.0, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(renderScene(SceneId::Office, {10, 10, 2, 0.0, 0}),
+                 std::invalid_argument);
+}
+
+TEST(Scenes, SeedPerturbsContent)
+{
+    const ImageF a = renderScene(SceneId::Monkey, {48, 48, 0, 0.0, 0});
+    const ImageF b =
+        renderScene(SceneId::Monkey, {48, 48, 0, 0.0, 999});
+    int differing = 0;
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 48; ++x)
+            differing += !(a.at(x, y) == b.at(x, y));
+    EXPECT_GT(differing, 100);
+}
+
+} // namespace
+} // namespace pce
