@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Full-frame encoder throughput runner: measures adjustFrame and
+ * encodeFrame in megapixels/s (single-thread and multi-thread) and
+ * writes BENCH_encoder.json, seeding the perf trajectory across PRs.
+ *
+ * Resolution and thread count come from PCE_BENCH_WIDTH /
+ * PCE_BENCH_HEIGHT / PCE_BENCH_THREADS; the output path defaults to
+ * BENCH_encoder.json in the working directory (override with
+ * PCE_BENCH_OUT or argv[1]).
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hh"
+#include "common/env.hh"
+#include "core/pipeline.hh"
+
+namespace {
+
+using namespace pce;
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Single-thread full-frame throughput of the pre-change (seed)
+ * implementation at 512x512, measured with this same runner (best of
+ * interleaved baseline/new runs, identical build flags) before the
+ * zero-allocation rebuild landed. Recorded so the JSON carries the
+ * speedup-vs-baseline trajectory; re-baseline on different hardware by
+ * rebuilding the seed revision with the current CMakeLists and rerunning
+ * (methodology in docs/PERF.md).
+ */
+constexpr double kBaselineAdjustMps = 2.92;
+constexpr double kBaselineEncodeMps = 2.24;
+
+struct Measurement
+{
+    double adjustMps = 0.0;
+    double encodeMps = 0.0;
+};
+
+Measurement
+measure(const ImageF &frame, const EccentricityMap &ecc, int threads,
+        int repeats)
+{
+    PipelineParams params;
+    params.threads = threads;
+    const PerceptualEncoder encoder(bench::benchModel(), params);
+    const double mpix =
+        static_cast<double>(frame.pixelCount()) / 1e6;
+
+    // Warm-up (populates lazy tables, faults pages, spins up workers).
+    encoder.adjustFrame(frame, ecc);
+
+    Measurement m;
+    double best_adjust = 1e300;
+    double best_encode = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        auto t0 = Clock::now();
+        const ImageF adjusted = encoder.adjustFrame(frame, ecc);
+        auto t1 = Clock::now();
+        const EncodedFrame enc = encoder.encodeFrame(frame, ecc);
+        auto t2 = Clock::now();
+        if (adjusted.pixelCount() == 0 || enc.bdStream.empty())
+            std::abort();  // keep the work observable
+        best_adjust = std::min(
+            best_adjust,
+            std::chrono::duration<double>(t1 - t0).count());
+        best_encode = std::min(
+            best_encode,
+            std::chrono::duration<double>(t2 - t1).count());
+    }
+    m.adjustMps = mpix / best_adjust;
+    m.encodeMps = mpix / best_encode;
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int w = pce::bench::benchWidth();
+    const int h = pce::bench::benchHeight();
+    const int threads = pce::bench::benchThreads();
+    const int repeats =
+        static_cast<int>(pce::envInt("PCE_BENCH_REPEATS", 5));
+    std::string out_path = "BENCH_encoder.json";
+    if (argc > 1)
+        out_path = argv[1];
+    else if (const char *env = std::getenv("PCE_BENCH_OUT"))
+        out_path = env;
+
+    const ImageF frame =
+        renderScene(SceneId::Office, {w, h, 0, 0.0, 0});
+    const EccentricityMap ecc(pce::bench::benchDisplay(w, h));
+
+    const Measurement single = measure(frame, ecc, 1, repeats);
+    const Measurement multi =
+        threads > 1 ? measure(frame, ecc, threads, repeats) : single;
+
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"full_frame_encoder\",\n"
+        << "  \"scene\": \"office\",\n"
+        << "  \"width\": " << w << ",\n"
+        << "  \"height\": " << h << ",\n"
+        << "  \"repeats\": " << repeats << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"adjust_mps_1t\": " << single.adjustMps << ",\n"
+        << "  \"encode_mps_1t\": " << single.encodeMps << ",\n"
+        << "  \"adjust_mps_mt\": " << multi.adjustMps << ",\n"
+        << "  \"encode_mps_mt\": " << multi.encodeMps << ",\n"
+        << "  \"baseline_adjust_mps_1t\": " << kBaselineAdjustMps
+        << ",\n"
+        << "  \"baseline_encode_mps_1t\": " << kBaselineEncodeMps
+        << ",\n"
+        << "  \"adjust_speedup_vs_baseline\": "
+        << (kBaselineAdjustMps > 0.0
+                ? single.adjustMps / kBaselineAdjustMps
+                : 0.0)
+        << ",\n"
+        << "  \"encode_speedup_vs_baseline\": "
+        << (kBaselineEncodeMps > 0.0
+                ? single.encodeMps / kBaselineEncodeMps
+                : 0.0)
+        << "\n}\n";
+
+    std::cout << "adjustFrame 1t: " << single.adjustMps << " MP/s\n"
+              << "encodeFrame 1t: " << single.encodeMps << " MP/s\n"
+              << "adjustFrame " << threads
+              << "t: " << multi.adjustMps << " MP/s\n"
+              << "encodeFrame " << threads
+              << "t: " << multi.encodeMps << " MP/s\n"
+              << "wrote " << out_path << "\n";
+    return 0;
+}

@@ -107,6 +107,24 @@ BM_TileAdjust(benchmark::State &state)
 BENCHMARK(BM_TileAdjust)->Arg(4)->Arg(8)->Arg(16);
 
 void
+BM_TileAdjustScratch(benchmark::State &state)
+{
+    // The zero-allocation production path: scratch reused across tiles.
+    const TileAdjuster adjuster(model());
+    const auto tile = randomTile(state.range(0) * state.range(0), 1);
+    const std::vector<double> ecc(tile.size(), 20.0);
+    TileScratch scratch;
+    for (auto _ : state) {
+        scratch.pixels = tile;
+        scratch.ecc = ecc;
+        benchmark::DoNotOptimize(adjuster.adjustTile(scratch));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(tile.size()));
+}
+BENCHMARK(BM_TileAdjustScratch)->Arg(4)->Arg(8)->Arg(16);
+
+void
 BM_FrameAdjust(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
@@ -124,6 +142,29 @@ BM_FrameAdjust(benchmark::State &state)
 BENCHMARK(BM_FrameAdjust)
     ->Args({256, 1})
     ->Args({256, 4})
+    ->Args({512, 4});
+
+void
+BM_FrameEncode(benchmark::State &state)
+{
+    // Full-frame throughput (adjust + sRGB + BD encode), the number
+    // that tracks the perf trajectory in BENCH_encoder.json; the
+    // items/s counter reads directly in pixels/s.
+    const int n = static_cast<int>(state.range(0));
+    const ImageF frame =
+        renderScene(SceneId::Office, {n, n, 0, 0.0, 0});
+    const EccentricityMap ecc(pce::bench::benchDisplay(n, n));
+    PipelineParams params;
+    params.threads = static_cast<int>(state.range(1));
+    const PerceptualEncoder encoder(model(), params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encoder.encodeFrame(frame, ecc));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(frame.pixelCount()));
+}
+BENCHMARK(BM_FrameEncode)
+    ->Args({256, 1})
+    ->Args({512, 1})
     ->Args({512, 4});
 
 void

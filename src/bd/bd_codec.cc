@@ -29,6 +29,26 @@ bdDeltaWidth(uint8_t min_value, uint8_t max_value)
     return w;
 }
 
+std::size_t
+bdTileBitsFromCodes(const uint8_t *codes, std::size_t n)
+{
+    std::size_t bits = 3 * (kWidthFieldBits + kBaseBits);
+    if (n == 0)
+        return bits;
+    uint8_t lo[3] = {255, 255, 255};
+    uint8_t hi[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int c = 0; c < 3; ++c) {
+            const uint8_t v = codes[3 * i + c];
+            lo[c] = std::min(lo[c], v);
+            hi[c] = std::max(hi[c], v);
+        }
+    }
+    for (int c = 0; c < 3; ++c)
+        bits += n * bdDeltaWidth(lo[c], hi[c]);
+    return bits;
+}
+
 BdCodec::BdCodec(int tile_size) : tileSize_(tile_size)
 {
     if (tile_size < 1 || tile_size > 255)
@@ -58,13 +78,17 @@ BdCodec::analyzeTileChannel(const ImageU8 &img, const TileRect &rect,
 }
 
 std::vector<uint8_t>
-BdCodec::encode(const ImageU8 &img) const
+BdCodec::encode(const ImageU8 &img, BdFrameStats *stats_out) const
 {
     BitWriter bw;
     bw.putBits(kMagic, kMagicBits);
     bw.putBits(static_cast<uint32_t>(img.width()), kDimBits);
     bw.putBits(static_cast<uint32_t>(img.height()), kDimBits);
     bw.putBits(static_cast<uint32_t>(tileSize_), kTileBits);
+
+    BdFrameStats stats;
+    stats.pixels = img.pixelCount();
+    stats.headerBits = kMagicBits + 2 * kDimBits + kTileBits;
 
     for (const TileRect &rect :
          tileGrid(img.width(), img.height(), tileSize_)) {
@@ -81,6 +105,10 @@ BdCodec::encode(const ImageU8 &img) const
             const unsigned w = bdDeltaWidth(lo, hi);
             bw.putBits(w, kWidthFieldBits);
             bw.putBits(lo, kBaseBits);
+            stats.metaBits += kWidthFieldBits;
+            stats.baseBits += kBaseBits;
+            stats.deltaBits +=
+                static_cast<std::size_t>(rect.pixelCount()) * w;
             if (w == 0)
                 continue;
             for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
@@ -93,6 +121,8 @@ BdCodec::encode(const ImageU8 &img) const
         }
     }
     bw.alignToByte();
+    if (stats_out)
+        *stats_out = stats;
     return bw.take();
 }
 

@@ -80,8 +80,15 @@ class BdCodec
 
     int tileSize() const { return tileSize_; }
 
-    /** Encode a frame to a self-describing BD bitstream. */
-    std::vector<uint8_t> encode(const ImageU8 &img) const;
+    /**
+     * Encode a frame to a self-describing BD bitstream.
+     *
+     * @param stats_out Optional bit accounting, filled in the same
+     *        pass; identical to a separate analyze() call (tests
+     *        assert this) without re-traversing the frame.
+     */
+    std::vector<uint8_t> encode(const ImageU8 &img,
+                                BdFrameStats *stats_out = nullptr) const;
 
     /** Decode a BD bitstream produced by encode(). */
     static ImageU8 decode(const std::vector<uint8_t> &stream);
@@ -107,6 +114,16 @@ class BdCodec
 
 /** Number of delta bits for a [min, max] range: ceil(log2(range+1)). */
 unsigned bdDeltaWidth(uint8_t min_value, uint8_t max_value);
+
+/**
+ * BD bit cost of one tile given its pixels' already-quantized sRGB
+ * codes, @p n pixels of 3 interleaved channel bytes: per channel,
+ * meta(4) + base(8) + n * ceil(log2(range+1)) bits. This is the tile
+ * adjuster's axis-selection fast path — it quantizes each candidate
+ * tile exactly once and feeds the codes straight in, instead of
+ * re-deriving sRGB per channel from linear RGB.
+ */
+std::size_t bdTileBitsFromCodes(const uint8_t *codes, std::size_t n);
 
 } // namespace pce
 

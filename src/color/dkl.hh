@@ -25,17 +25,45 @@
 
 namespace pce {
 
-/** The constant RGB->DKL matrix from the paper. */
-const Mat3 &rgb2dklMatrix();
+/**
+ * The constant RGB->DKL matrix from the paper and its inverse, as
+ * compile-time constants: the encoder's per-pixel datapaths (ellipsoid
+ * centers, quadric rows, extrema back-projection) are built from these
+ * coefficients, and exposing them as constexpr lets the optimizer fold
+ * them instead of reloading a guarded function-local static per pixel.
+ */
+inline constexpr Mat3 kRgb2Dkl{0.14, 0.17, 0.00,
+                               -0.21, -0.71, -0.07,
+                               0.21, 0.72, 0.07};
+inline constexpr Mat3 kDkl2Rgb = kRgb2Dkl.inverse();
 
-/** Its inverse (DKL->RGB), computed once. */
-const Mat3 &dkl2rgbMatrix();
+/** The constant RGB->DKL matrix from the paper. */
+inline const Mat3 &
+rgb2dklMatrix()
+{
+    return kRgb2Dkl;
+}
+
+/** Its inverse (DKL->RGB). */
+inline const Mat3 &
+dkl2rgbMatrix()
+{
+    return kDkl2Rgb;
+}
 
 /** Transform a linear-RGB color to DKL. */
-Vec3 rgbToDkl(const Vec3 &rgb);
+inline Vec3
+rgbToDkl(const Vec3 &rgb)
+{
+    return kRgb2Dkl * rgb;
+}
 
 /** Transform a DKL color to linear RGB. */
-Vec3 dklToRgb(const Vec3 &dkl);
+inline Vec3
+dklToRgb(const Vec3 &dkl)
+{
+    return kDkl2Rgb * dkl;
+}
 
 } // namespace pce
 

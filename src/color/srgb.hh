@@ -6,11 +6,21 @@
  * encoding (and therefore BD compression) operates in 8-bit sRGB. The
  * forward transform f_s2r follows Eq. 1 of the paper: a linear segment
  * near black and a 1/2.4 power segment elsewhere, scaled to [0,255].
+ *
+ * The quantizing forward map linearToSrgb8() and the inverse
+ * srgb8ToLinear() are table-driven: the encoder evaluates them three
+ * times per pixel per candidate axis inside the tile loop, and the pow
+ * calls of the continuous forms dominated the profile. The forward
+ * table is a 4096-bucket code index plus per-code exact double
+ * thresholds (found by bisection over the reference), which makes the
+ * fast path bit-exact with linearToSrgb8Reference() for every input —
+ * tests/color sweeps this exhaustively.
  */
 
 #ifndef PCE_COLOR_SRGB_HH
 #define PCE_COLOR_SRGB_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/vec3.hh"
@@ -26,11 +36,21 @@ double linearToSrgbContinuous(double x);
 
 /**
  * Eq. 1: linear RGB channel in [0,1] -> quantized 8-bit sRGB code.
- * Values outside [0,1] are clamped first.
+ * Values outside [0,1] are clamped first. Table-driven; bit-exact with
+ * linearToSrgb8Reference().
  */
 uint8_t linearToSrgb8(double x);
 
-/** Inverse gamma: 8-bit sRGB code -> linear RGB channel in [0,1]. */
+/**
+ * The direct pow-based evaluation of the quantizing forward map; the
+ * ground truth the LUT path is validated against. Not for hot paths.
+ */
+uint8_t linearToSrgb8Reference(double x);
+
+/**
+ * Inverse gamma: 8-bit sRGB code -> linear RGB channel in [0,1].
+ * Table-driven (256 entries); bit-exact with srgbToLinearContinuous.
+ */
 double srgb8ToLinear(uint8_t code);
 
 /** Continuous inverse gamma on a [0,255] sRGB value. */
@@ -38,6 +58,14 @@ double srgbToLinearContinuous(double s);
 
 /** Apply linearToSrgb8 per channel. */
 void linearToSrgb8(const Vec3 &rgb, uint8_t out[3]);
+
+/**
+ * Quantize @p n linear-RGB pixels to interleaved 8-bit sRGB codes
+ * (3 bytes per pixel). One call per tile/row amortizes the call and
+ * table-lookup setup that a per-channel loop pays 3n times; the tile
+ * adjuster's axis costing and toSrgb8 both run through this.
+ */
+void linearToSrgb8(const Vec3 *pixels, std::size_t n, uint8_t *codes);
 
 /** Apply srgb8ToLinear per channel. */
 Vec3 srgb8ToLinear(const uint8_t in[3]);

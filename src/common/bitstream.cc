@@ -5,14 +5,28 @@ namespace pce {
 void
 BitWriter::putBits(uint32_t value, unsigned width)
 {
-    for (unsigned i = width; i-- > 0;) {
-        const unsigned bit = (value >> i) & 1u;
+    // Byte-chunked writes: the BD encoder calls this once per pixel per
+    // channel, and the original bit-at-a-time loop (with its per-bit
+    // buffer-growth check) dominated the encode profile.
+    if (width == 0)
+        return;
+    if (width < 32)
+        value &= (1u << width) - 1u;
+    const std::size_t end_bits = bitCount_ + width;
+    if (bytes_.size() * 8 < end_bits)
+        bytes_.resize((end_bits + 7) / 8, 0);
+    unsigned remaining = width;
+    while (remaining > 0) {
         const std::size_t byte_idx = bitCount_ / 8;
-        if (byte_idx == bytes_.size())
-            bytes_.push_back(0);
-        if (bit)
-            bytes_[byte_idx] |= static_cast<uint8_t>(0x80u >> (bitCount_ % 8));
-        ++bitCount_;
+        const unsigned used = bitCount_ % 8;
+        const unsigned space = 8 - used;
+        const unsigned chunk = remaining < space ? remaining : space;
+        const uint32_t top =
+            (value >> (remaining - chunk)) & ((1u << chunk) - 1u);
+        bytes_[byte_idx] |=
+            static_cast<uint8_t>(top << (space - chunk));
+        bitCount_ += chunk;
+        remaining -= chunk;
     }
 }
 

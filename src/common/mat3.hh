@@ -117,11 +117,12 @@ struct Mat3
     }
 
     /**
-     * Matrix inverse via the adjugate.
+     * Matrix inverse via the adjugate. constexpr so the constant
+     * RGB<->DKL pair can be folded into the per-pixel datapaths.
      *
      * @throws std::domain_error if the matrix is (numerically) singular.
      */
-    Mat3
+    constexpr Mat3
     inverse() const
     {
         const double det = determinant();

@@ -34,54 +34,49 @@ clampToGamut(const Vec3 &origin, const Vec3 &dir, double t)
     return t;
 }
 
+/** Quantize a candidate tile into @p codes and return its BD bit cost. */
+std::size_t
+tileBitsOf(const std::vector<Vec3> &adjusted, std::vector<uint8_t> &codes)
+{
+    codes.resize(adjusted.size() * 3);
+    linearToSrgb8(adjusted.data(), adjusted.size(), codes.data());
+    return bdTileBitsFromCodes(codes.data(), adjusted.size());
+}
+
 } // namespace
 
 std::size_t
 bdTileBits(const std::vector<Vec3> &pixels_linear)
 {
-    std::size_t bits = 0;
-    for (int c = 0; c < 3; ++c) {
-        uint8_t lo = 255;
-        uint8_t hi = 0;
-        for (const Vec3 &p : pixels_linear) {
-            const uint8_t v = linearToSrgb8(p[c]);
-            lo = std::min(lo, v);
-            hi = std::max(hi, v);
-        }
-        bits += 4 + 8 +
-                pixels_linear.size() * bdDeltaWidth(lo, hi);
-    }
-    return bits;
+    std::vector<uint8_t> codes;
+    return tileBitsOf(pixels_linear, codes);
 }
 
-AxisAdjustment
-TileAdjuster::adjustAlongAxis(const std::vector<Vec3> &pixels,
-                              const std::vector<double> &ecc_deg,
-                              int axis) const
+void
+TileAdjuster::computeEllipsoids(TileScratch &scratch) const
 {
-    if (pixels.size() != ecc_deg.size())
-        throw std::invalid_argument("adjustAlongAxis: size mismatch");
-    if (axis != 0 && axis != 2)
-        throw std::invalid_argument(
-            "adjustAlongAxis: axis must be Red (0) or Blue (2)");
+    const std::size_t n = scratch.pixels.size();
+    scratch.ellipsoids.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch.ellipsoids[i] = model_.ellipsoidFor(
+            scratch.pixels[i].clamped(0.0, 1.0), scratch.ecc[i]);
+}
 
+TileAdjuster::AxisOutcome
+TileAdjuster::moveAlongAxis(const std::vector<Vec3> &pixels,
+                            const std::vector<ExtremaPair> &extrema,
+                            int axis,
+                            std::vector<Vec3> &adjusted) const
+{
     const std::size_t n = pixels.size();
-    AxisAdjustment out;
-    out.adjusted = pixels;
+    adjusted.resize(n);
+
+    AxisOutcome out;
     if (n == 0)
         return out;
 
-    // Step 1 (Fig. 7): per-pixel ellipsoids and their extrema.
-    std::vector<ExtremaPair> extrema(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const Ellipsoid e =
-            model_.ellipsoidFor(pixels[i].clamped(0.0, 1.0), ecc_deg[i]);
-        extrema[i] =
-            extrema_ ? extrema_(e, axis) : extremaAlongAxis(e, axis);
-    }
-
-    // Step 2: HL (highest of the lows) and LH (lowest of the highs);
-    // the CAU computes these with two reduction trees (Sec. 4.2).
+    // Step 2 (Fig. 7): HL (highest of the lows) and LH (lowest of the
+    // highs); the CAU computes these with two reduction trees (Sec. 4.2).
     double hl = -1e300;
     double lh = 1e300;
     for (const auto &ex : extrema) {
@@ -105,16 +100,113 @@ TileAdjuster::adjustAlongAxis(const std::vector<Vec3> &pixels,
         }
 
         const Vec3 v = extrema[i].extremaVector();
-        if (v[axis] == 0.0)
-            continue;  // degenerate: no mobility along this axis
+        if (v[axis] == 0.0) {
+            adjusted[i] = p;  // degenerate: no mobility along this axis
+            continue;
+        }
         double t = (target - p[axis]) / v[axis];
         // The target lies between the pixel's own extrema, so |t|<=0.5
         // keeps the color on the center chord, inside the ellipsoid.
+        // Division-free fast path: a strictly in-gamut destination
+        // means t is inside every per-coordinate clamp interval.
+        const Vec3 cand = p + v * t;
+        if (cand.x > 0.0 && cand.x < 1.0 && cand.y > 0.0 &&
+            cand.y < 1.0 && cand.z > 0.0 && cand.z < 1.0) {
+            adjusted[i] = cand;
+            continue;
+        }
         const double t_gamut = clampToGamut(p, v, t);
         if (t_gamut != t)
             ++out.gamutClampedPixels;
-        out.adjusted[i] = p + v * t_gamut;
+        adjusted[i] = p + v * t_gamut;
     }
+    return out;
+}
+
+TileOutcome
+TileAdjuster::adjustTile(TileScratch &scratch) const
+{
+    if (scratch.pixels.size() != scratch.ecc.size())
+        throw std::invalid_argument("adjustTile: size mismatch");
+    const std::size_t n = scratch.pixels.size();
+
+    // Step 1 (Fig. 7): per-pixel ellipsoids, computed once and shared
+    // by both axis passes; extrema for both axes from one quadric.
+    computeEllipsoids(scratch);
+    scratch.extremaRed.resize(n);
+    scratch.extremaBlue.resize(n);
+    if (extrema_) {
+        for (std::size_t i = 0; i < n; ++i) {
+            scratch.extremaRed[i] = extrema_(scratch.ellipsoids[i], 0);
+            scratch.extremaBlue[i] = extrema_(scratch.ellipsoids[i], 2);
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            extremaBothAxes(scratch.ellipsoids[i],
+                            scratch.extremaRed[i],
+                            scratch.extremaBlue[i]);
+    }
+
+    const AxisOutcome red = moveAlongAxis(
+        scratch.pixels, scratch.extremaRed, 0, scratch.adjustedRed);
+    const AxisOutcome blue = moveAlongAxis(
+        scratch.pixels, scratch.extremaBlue, 2, scratch.adjustedBlue);
+
+    TileOutcome out;
+    out.caseRed = red.adjustCase;
+    out.caseBlue = blue.adjustCase;
+    out.bitsRed = tileBitsOf(scratch.adjustedRed, scratch.codes);
+    out.bitsBlue = tileBitsOf(scratch.adjustedBlue, scratch.codes);
+
+    if (out.bitsRed < out.bitsBlue) {
+        out.adjusted = &scratch.adjustedRed;
+        out.chosenAxis = 0;
+        out.chosenCase = red.adjustCase;
+        out.gamutClampedPixels = red.gamutClampedPixels;
+    } else {
+        out.adjusted = &scratch.adjustedBlue;
+        out.chosenAxis = 2;
+        out.chosenCase = blue.adjustCase;
+        out.gamutClampedPixels = blue.gamutClampedPixels;
+    }
+    return out;
+}
+
+AxisAdjustment
+TileAdjuster::adjustAlongAxis(const std::vector<Vec3> &pixels,
+                              const std::vector<double> &ecc_deg,
+                              int axis) const
+{
+    if (pixels.size() != ecc_deg.size())
+        throw std::invalid_argument("adjustAlongAxis: size mismatch");
+    if (axis != 0 && axis != 2)
+        throw std::invalid_argument(
+            "adjustAlongAxis: axis must be Red (0) or Blue (2)");
+
+    const std::size_t n = pixels.size();
+    AxisAdjustment out;
+    if (n == 0)
+        return out;
+
+    TileScratch scratch;
+    scratch.pixels = pixels;
+    scratch.ecc = ecc_deg;
+    computeEllipsoids(scratch);
+
+    auto &extrema =
+        axis == 0 ? scratch.extremaRed : scratch.extremaBlue;
+    extrema.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        extrema[i] = extrema_
+                         ? extrema_(scratch.ellipsoids[i], axis)
+                         : extremaAlongAxis(scratch.ellipsoids[i], axis);
+
+    const AxisOutcome o =
+        moveAlongAxis(scratch.pixels, extrema, axis, out.adjusted);
+    out.adjustCase = o.adjustCase;
+    out.hlPlane = o.hlPlane;
+    out.lhPlane = o.lhPlane;
+    out.gamutClampedPixels = o.gamutClampedPixels;
     return out;
 }
 
@@ -122,28 +214,20 @@ TileAdjustment
 TileAdjuster::adjustTile(const std::vector<Vec3> &pixels,
                          const std::vector<double> &ecc_deg) const
 {
-    // Fig. 7: run the B-channel and R-channel optimizations and pick
-    // the one whose sRGB/BD encoding is smaller.
-    const AxisAdjustment red = adjustAlongAxis(pixels, ecc_deg, 0);
-    const AxisAdjustment blue = adjustAlongAxis(pixels, ecc_deg, 2);
+    TileScratch scratch;
+    scratch.pixels = pixels;
+    scratch.ecc = ecc_deg;
+    const TileOutcome o = adjustTile(scratch);
 
     TileAdjustment out;
-    out.caseRed = red.adjustCase;
-    out.caseBlue = blue.adjustCase;
-    out.bitsRed = bdTileBits(red.adjusted);
-    out.bitsBlue = bdTileBits(blue.adjusted);
-
-    if (out.bitsRed < out.bitsBlue) {
-        out.adjusted = red.adjusted;
-        out.chosenAxis = 0;
-        out.chosenCase = red.adjustCase;
-        out.gamutClampedPixels = red.gamutClampedPixels;
-    } else {
-        out.adjusted = blue.adjusted;
-        out.chosenAxis = 2;
-        out.chosenCase = blue.adjustCase;
-        out.gamutClampedPixels = blue.gamutClampedPixels;
-    }
+    out.adjusted = *o.adjusted;
+    out.chosenAxis = o.chosenAxis;
+    out.chosenCase = o.chosenCase;
+    out.caseRed = o.caseRed;
+    out.caseBlue = o.caseBlue;
+    out.bitsRed = o.bitsRed;
+    out.bitsBlue = o.bitsBlue;
+    out.gamutClampedPixels = o.gamutClampedPixels;
     return out;
 }
 

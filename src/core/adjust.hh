@@ -26,12 +26,26 @@
  *
  * Both axes are tried and the tile variant with the smaller BD bit cost
  * (after sRGB quantization) is kept, exactly as in Fig. 7.
+ *
+ * Two API layers expose the algorithm:
+ *
+ *  - The scratch-based flow (TileScratch + adjustTile(TileScratch &))
+ *    is the production hot path: per-pixel ellipsoids are computed once
+ *    and shared by the red- and blue-axis passes, extrema for both axes
+ *    come from one quadric transform, sRGB quantization runs through
+ *    the LUT exactly once per candidate, and every buffer lives in the
+ *    caller-owned scratch so a worker thread encodes an entire frame
+ *    without allocating.
+ *  - The std::vector convenience overloads below are kept for tests,
+ *    benches, and exploratory code; they wrap the scratch flow and
+ *    produce bit-identical results.
  */
 
 #ifndef PCE_CORE_ADJUST_HH
 #define PCE_CORE_ADJUST_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -54,6 +68,32 @@ enum class AdjustCase
 {
     C1,  ///< HL > LH: no common plane (Fig. 6a)
     C2,  ///< HL <= LH: common plane exists, channel collapses (Fig. 6b)
+};
+
+/**
+ * Reusable per-worker scratch of the zero-allocation tile flow. The
+ * caller fills `pixels` and `ecc` (the SoA gather of one tile) and
+ * passes the scratch to TileAdjuster::adjustTile; all other buffers are
+ * intermediate stages that grow to the tile size once and are reused
+ * for every subsequent tile.
+ */
+struct TileScratch
+{
+    /** Gathered linear-RGB tile pixels (caller-filled). */
+    std::vector<Vec3> pixels;
+    /** Per-pixel eccentricities, same length (caller-filled). */
+    std::vector<double> ecc;
+
+    /** Per-pixel ellipsoids, shared by both axis passes. */
+    std::vector<Ellipsoid> ellipsoids;
+    /** Per-pixel extrema along the Red / Blue axes. */
+    std::vector<ExtremaPair> extremaRed;
+    std::vector<ExtremaPair> extremaBlue;
+    /** The two candidate adjusted tiles. */
+    std::vector<Vec3> adjustedRed;
+    std::vector<Vec3> adjustedBlue;
+    /** Interleaved sRGB codes of the candidate being costed. */
+    std::vector<uint8_t> codes;
 };
 
 /** Outcome of adjusting one tile along one axis. */
@@ -79,6 +119,23 @@ struct TileAdjustment
     int gamutClampedPixels = 0;
 };
 
+/**
+ * Tile outcome of the scratch-based flow. The adjusted pixels are not
+ * copied: `adjusted` points into the scratch (adjustedRed or
+ * adjustedBlue) and is valid until the scratch is reused.
+ */
+struct TileOutcome
+{
+    int chosenAxis = 2;          ///< 0 = Red, 2 = Blue
+    AdjustCase chosenCase = AdjustCase::C2;
+    AdjustCase caseRed = AdjustCase::C2;
+    AdjustCase caseBlue = AdjustCase::C2;
+    std::size_t bitsRed = 0;
+    std::size_t bitsBlue = 0;
+    int gamutClampedPixels = 0;
+    const std::vector<Vec3> *adjusted = nullptr;
+};
+
 /** The color adjustment algorithm of Sec. 3.4. */
 class TileAdjuster
 {
@@ -94,8 +151,19 @@ class TileAdjuster
     {}
 
     /**
+     * The full Fig. 7 tile flow on a caller-owned scratch: ellipsoids
+     * once per pixel, extrema for both axes from one quadric, sRGB
+     * quantization through the LUT, smaller-BD-cost variant chosen.
+     * Zero allocation once the scratch has warmed to the tile size.
+     *
+     * @param scratch pixels/ecc filled by the caller; other members are
+     *                working storage.
+     */
+    TileOutcome adjustTile(TileScratch &scratch) const;
+
+    /**
      * Adjust a tile along a single axis (exposed for tests and the
-     * ablation benches).
+     * ablation benches). Wraps the scratch flow; bit-identical to it.
      *
      * @param pixels Linear-RGB tile pixels.
      * @param ecc_deg Per-pixel eccentricities (same length).
@@ -106,8 +174,8 @@ class TileAdjuster
                                    int axis) const;
 
     /**
-     * The full Fig. 7 tile flow: adjust along Red and Blue, quantize
-     * both variants to sRGB, keep the one with fewer BD bits.
+     * Convenience overload of the full tile flow that copies the
+     * chosen variant out of an internal scratch.
      */
     TileAdjustment adjustTile(const std::vector<Vec3> &pixels,
                               const std::vector<double> &ecc_deg) const;
@@ -115,6 +183,27 @@ class TileAdjuster
     const DiscriminationModel &model() const { return model_; }
 
   private:
+    /** Per-axis outcome without pixel storage. */
+    struct AxisOutcome
+    {
+        AdjustCase adjustCase = AdjustCase::C2;
+        double hlPlane = 0.0;
+        double lhPlane = 0.0;
+        int gamutClampedPixels = 0;
+    };
+
+    /** Fill scratch.ellipsoids from scratch.pixels / scratch.ecc. */
+    void computeEllipsoids(TileScratch &scratch) const;
+
+    /**
+     * Steps 2-3 of Fig. 7 along one axis: reduce HL/LH over @p extrema
+     * and move every pixel, writing the result to @p adjusted.
+     */
+    AxisOutcome moveAlongAxis(const std::vector<Vec3> &pixels,
+                              const std::vector<ExtremaPair> &extrema,
+                              int axis,
+                              std::vector<Vec3> &adjusted) const;
+
     const DiscriminationModel &model_;
     ExtremaFn extrema_;
 };
@@ -123,6 +212,7 @@ class TileAdjuster
  * BD bit cost of a tile of linear-RGB pixels after sRGB quantization:
  * per channel, meta(4) + base(8) + N * ceil(log2(range+1)) bits.
  * Shared by the adjuster's axis selection and the pipeline stats.
+ * Convenience wrapper over bdTileBitsFromCodes (src/bd).
  */
 std::size_t bdTileBits(const std::vector<Vec3> &pixels_linear);
 

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 
 namespace pce {
+
+namespace {
+
+/**
+ * Tiles claimed per scheduler grab. Small enough that the pool
+ * rebalances around the nearly-free foveal region, large enough that
+ * the atomic counter is off the critical path.
+ */
+constexpr std::size_t kTileGrain = 8;
+
+} // namespace
 
 PipelineStats &
 PipelineStats::operator+=(const PipelineStats &o)
@@ -26,6 +36,8 @@ PerceptualEncoder::PerceptualEncoder(const DiscriminationModel &model,
 {
     if (params_.threads < 1)
         throw std::invalid_argument("PerceptualEncoder: threads < 1");
+    if (params_.threads > 1)
+        pool_ = std::make_unique<ThreadPool>(params_.threads - 1);
 }
 
 ImageF
@@ -41,41 +53,43 @@ PerceptualEncoder::adjustFrame(const ImageF &frame,
     const auto tiles =
         tileGrid(frame.width(), frame.height(), params_.tileSize);
 
-    const int n_threads = std::max(
+    const int participants = std::max(
         1, std::min<int>(params_.threads,
                          static_cast<int>(tiles.size())));
-    std::vector<PipelineStats> partial(n_threads);
+    std::vector<PipelineStats> partial(participants);
+    std::vector<TileScratch> scratch(participants);
 
-    auto work = [&](int tid) {
-        PipelineStats &stats = partial[tid];
-        std::vector<Vec3> pixels;
-        std::vector<double> eccs;
-        for (std::size_t i = tid; i < tiles.size();
-             i += static_cast<std::size_t>(n_threads)) {
+    auto processRange = [&](std::size_t begin, std::size_t end,
+                            int slot) {
+        PipelineStats &stats = partial[slot];
+        TileScratch &s = scratch[slot];
+        for (std::size_t i = begin; i < end; ++i) {
             const TileRect &rect = tiles[i];
             ++stats.totalTiles;
 
-            pixels.clear();
-            eccs.clear();
-            double min_ecc = 1e300;
-            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
-                    pixels.push_back(frame.at(x, y));
-                    const double e = ecc.at(x, y);
-                    eccs.push_back(e);
-                    min_ecc = std::min(min_ecc, e);
-                }
-            }
-
             // Foveal bypass: any tile touching the foveal region is
-            // left numerically intact (Sec. 5.1).
-            if (min_ecc < params_.fovealCutoffDeg) {
+            // left numerically intact (Sec. 5.1). Tested on the map
+            // alone, before any pixel is gathered.
+            if (ecc.minInRect(rect) < params_.fovealCutoffDeg) {
                 ++stats.fovealBypassTiles;
                 continue;
             }
 
-            const TileAdjustment adj =
-                adjuster_.adjustTile(pixels, eccs);
+            // SoA gather into the worker's reusable scratch.
+            const std::size_t n =
+                static_cast<std::size_t>(rect.pixelCount());
+            s.pixels.resize(n);
+            s.ecc.resize(n);
+            std::size_t k = 0;
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                const Vec3 *row = &frame.at(rect.x0, y);
+                for (int x = 0; x < rect.w; ++x, ++k) {
+                    s.pixels[k] = row[x];
+                    s.ecc[k] = ecc.at(rect.x0 + x, y);
+                }
+            }
+
+            const TileOutcome adj = adjuster_.adjustTile(s);
             if (adj.chosenCase == AdjustCase::C1)
                 ++stats.c1Tiles;
             else
@@ -87,23 +101,21 @@ PerceptualEncoder::adjustFrame(const ImageF &frame,
             stats.gamutClampedPixels +=
                 static_cast<std::size_t>(adj.gamutClampedPixels);
 
-            std::size_t k = 0;
-            for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
-                for (int x = rect.x0; x < rect.x0 + rect.w; ++x)
-                    out.at(x, y) = adj.adjusted[k++];
+            // Adjusted pixels go straight into the output rows.
+            const std::vector<Vec3> &res = *adj.adjusted;
+            k = 0;
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                std::copy_n(&res[k], rect.w, &out.at(rect.x0, y));
+                k += static_cast<std::size_t>(rect.w);
+            }
         }
     };
 
-    if (n_threads == 1) {
-        work(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
-        for (int t = 0; t < n_threads; ++t)
-            pool.emplace_back(work, t);
-        for (auto &th : pool)
-            th.join();
-    }
+    if (participants == 1)
+        processRange(0, tiles.size(), 0);
+    else
+        pool_->parallelFor(tiles.size(), kTileGrain, participants,
+                           processRange);
 
     if (stats_out) {
         PipelineStats total;
@@ -121,8 +133,8 @@ PerceptualEncoder::encodeFrame(const ImageF &frame,
     EncodedFrame result;
     result.adjustedLinear = adjustFrame(frame, ecc, &result.stats);
     result.adjustedSrgb = toSrgb8(result.adjustedLinear);
-    result.bdStream = codec_.encode(result.adjustedSrgb);
-    result.bdStats = codec_.analyze(result.adjustedSrgb);
+    result.bdStream =
+        codec_.encode(result.adjustedSrgb, &result.bdStats);
     return result;
 }
 

@@ -17,9 +17,11 @@
 #define PCE_CORE_PIPELINE_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "bd/bd_codec.hh"
+#include "common/thread_pool.hh"
 #include "core/adjust.hh"
 #include "image/image.hh"
 #include "perception/discrimination.hh"
@@ -66,7 +68,19 @@ struct EncodedFrame
     PipelineStats stats;
 };
 
-/** The full Fig. 7 encoder. */
+/**
+ * The full Fig. 7 encoder.
+ *
+ * The tile loop is the production hot path and is built for
+ * throughput: per-worker TileScratch buffers make the steady state
+ * allocation-free, the foveal-bypass test runs on the eccentricity map
+ * before any pixel is gathered (O(tile border) per bypassed tile), and
+ * adjusted tiles are written straight into the output image rows. With
+ * threads > 1 the encoder owns a persistent ThreadPool and schedules
+ * tiles dynamically in chunks — foveal tiles are nearly free, so static
+ * striding would load-imbalance badly. Output is bit-identical for any
+ * thread count (tests assert this).
+ */
 class PerceptualEncoder
 {
   public:
@@ -95,6 +109,8 @@ class PerceptualEncoder
     PipelineParams params_;
     TileAdjuster adjuster_;
     BdCodec codec_;
+    /** Persistent workers (threads - 1 of them), kept across frames. */
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace pce

@@ -55,41 +55,73 @@ Quadric::paperCoefficients() const
     };
 }
 
-ExtremaPair
-extremaAlongAxis(const Ellipsoid &e, int axis)
+namespace {
+
+/**
+ * Axis-independent per-ellipsoid precomputation of the Eq. 11-13
+ * datapath, built once and shared by both optimization axes. Holds the
+ * quadric's quadratic part (the linear and constant parts never enter
+ * the extrema computation), the inverse squared semi-axes (reused by
+ * the Eq. 13 normalization), and the RGB-space center.
+ */
+struct ExtremaFrame
 {
-    if (axis != 0 && axis != 1 && axis != 2)
-        throw std::invalid_argument("extremaAlongAxis: bad axis");
+    Mat3 q3;          ///< M^T S M, S = diag(1/s_i^2)
+    Vec3 sInv2;       ///< 1 / s_i^2
+    Vec3 rgbCenter;   ///< M^-1 * centerDkl
+};
 
-    const Quadric q = Quadric::fromDklEllipsoid(e);
+ExtremaFrame
+buildExtremaFrame(const Ellipsoid &e)
+{
+    const Mat3 &m = rgb2dklMatrix();
+    ExtremaFrame f;
+    f.sInv2 = Vec3(1.0 / (e.semiAxes.x * e.semiAxes.x),
+                   1.0 / (e.semiAxes.y * e.semiAxes.y),
+                   1.0 / (e.semiAxes.z * e.semiAxes.z));
+    // q3 = M^T S M is symmetric: build its 6 unique entries directly
+    // (q3_ij = sum_k m_ki * sInv2_k * m_kj) instead of two full 3x3
+    // matrix products — this runs once per pixel per frame.
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = i; j < 3; ++j) {
+            const double v = m(0, i) * f.sInv2.x * m(0, j) +
+                             m(1, i) * f.sInv2.y * m(1, j) +
+                             m(2, i) * f.sInv2.z * m(2, j);
+            f.q3(i, j) = v;
+            f.q3(j, i) = v;
+        }
+    }
+    f.rgbCenter = dkl2rgbMatrix() * e.centerDkl;
+    return f;
+}
 
+/** The per-axis half of the Eq. 11-13 datapath. */
+ExtremaPair
+extremaFromFrame(const ExtremaFrame &f, int axis)
+{
     // Eq. 11: setting the partial derivatives along the two other axes
     // to zero yields two planes; their normals are the corresponding
-    // rows of the gradient (2 Q3 p + lin). Eq. 12: the extrema vector is
-    // the cross product of the two plane normals. Any uniform scale of
-    // the quadric cancels in the direction, so the unnormalized Q3 works
-    // exactly like the paper's A..I coefficients.
+    // rows of the gradient (2 Q3 p + lin). Eq. 12: the extrema vector
+    // is the cross product of the two plane normals. Any uniform
+    // positive scale of the quadric cancels in the direction, so the
+    // unnormalized Q3 rows work exactly like the paper's A..I
+    // coefficients (the factor 2 of the gradient drops out too).
     const int a1 = (axis + 1) % 3;
     const int a2 = (axis + 2) % 3;
-    const Vec3 n1 = q.q3.row(a1) * 2.0;
-    const Vec3 n2 = q.q3.row(a2) * 2.0;
-    const Vec3 v = n1.cross(n2);
+    const Vec3 v = f.q3.row(a1).cross(f.q3.row(a2));
 
     // Eq. 13: intersect the line through the DKL center along direction
     // (M v) with the DKL ellipsoid.
-    const Mat3 &m = rgb2dklMatrix();
-    const Mat3 &inv = dkl2rgbMatrix();
-    const Vec3 x = m * v;
-    const Vec3 &s = e.semiAxes;
-    const double denom = std::sqrt((x.x * x.x) / (s.x * s.x) +
-                                   (x.y * x.y) / (s.y * s.y) +
-                                   (x.z * x.z) / (s.z * s.z));
+    const Vec3 x = rgb2dklMatrix() * v;
+    const double denom = std::sqrt(x.x * x.x * f.sInv2.x +
+                                   x.y * x.y * f.sInv2.y +
+                                   x.z * x.z * f.sInv2.z);
     if (denom == 0.0)
         throw std::domain_error("extremaAlongAxis: degenerate ellipsoid");
-    const double t = 1.0 / denom;
 
-    const Vec3 p_plus = inv * (e.centerDkl + x * t);
-    const Vec3 p_minus = inv * (e.centerDkl - x * t);
+    const Vec3 step = dkl2rgbMatrix() * (x * (1.0 / denom));
+    const Vec3 p_plus = f.rgbCenter + step;
+    const Vec3 p_minus = f.rgbCenter - step;
 
     ExtremaPair pair;
     if (p_plus[axis] >= p_minus[axis]) {
@@ -100,6 +132,24 @@ extremaAlongAxis(const Ellipsoid &e, int axis)
         pair.low = p_plus;
     }
     return pair;
+}
+
+} // namespace
+
+ExtremaPair
+extremaAlongAxis(const Ellipsoid &e, int axis)
+{
+    if (axis != 0 && axis != 1 && axis != 2)
+        throw std::invalid_argument("extremaAlongAxis: bad axis");
+    return extremaFromFrame(buildExtremaFrame(e), axis);
+}
+
+void
+extremaBothAxes(const Ellipsoid &e, ExtremaPair &red, ExtremaPair &blue)
+{
+    const ExtremaFrame f = buildExtremaFrame(e);
+    red = extremaFromFrame(f, 0);
+    blue = extremaFromFrame(f, 2);
 }
 
 ExtremaPair

@@ -86,6 +86,17 @@ ExtremaPair extremaAlongAxis(const Ellipsoid &e, int axis);
 /** Independent Lagrangian closed form; used as a cross-check. */
 ExtremaPair extremaAlongAxisLagrange(const Ellipsoid &e, int axis);
 
+/**
+ * Extrema along both optimization axes (Red = 0 and Blue = 2) of the
+ * same ellipsoid, sharing the quadric transform between them. The tile
+ * adjuster evaluates both axes for every pixel (Fig. 7), and the
+ * quadric construction — two 3x3 matrix products — is the dominant cost
+ * of extremaAlongAxis; building it once halves that. Results are
+ * bit-identical to calling extremaAlongAxis(e, 0) and (e, 2).
+ */
+void extremaBothAxes(const Ellipsoid &e, ExtremaPair &red,
+                     ExtremaPair &blue);
+
 } // namespace pce
 
 #endif // PCE_CORE_QUADRIC_HH

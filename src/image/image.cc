@@ -48,10 +48,9 @@ ImageU8
 toSrgb8(const ImageF &linear)
 {
     ImageU8 out(linear.width(), linear.height());
-    for (int y = 0; y < linear.height(); ++y) {
-        for (int x = 0; x < linear.width(); ++x)
-            linearToSrgb8(linear.at(x, y), out.pixel(x, y));
-    }
+    // Pixels are contiguous row-major in both images: one batched call.
+    linearToSrgb8(linear.pixels().data(), linear.pixelCount(),
+                  out.data().data());
     return out;
 }
 

@@ -20,9 +20,14 @@ Ellipsoid
 DiscriminationModel::ellipsoidFor(const Vec3 &rgb_linear,
                                   double ecc_deg) const
 {
+    // One DKL transform serves both the center and (for models that
+    // consume it) the semi-axis evaluation. In-gamut colors — every
+    // caller on the tile hot path — take the single-transform branch.
     Ellipsoid e;
-    e.centerDkl = rgbToDkl(rgb_linear);
-    e.semiAxes = semiAxes(rgb_linear, ecc_deg);
+    const Vec3 rgb = rgb_linear.clamped(0.0, 1.0);
+    const Vec3 dkl = rgbToDkl(rgb);
+    e.centerDkl = rgb == rgb_linear ? dkl : rgbToDkl(rgb_linear);
+    e.semiAxes = semiAxesWithDkl(rgb, dkl, ecc_deg);
     return e;
 }
 
@@ -40,14 +45,25 @@ AnalyticDiscriminationModel::semiAxes(const Vec3 &rgb_linear,
                                       double ecc_deg) const
 {
     const Vec3 rgb = rgb_linear.clamped(0.0, 1.0);
-    const Vec3 dkl = rgbToDkl(rgb);
+    return semiAxesWithDkl(rgb, rgbToDkl(rgb), ecc_deg);
+}
+
+Vec3
+AnalyticDiscriminationModel::semiAxesWithDkl(const Vec3 &rgb_linear,
+                                             const Vec3 &dkl,
+                                             double ecc_deg) const
+{
+    const Vec3 rgb = rgb_linear.clamped(0.0, 1.0);
 
     // Extent of each DKL axis over the RGB unit cube; the Weber term is
     // expressed relative to these so its strength is axis-uniform.
     // K1 = 0.14R + 0.17G           in [0, 0.31]
     // K2 = -0.21R - 0.71G - 0.07B  in [-0.99, 0]
     // K3 = 0.21R + 0.72G + 0.07B   in [0, 1.00]
-    static const Vec3 kAxisRange{0.31, 0.99, 1.00};
+    // Stored as reciprocals: this runs once per pixel per frame, and
+    // the three divisions (plus the magic-static guard a function-local
+    // const would cost) showed up in the encode profile.
+    constexpr double kInvAxisRange[3] = {1.0 / 0.31, 1.0 / 0.99, 1.0};
 
     const double ecc = std::max(0.0, ecc_deg);
     const double ecc_scale = 1.0 + params_.eccGain * ecc;
@@ -56,12 +72,13 @@ AnalyticDiscriminationModel::semiAxes(const Vec3 &rgb_linear,
         0.2126 * rgb.x + 0.7152 * rgb.y + 0.0722 * rgb.z;
     const double lum_scale = params_.lumBias + params_.lumGain * lum;
 
+    const double common =
+        lum_scale * ecc_scale * params_.globalScale;
     Vec3 axes;
     for (std::size_t i = 0; i < 3; ++i) {
-        const double chroma = std::abs(dkl[i]) / kAxisRange[i];
+        const double chroma = std::abs(dkl[i]) * kInvAxisRange[i];
         const double weber = 1.0 + params_.weberGain * chroma;
-        axes[i] = params_.base[i] * weber * lum_scale * ecc_scale *
-                  params_.globalScale;
+        axes[i] = params_.base[i] * weber * common;
     }
     return axes;
 }

@@ -72,6 +72,25 @@ class DiscriminationModel
      */
     virtual Vec3 semiAxes(const Vec3 &rgb_linear, double ecc_deg) const = 0;
 
+    /**
+     * semiAxes() with the DKL transform of @p rgb_linear already in
+     * hand. ellipsoidFor() computes the DKL center anyway, and models
+     * whose evaluation starts with the same transform (the analytic
+     * model does) override this to avoid recomputing it — the tile loop
+     * calls this once per pixel. The default ignores @p dkl, so models
+     * that never look at DKL stay correct unchanged.
+     *
+     * @param rgb_linear Color in linear RGB, components in [0,1].
+     * @param dkl        rgbToDkl(rgb_linear), supplied by the caller.
+     */
+    virtual Vec3
+    semiAxesWithDkl(const Vec3 &rgb_linear, const Vec3 &dkl,
+                    double ecc_deg) const
+    {
+        (void)dkl;
+        return semiAxes(rgb_linear, ecc_deg);
+    }
+
     /** Convenience: build the full ellipsoid for a linear-RGB color. */
     Ellipsoid ellipsoidFor(const Vec3 &rgb_linear, double ecc_deg) const;
 };
@@ -111,6 +130,9 @@ class AnalyticDiscriminationModel : public DiscriminationModel
 
     Vec3 semiAxes(const Vec3 &rgb_linear, double ecc_deg) const override;
 
+    Vec3 semiAxesWithDkl(const Vec3 &rgb_linear, const Vec3 &dkl,
+                         double ecc_deg) const override;
+
     const AnalyticModelParams &params() const { return params_; }
 
   private:
@@ -133,6 +155,13 @@ class ScaledDiscriminationModel : public DiscriminationModel
     semiAxes(const Vec3 &rgb_linear, double ecc_deg) const override
     {
         return inner_.semiAxes(rgb_linear, ecc_deg) * scale_;
+    }
+
+    Vec3
+    semiAxesWithDkl(const Vec3 &rgb_linear, const Vec3 &dkl,
+                    double ecc_deg) const override
+    {
+        return inner_.semiAxesWithDkl(rgb_linear, dkl, ecc_deg) * scale_;
     }
 
     double scale() const { return scale_; }

@@ -38,12 +38,42 @@ DisplayGeometry::maxEccentricityDeg() const
 
 EccentricityMap::EccentricityMap(const DisplayGeometry &geom)
     : width_(geom.width), height_(geom.height),
+      fixationX_(geom.fixationX), fixationY_(geom.fixationY),
       ecc_(static_cast<std::size_t>(geom.width) * geom.height, 0.0)
 {
     for (int y = 0; y < height_; ++y)
         for (int x = 0; x < width_; ++x)
             ecc_[static_cast<std::size_t>(y) * width_ + x] =
                 geom.eccentricityDeg(x, y);
+}
+
+double
+EccentricityMap::minInRect(const TileRect &rect) const
+{
+    const int x1 = rect.x0 + rect.w - 1;
+    const int y1 = rect.y0 + rect.h - 1;
+    double m = 1e300;
+
+    // Fixation inside (with half-pixel slack): the interior can hold
+    // the minimum — scan everything. At most one tile per frame.
+    if (fixationX_ >= rect.x0 - 0.5 && fixationX_ <= x1 + 0.5 &&
+        fixationY_ >= rect.y0 - 0.5 && fixationY_ <= y1 + 0.5) {
+        for (int y = rect.y0; y <= y1; ++y)
+            for (int x = rect.x0; x <= x1; ++x)
+                m = std::min(m, at(x, y));
+        return m;
+    }
+
+    // Otherwise the minimum lies on the boundary (see header).
+    for (int x = rect.x0; x <= x1; ++x) {
+        m = std::min(m, at(x, rect.y0));
+        m = std::min(m, at(x, y1));
+    }
+    for (int y = rect.y0; y <= y1; ++y) {
+        m = std::min(m, at(rect.x0, y));
+        m = std::min(m, at(x1, y));
+    }
+    return m;
 }
 
 double

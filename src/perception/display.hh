@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/vec3.hh"
+#include "image/image.hh"
 
 namespace pce {
 
@@ -65,12 +66,26 @@ class EccentricityMap
     double at(int x, int y) const
     { return ecc_[static_cast<std::size_t>(y) * width_ + x]; }
 
+    /**
+     * Minimum eccentricity over a pixel rectangle. Eccentricity grows
+     * monotonically along any pixel-space ray leaving the fixation
+     * point (the directions to points on a display line through the
+     * fixation pixel sweep a great circle starting at the gaze ray), so
+     * the minimum over a rectangle lies on its boundary whenever the
+     * fixation is outside it. The encoder's foveal-bypass test therefore
+     * costs O(tile border) instead of O(tile) — the map is only scanned
+     * in full for the one tile containing the fixation.
+     */
+    double minInRect(const TileRect &rect) const;
+
     /** Fraction of pixels with eccentricity above @p deg. */
     double fractionBeyond(double deg) const;
 
   private:
     int width_;
     int height_;
+    double fixationX_;
+    double fixationY_;
     std::vector<double> ecc_;
 };
 

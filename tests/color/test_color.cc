@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "color/dkl.hh"
 #include "color/srgb.hh"
@@ -94,6 +95,79 @@ TEST(Srgb, QuantizationErrorBounded)
         // Derivative of inverse gamma is <= ~0.011 per code near white;
         // bound conservatively by 0.012.
         EXPECT_NEAR(back, x, 0.012);
+    }
+}
+
+TEST(SrgbLut, MatchesReferenceOnDenseSweep)
+{
+    // The table-driven forward map must be bit-exact with the pow
+    // reference. 2^20 evenly spaced inputs cover every LUT bucket ~256
+    // times over.
+    const int n = 1 << 20;
+    for (int i = 0; i <= n; ++i) {
+        const double x = static_cast<double>(i) / n;
+        ASSERT_EQ(linearToSrgb8(x), linearToSrgb8Reference(x))
+            << "x = " << x;
+    }
+}
+
+TEST(SrgbLut, MatchesReferenceAroundEveryCodeBoundary)
+{
+    // The half-code rounding thresholds are where an off-by-one-ulp
+    // table would diverge: probe a ulp neighborhood of each of them.
+    for (int code = 1; code < 256; ++code) {
+        // Forward and continuous-inverse are exact inverses, so this
+        // is the continuous input that quantizes right at the boundary.
+        double x = srgbToLinearContinuous(code - 0.5);
+        for (int step = 0; step < 200; ++step)
+            x = std::nextafter(x, 0.0);
+        for (int step = 0; step < 400; ++step) {
+            ASSERT_EQ(linearToSrgb8(x), linearToSrgb8Reference(x))
+                << "code " << code << " x = " << x;
+            x = std::nextafter(x, 2.0);
+        }
+    }
+}
+
+TEST(SrgbLut, MatchesReferenceOnRandomAndEdgeInputs)
+{
+    Rng rng(6);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.uniform(-0.25, 1.25);
+        ASSERT_EQ(linearToSrgb8(x), linearToSrgb8Reference(x))
+            << "x = " << x;
+    }
+    const double edges[] = {0.0,   1.0,    -0.0,   1e-300, 5e-324,
+                            2.0,   -3.0,   0.5,    1.0 - 1e-16,
+                            0.0031308, 0.00313081, 1e-9};
+    for (const double x : edges)
+        EXPECT_EQ(linearToSrgb8(x), linearToSrgb8Reference(x))
+            << "x = " << x;
+}
+
+TEST(SrgbLut, InverseTableMatchesContinuousForAllCodes)
+{
+    for (int code = 0; code < 256; ++code) {
+        const double want =
+            srgbToLinearContinuous(static_cast<double>(code));
+        EXPECT_EQ(srgb8ToLinear(static_cast<uint8_t>(code)), want)
+            << "code " << code;
+    }
+}
+
+TEST(SrgbLut, BatchedConversionMatchesScalar)
+{
+    Rng rng(7);
+    std::vector<Vec3> pixels;
+    for (int i = 0; i < 257; ++i)
+        pixels.emplace_back(rng.uniform(-0.1, 1.1), rng.uniform(),
+                            rng.uniform());
+    std::vector<uint8_t> codes(pixels.size() * 3);
+    linearToSrgb8(pixels.data(), pixels.size(), codes.data());
+    for (std::size_t i = 0; i < pixels.size(); ++i) {
+        EXPECT_EQ(codes[3 * i + 0], linearToSrgb8(pixels[i].x));
+        EXPECT_EQ(codes[3 * i + 1], linearToSrgb8(pixels[i].y));
+        EXPECT_EQ(codes[3 * i + 2], linearToSrgb8(pixels[i].z));
     }
 }
 

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "bd/bd_codec.hh"
 #include "color/dkl.hh"
+#include "color/srgb.hh"
 #include "common/rng.hh"
 #include "core/adjust.hh"
 #include "core/quadric.hh"
@@ -217,6 +219,97 @@ TEST(AdjustAlongAxis, EmptyTileIsNoop)
     const TileAdjuster adjuster(model());
     const auto result = adjuster.adjustAlongAxis({}, {}, 2);
     EXPECT_TRUE(result.adjusted.empty());
+}
+
+TEST(AdjustTile, ScratchFlowMatchesPerAxisComposition)
+{
+    // The zero-allocation flow (ellipsoids shared across axes, fused
+    // both-axes extrema, LUT quantization) must reproduce the
+    // single-axis path bit for bit, metadata included.
+    const TileAdjuster adjuster(model());
+    Rng rng(40);
+    TileScratch scratch;
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto tile = randomTile(rng, 16, rng.uniform(0.0, 0.15));
+        std::vector<double> ecc;
+        for (int i = 0; i < 16; ++i)
+            ecc.push_back(rng.uniform(6.0, 35.0));
+
+        const AxisAdjustment red =
+            adjuster.adjustAlongAxis(tile, ecc, 0);
+        const AxisAdjustment blue =
+            adjuster.adjustAlongAxis(tile, ecc, 2);
+        const std::size_t bits_red = bdTileBits(red.adjusted);
+        const std::size_t bits_blue = bdTileBits(blue.adjusted);
+
+        scratch.pixels = tile;
+        scratch.ecc = ecc;
+        const TileOutcome out = adjuster.adjustTile(scratch);
+
+        EXPECT_EQ(out.caseRed, red.adjustCase);
+        EXPECT_EQ(out.caseBlue, blue.adjustCase);
+        EXPECT_EQ(out.bitsRed, bits_red);
+        EXPECT_EQ(out.bitsBlue, bits_blue);
+        const AxisAdjustment &chosen =
+            out.chosenAxis == 0 ? red : blue;
+        EXPECT_EQ(out.gamutClampedPixels, chosen.gamutClampedPixels);
+        ASSERT_EQ(out.adjusted->size(), tile.size());
+        for (std::size_t i = 0; i < tile.size(); ++i)
+            EXPECT_EQ((*out.adjusted)[i], chosen.adjusted[i])
+                << "trial " << trial << " pixel " << i;
+    }
+}
+
+TEST(AdjustTile, ScratchReuseAcrossTilesLeaksNoState)
+{
+    // One scratch reused across tiles of varying size (including the
+    // ragged edge-tile shapes) must match fresh-scratch results.
+    const TileAdjuster adjuster(model());
+    Rng rng(41);
+    TileScratch reused;
+    const std::size_t sizes[] = {16, 4, 16, 12, 8, 16, 2, 1, 16};
+    for (const std::size_t n : sizes) {
+        const auto tile = randomTile(rng, n, 0.08);
+        const std::vector<double> ecc(n, rng.uniform(6.0, 35.0));
+
+        reused.pixels = tile;
+        reused.ecc = ecc;
+        const TileOutcome a = adjuster.adjustTile(reused);
+        const std::vector<Vec3> a_adjusted = *a.adjusted;
+
+        TileScratch fresh;
+        fresh.pixels = tile;
+        fresh.ecc = ecc;
+        const TileOutcome b = adjuster.adjustTile(fresh);
+
+        EXPECT_EQ(a.chosenAxis, b.chosenAxis);
+        EXPECT_EQ(a.bitsRed, b.bitsRed);
+        EXPECT_EQ(a.bitsBlue, b.bitsBlue);
+        ASSERT_EQ(a_adjusted.size(), b.adjusted->size());
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(a_adjusted[i], (*b.adjusted)[i]);
+    }
+}
+
+TEST(AdjustTile, ScratchFlowRejectsSizeMismatch)
+{
+    const TileAdjuster adjuster(model());
+    TileScratch scratch;
+    scratch.pixels.assign(4, Vec3(0.5, 0.5, 0.5));
+    scratch.ecc.assign(3, 10.0);
+    EXPECT_THROW(adjuster.adjustTile(scratch), std::invalid_argument);
+}
+
+TEST(BdTileBits, FromCodesMatchesLinearPath)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto tile = randomTile(rng, 16, 0.1);
+        std::vector<uint8_t> codes(tile.size() * 3);
+        linearToSrgb8(tile.data(), tile.size(), codes.data());
+        EXPECT_EQ(bdTileBitsFromCodes(codes.data(), tile.size()),
+                  bdTileBits(tile));
+    }
 }
 
 TEST(BdTileBits, MatchesManualAccounting)

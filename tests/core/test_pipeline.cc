@@ -151,6 +151,49 @@ TEST(Pipeline, MultiThreadedMatchesSerial)
     EXPECT_EQ(s1.gamutClampedPixels, s2.gamutClampedPixels);
 }
 
+TEST(Pipeline, ThreadCountInvarianceIsBitExact)
+{
+    // The dynamic chunk scheduler must never leak into results: 1 vs 8
+    // threads (more than this machine may have) produce byte-identical
+    // frames, bitstreams, and every PipelineStats field. Repeated
+    // frames through the same encoder exercise scratch/pool reuse.
+    const int n = 96;
+    const EccentricityMap ecc = centeredMap(n, n);
+    PipelineParams serial;
+    serial.threads = 1;
+    PipelineParams parallel;
+    parallel.threads = 8;
+    const PerceptualEncoder enc1(model(), serial);
+    const PerceptualEncoder enc8(model(), parallel);
+
+    for (SceneId id : {SceneId::Office, SceneId::Dumbo}) {
+        const ImageF frame = renderScene(id, {n, n, 0, 0.0, 0});
+        for (int repeat = 0; repeat < 2; ++repeat) {
+            const EncodedFrame a = enc1.encodeFrame(frame, ecc);
+            const EncodedFrame b = enc8.encodeFrame(frame, ecc);
+
+            // Adjusted linear frames are double-identical...
+            EXPECT_EQ(a.adjustedLinear.pixels(),
+                      b.adjustedLinear.pixels())
+                << sceneName(id);
+            // ...so the quantized frames and streams are byte-equal.
+            EXPECT_EQ(a.adjustedSrgb, b.adjustedSrgb) << sceneName(id);
+            EXPECT_EQ(a.bdStream, b.bdStream) << sceneName(id);
+
+            EXPECT_EQ(a.stats.totalTiles, b.stats.totalTiles);
+            EXPECT_EQ(a.stats.fovealBypassTiles,
+                      b.stats.fovealBypassTiles);
+            EXPECT_EQ(a.stats.c1Tiles, b.stats.c1Tiles);
+            EXPECT_EQ(a.stats.c2Tiles, b.stats.c2Tiles);
+            EXPECT_EQ(a.stats.redAxisTiles, b.stats.redAxisTiles);
+            EXPECT_EQ(a.stats.blueAxisTiles, b.stats.blueAxisTiles);
+            EXPECT_EQ(a.stats.gamutClampedPixels,
+                      b.stats.gamutClampedPixels);
+            EXPECT_EQ(a.bdStats.totalBits(), b.bdStats.totalBits());
+        }
+    }
+}
+
 TEST(Pipeline, LargerFovealCutoffBypassesMoreTiles)
 {
     const int n = 96;
