@@ -2,22 +2,44 @@
  * @file
  * Full-frame encoder throughput runner: measures adjustFrame and
  * encodeFrame in megapixels/s (single-thread and multi-thread) and
- * writes BENCH_encoder.json, seeding the perf trajectory across PRs.
+ * *appends* a dated record to BENCH_encoder.json, so the file carries
+ * the perf trajectory across PRs instead of one overwritten snapshot.
+ *
+ * The measured loop is the steady-state frame stream: outputs are
+ * reused via adjustFrameInto / encodeFrameInto, so an animation loop
+ * allocates nothing after the first frame (the zero-allocation claim
+ * of docs/PERF.md is what this bench exercises).
  *
  * Resolution and thread count come from PCE_BENCH_WIDTH /
  * PCE_BENCH_HEIGHT / PCE_BENCH_THREADS; the output path defaults to
  * BENCH_encoder.json in the working directory (override with
- * PCE_BENCH_OUT or argv[1]).
+ * PCE_BENCH_OUT or argv[1]). Each record carries the git revision
+ * (stamped at build time by the pce_git_rev target / cmake/git_rev.cmake,
+ * so incremental rebuilds across commits stay attributable), the active
+ * SIMD dispatch level, and the actual pool thread counts used for the
+ * MT numbers.
  */
 
 #include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "bench_common.hh"
 #include "common/env.hh"
 #include "core/pipeline.hh"
+#include "simd/tile_kernels.hh"
+
+#ifdef PCE_HAVE_GIT_REV_HEADER
+#include "pce_git_rev.h"  // build-time stamp (cmake/git_rev.cmake)
+#endif
+#ifndef PCE_GIT_REV
+#define PCE_GIT_REV "unknown"
+#endif
 
 namespace {
 
@@ -52,17 +74,23 @@ measure(const ImageF &frame, const EccentricityMap &ecc, int threads,
     const double mpix =
         static_cast<double>(frame.pixelCount()) / 1e6;
 
-    // Warm-up (populates lazy tables, faults pages, spins up workers).
-    encoder.adjustFrame(frame, ecc);
+    // Steady-state frame stream: outputs reused across iterations.
+    ImageF adjusted;
+    EncodedFrame enc;
+
+    // Warm-up (populates lazy tables, faults pages, spins up workers,
+    // grows the reused buffers to their steady-state size).
+    encoder.adjustFrameInto(frame, ecc, adjusted);
+    encoder.encodeFrameInto(frame, ecc, enc);
 
     Measurement m;
     double best_adjust = 1e300;
     double best_encode = 1e300;
     for (int r = 0; r < repeats; ++r) {
         auto t0 = Clock::now();
-        const ImageF adjusted = encoder.adjustFrame(frame, ecc);
+        encoder.adjustFrameInto(frame, ecc, adjusted);
         auto t1 = Clock::now();
-        const EncodedFrame enc = encoder.encodeFrame(frame, ecc);
+        encoder.encodeFrameInto(frame, ecc, enc);
         auto t2 = Clock::now();
         if (adjusted.pixelCount() == 0 || enc.bdStream.empty())
             std::abort();  // keep the work observable
@@ -76,6 +104,81 @@ measure(const ImageF &frame, const EccentricityMap &ecc, int threads,
     m.adjustMps = mpix / best_adjust;
     m.encodeMps = mpix / best_encode;
     return m;
+}
+
+/** UTC timestamp, ISO 8601. */
+std::string
+isoNowUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+/**
+ * Append @p record to the JSON array in @p path. A missing/empty file
+ * starts a new array; a legacy single-object snapshot is wrapped into
+ * an array with the new record appended after it.
+ */
+void
+appendRecord(const std::string &path, const std::string &record)
+{
+    std::string existing;
+    {
+        std::ifstream in(path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        existing = ss.str();
+    }
+    const auto is_space = [](char c) {
+        return c == '\n' || c == ' ' || c == '\t' || c == '\r';
+    };
+    while (!existing.empty() && is_space(existing.back()))
+        existing.pop_back();
+    std::size_t start = 0;
+    while (start < existing.size() && is_space(existing[start]))
+        ++start;
+    existing.erase(0, start);
+
+    std::string merged;
+    if (!existing.empty() && existing.front() == '[' &&
+        existing.back() == ']') {
+        existing.pop_back();
+        while (!existing.empty() && is_space(existing.back()))
+            existing.pop_back();
+        merged = existing == "["
+                     ? "[\n" + record + "\n]\n"  // was an empty array
+                     : existing + ",\n" + record + "\n]\n";
+    } else if (!existing.empty() && existing.front() == '{' &&
+               existing.back() == '}') {
+        // Legacy single-object snapshot: preserve it as record zero.
+        merged = "[\n" + existing + ",\n" + record + "\n]\n";
+    } else {
+        // Empty, truncated, or unrecognized content: wrapping it would
+        // produce invalid JSON, so start the trajectory fresh.
+        merged = "[\n" + record + "\n]\n";
+    }
+
+    // Write-temp-then-rename so a crash or full disk mid-write cannot
+    // destroy the accumulated trajectory.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::trunc);
+        out << merged;
+        out.flush();
+        if (!out) {
+            std::cerr << "encoder_runner: failed writing " << tmp_path
+                      << "\n";
+            std::remove(tmp_path.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0)
+        std::cerr << "encoder_runner: failed replacing " << path
+                  << "\n";
 }
 
 } // namespace
@@ -101,40 +204,54 @@ main(int argc, char **argv)
     const Measurement single = measure(frame, ecc, 1, repeats);
     const Measurement multi =
         threads > 1 ? measure(frame, ecc, threads, repeats) : single;
+    const int mt_threads = threads > 1 ? threads : 1;
 
-    std::ofstream out(out_path);
-    out << "{\n"
-        << "  \"bench\": \"full_frame_encoder\",\n"
-        << "  \"scene\": \"office\",\n"
-        << "  \"width\": " << w << ",\n"
-        << "  \"height\": " << h << ",\n"
-        << "  \"repeats\": " << repeats << ",\n"
-        << "  \"threads\": " << threads << ",\n"
-        << "  \"adjust_mps_1t\": " << single.adjustMps << ",\n"
-        << "  \"encode_mps_1t\": " << single.encodeMps << ",\n"
-        << "  \"adjust_mps_mt\": " << multi.adjustMps << ",\n"
-        << "  \"encode_mps_mt\": " << multi.encodeMps << ",\n"
-        << "  \"baseline_adjust_mps_1t\": " << kBaselineAdjustMps
+    std::ostringstream rec;
+    rec << "  {\n"
+        << "    \"bench\": \"full_frame_encoder\",\n"
+        << "    \"date\": \"" << isoNowUtc() << "\",\n"
+        << "    \"git_rev\": \"" << PCE_GIT_REV << "\",\n"
+        << "    \"simd_level\": \""
+        << pce::simd::simdLevelName(pce::simd::activeSimdLevel())
+        << "\",\n"
+        << "    \"scene\": \"office\",\n"
+        << "    \"width\": " << w << ",\n"
+        << "    \"height\": " << h << ",\n"
+        << "    \"repeats\": " << repeats << ",\n"
+        << "    \"hw_threads\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "    \"mt_threads\": " << mt_threads << ",\n"
+        << "    \"mt_pool_workers\": " << (mt_threads - 1) << ",\n"
+        << "    \"adjust_mps_1t\": " << single.adjustMps << ",\n"
+        << "    \"encode_mps_1t\": " << single.encodeMps << ",\n"
+        << "    \"adjust_mps_mt\": " << multi.adjustMps << ",\n"
+        << "    \"encode_mps_mt\": " << multi.encodeMps << ",\n"
+        << "    \"baseline_adjust_mps_1t\": " << kBaselineAdjustMps
         << ",\n"
-        << "  \"baseline_encode_mps_1t\": " << kBaselineEncodeMps
+        << "    \"baseline_encode_mps_1t\": " << kBaselineEncodeMps
         << ",\n"
-        << "  \"adjust_speedup_vs_baseline\": "
+        << "    \"adjust_speedup_vs_baseline\": "
         << (kBaselineAdjustMps > 0.0
                 ? single.adjustMps / kBaselineAdjustMps
                 : 0.0)
         << ",\n"
-        << "  \"encode_speedup_vs_baseline\": "
+        << "    \"encode_speedup_vs_baseline\": "
         << (kBaselineEncodeMps > 0.0
                 ? single.encodeMps / kBaselineEncodeMps
                 : 0.0)
-        << "\n}\n";
+        << "\n  }";
+    appendRecord(out_path, rec.str());
 
-    std::cout << "adjustFrame 1t: " << single.adjustMps << " MP/s\n"
+    std::cout << "simd level: "
+              << pce::simd::simdLevelName(
+                     pce::simd::activeSimdLevel())
+              << " (git " << PCE_GIT_REV << ")\n"
+              << "adjustFrame 1t: " << single.adjustMps << " MP/s\n"
               << "encodeFrame 1t: " << single.encodeMps << " MP/s\n"
-              << "adjustFrame " << threads
+              << "adjustFrame " << mt_threads
               << "t: " << multi.adjustMps << " MP/s\n"
-              << "encodeFrame " << threads
+              << "encodeFrame " << mt_threads
               << "t: " << multi.encodeMps << " MP/s\n"
-              << "wrote " << out_path << "\n";
+              << "appended record to " << out_path << "\n";
     return 0;
 }

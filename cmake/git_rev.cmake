@@ -1,0 +1,22 @@
+# Build-time git revision stamp. Run as `cmake -DOUT=... -DSRC=... -P`
+# from a custom target on every build; the header is rewritten only
+# when the revision actually changes, so incremental builds don't churn
+# dependents, but records appended by encoder_runner always carry the
+# revision of the sources the binary was built from (a configure-time
+# cache would go stale across commits).
+execute_process(COMMAND git rev-parse --short HEAD
+                WORKING_DIRECTORY ${SRC}
+                OUTPUT_VARIABLE PCE_REV
+                OUTPUT_STRIP_TRAILING_WHITESPACE
+                ERROR_QUIET)
+if(NOT PCE_REV)
+  set(PCE_REV "unknown")
+endif()
+set(PCE_REV_CONTENT "#define PCE_GIT_REV \"${PCE_REV}\"\n")
+set(PCE_REV_OLD "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} PCE_REV_OLD)
+endif()
+if(NOT PCE_REV_OLD STREQUAL PCE_REV_CONTENT)
+  file(WRITE ${OUT} "${PCE_REV_CONTENT}")
+endif()

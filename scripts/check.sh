@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification in both Release and sanitizer configurations.
+#
+# Usage: scripts/check.sh [jobs]
+#
+# Builds the tree twice — the default Release config and an
+# address+undefined sanitizer config (CMake option
+# -DFOVE_SANITIZE=address,undefined) — and runs the full ctest suite in
+# each. Exits non-zero on the first failure. Build directories:
+#   build/        Release (shared with normal development)
+#   build-san/    sanitizers
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-2}"
+
+echo "== Release build =="
+cmake -B build -S . > /dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== Sanitizer build (address,undefined) =="
+cmake -B build-san -S . -DFOVE_SANITIZE=address,undefined > /dev/null
+cmake --build build-san -j"$JOBS"
+ctest --test-dir build-san --output-on-failure -j"$JOBS"
+
+echo "== All checks passed =="

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bitstream.hh"
+#include "common/thread_pool.hh"
 
 namespace pce {
 
@@ -14,8 +15,8 @@ constexpr uint32_t kMagic = 0x424431;
 constexpr unsigned kMagicBits = 24;
 constexpr unsigned kDimBits = 16;
 constexpr unsigned kTileBits = 8;
-constexpr unsigned kWidthFieldBits = 4;
-constexpr unsigned kBaseBits = 8;
+constexpr unsigned kWidthFieldBits = kBdWidthFieldBits;
+constexpr unsigned kBaseBits = kBdBaseBits;
 
 } // namespace
 
@@ -80,50 +81,157 @@ BdCodec::analyzeTileChannel(const ImageU8 &img, const TileRect &rect,
 std::vector<uint8_t>
 BdCodec::encode(const ImageU8 &img, BdFrameStats *stats_out) const
 {
-    BitWriter bw;
-    bw.putBits(kMagic, kMagicBits);
-    bw.putBits(static_cast<uint32_t>(img.width()), kDimBits);
-    bw.putBits(static_cast<uint32_t>(img.height()), kDimBits);
-    bw.putBits(static_cast<uint32_t>(tileSize_), kTileBits);
+    std::vector<uint8_t> out;
+    encodeInto(img, stats_out, out);
+    return out;
+}
 
-    BdFrameStats stats;
-    stats.pixels = img.pixelCount();
-    stats.headerBits = kMagicBits + 2 * kDimBits + kTileBits;
+namespace {
 
-    for (const TileRect &rect :
-         tileGrid(img.width(), img.height(), tileSize_)) {
+/**
+ * Emit the bitstream of tiles [begin, end) into @p bw from the
+ * precomputed per-tile-channel base/width stats. The emission order is
+ * exactly the serial encoder's, so concatenating ranges in tile order
+ * reproduces its stream bit for bit.
+ */
+void
+emitTileRange(const ImageU8 &img, const std::vector<TileRect> &tiles,
+              const std::vector<uint8_t> &base,
+              const std::vector<uint8_t> &width, std::size_t begin,
+              std::size_t end, BitWriter &bw)
+{
+    for (std::size_t t = begin; t < end; ++t) {
+        const TileRect &rect = tiles[t];
         for (int c = 0; c < 3; ++c) {
-            uint8_t lo = 255;
-            uint8_t hi = 0;
-            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
-                    const uint8_t v = img.channel(x, y, c);
-                    lo = std::min(lo, v);
-                    hi = std::max(hi, v);
-                }
-            }
-            const unsigned w = bdDeltaWidth(lo, hi);
+            const uint8_t lo = base[3 * t + c];
+            const unsigned w = width[3 * t + c];
             bw.putBits(w, kWidthFieldBits);
             bw.putBits(lo, kBaseBits);
-            stats.metaBits += kWidthFieldBits;
-            stats.baseBits += kBaseBits;
-            stats.deltaBits +=
-                static_cast<std::size_t>(rect.pixelCount()) * w;
             if (w == 0)
                 continue;
             for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
                 for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
                     const unsigned delta =
-                        static_cast<unsigned>(img.channel(x, y, c)) - lo;
+                        static_cast<unsigned>(img.channel(x, y, c)) -
+                        lo;
                     bw.putBits(delta, w);
                 }
             }
         }
     }
+}
+
+} // namespace
+
+void
+BdCodec::encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
+                    std::vector<uint8_t> &out, BdEncodeScratch *scratch,
+                    ThreadPool *pool, int participants) const
+{
+    BdEncodeScratch local;
+    BdEncodeScratch &s = scratch ? *scratch : local;
+    if (s.tilesWidth != img.width() || s.tilesHeight != img.height() ||
+        s.tilesSize != tileSize_) {
+        s.tiles = tileGrid(img.width(), img.height(), tileSize_);
+        s.tilesWidth = img.width();
+        s.tilesHeight = img.height();
+        s.tilesSize = tileSize_;
+    }
+    const std::vector<TileRect> &tiles = s.tiles;
+    const std::size_t n_tiles = tiles.size();
+    const bool parallel = pool != nullptr && participants > 1 &&
+                          n_tiles > 1;
+
+    // Pass 1: per-tile-channel minimum and delta width.
+    s.base.resize(n_tiles * 3);
+    s.width.resize(n_tiles * 3);
+    auto statsRange = [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t t = begin; t < end; ++t) {
+            const TileRect &rect = tiles[t];
+            for (int c = 0; c < 3; ++c) {
+                uint8_t lo = 255;
+                uint8_t hi = 0;
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                    for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
+                        const uint8_t v = img.channel(x, y, c);
+                        lo = std::min(lo, v);
+                        hi = std::max(hi, v);
+                    }
+                }
+                s.base[3 * t + c] = lo;
+                s.width[3 * t + c] =
+                    static_cast<uint8_t>(bdDeltaWidth(lo, hi));
+            }
+        }
+    };
+    if (parallel)
+        pool->parallelFor(n_tiles, 16, participants, statsRange);
+    else
+        statsRange(0, n_tiles, 0);
+
+    // Pass 2 (serial): exact per-tile bit offsets by prefix sum.
+    BdFrameStats stats;
+    stats.pixels = img.pixelCount();
+    stats.headerBits = kMagicBits + 2 * kDimBits + kTileBits;
+    s.bitOffsets.resize(n_tiles + 1);
+    std::size_t payload_bits = 0;
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+        s.bitOffsets[t] = payload_bits;
+        const std::size_t pixels =
+            static_cast<std::size_t>(tiles[t].pixelCount());
+        std::size_t tile_bits = 3 * (kWidthFieldBits + kBaseBits);
+        for (int c = 0; c < 3; ++c)
+            tile_bits += pixels * s.width[3 * t + c];
+        stats.deltaBits +=
+            tile_bits - 3 * (kWidthFieldBits + kBaseBits);
+        payload_bits += tile_bits;
+    }
+    s.bitOffsets[n_tiles] = payload_bits;
+    stats.metaBits = n_tiles * 3 * kWidthFieldBits;
+    stats.baseBits = n_tiles * 3 * kBaseBits;
+
+    // Pass 3: emission. The writer adopts (and returns) the caller's
+    // buffer and reserves the exact final size up front.
+    BitWriter bw;
+    bw.reset(std::move(out));
+    bw.reserve(stats.headerBits + payload_bits + 7);
+    bw.putBits(kMagic, kMagicBits);
+    bw.putBits(static_cast<uint32_t>(img.width()), kDimBits);
+    bw.putBits(static_cast<uint32_t>(img.height()), kDimBits);
+    bw.putBits(static_cast<uint32_t>(tileSize_), kTileBits);
+
+    if (!parallel) {
+        emitTileRange(img, tiles, s.base, s.width, 0, n_tiles, bw);
+    } else {
+        // Contiguous tile chunks, emitted into independent writers and
+        // spliced in order. More chunks than slots so the dynamic
+        // scheduler can rebalance around cheap (flat/foveal) runs.
+        const std::size_t n_chunks = std::min<std::size_t>(
+            n_tiles, static_cast<std::size_t>(participants) * 4);
+        s.chunks.resize(n_chunks);
+        pool->parallelFor(
+            n_chunks, 1, participants,
+            [&](std::size_t begin, std::size_t end, int) {
+                for (std::size_t k = begin; k < end; ++k) {
+                    const std::size_t t0 = n_tiles * k / n_chunks;
+                    const std::size_t t1 =
+                        n_tiles * (k + 1) / n_chunks;
+                    BitWriter &cw = s.chunks[k];
+                    cw.clear();
+                    cw.reserve(s.bitOffsets[t1] - s.bitOffsets[t0]);
+                    emitTileRange(img, tiles, s.base, s.width, t0, t1,
+                                  cw);
+                }
+            });
+        for (std::size_t k = 0; k < n_chunks; ++k)
+            bw.appendBits(s.chunks[k].bytes().data(),
+                          s.chunks[k].bitCount());
+    }
+
     bw.alignToByte();
     if (stats_out)
         *stats_out = stats;
-    return bw.take();
+    out = bw.take();
 }
 
 ImageU8

@@ -30,9 +30,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitstream.hh"
 #include "image/image.hh"
 
 namespace pce {
+
+class ThreadPool;
+
+/**
+ * Field widths of the per-tile-channel BD record
+ * ([width][base][deltas...]), shared by the encoder/decoder, the
+ * analyze paths, and the SIMD cost kernels (src/simd) so the
+ * axis-selection cost model can never silently diverge from the
+ * emitted stream.
+ */
+inline constexpr unsigned kBdWidthFieldBits = 4;
+inline constexpr unsigned kBdBaseBits = 8;
 
 /** Per-tile, per-channel bit accounting (drives Fig. 11). */
 struct BdChannelStats
@@ -71,6 +84,30 @@ struct BdFrameStats
     { return 100.0 * (1.0 - bitsPerPixel() / 24.0); }
 };
 
+/**
+ * Reusable working storage of BdCodec::encodeInto. A caller that keeps
+ * one scratch across a stream of frames (EncodedFrame owns one) makes
+ * the encode allocation-free in the steady state: the tile grid, the
+ * per-tile stats, the prefix offsets, and the per-chunk bit buffers all
+ * grow once and are reused.
+ */
+struct BdEncodeScratch
+{
+    /** Cached tileGrid() result, keyed by the geometry below. */
+    std::vector<TileRect> tiles;
+    int tilesWidth = -1;
+    int tilesHeight = -1;
+    int tilesSize = -1;
+
+    /** Per tile-channel base (minimum) and delta width, 3 per tile. */
+    std::vector<uint8_t> base;
+    std::vector<uint8_t> width;
+    /** Exclusive prefix of per-tile payload bits (tiles + 1 entries). */
+    std::vector<std::size_t> bitOffsets;
+    /** Independent per-chunk emitters of the parallel encode. */
+    std::vector<BitWriter> chunks;
+};
+
 /** Base+Delta encoder/decoder with a configurable square tile size. */
 class BdCodec
 {
@@ -89,6 +126,33 @@ class BdCodec
      */
     std::vector<uint8_t> encode(const ImageU8 &img,
                                 BdFrameStats *stats_out = nullptr) const;
+
+    /**
+     * encode() into a caller-owned stream with optional parallelism.
+     *
+     * Three passes: (1) per-tile-channel min/width stats, parallel over
+     * tiles; (2) a serial prefix pass turning the stats into exact
+     * per-tile bit offsets (and the frame's total size, reserved up
+     * front); (3) emission — tiles are split into contiguous chunks,
+     * workers emit each chunk's bitstream into an independent
+     * exactly-reserved BitWriter, and a splice pass concatenates them
+     * in tile order. The output is byte-identical to the serial
+     * encoder for any thread count and any chunking (the spliced
+     * stream is the per-tile streams in tile order either way; tests
+     * sweep thread counts and assert equality).
+     *
+     * @param out Overwritten with the stream; its capacity is reused.
+     * @param scratch Optional reusable working storage (see
+     *        BdEncodeScratch); nullptr uses call-local buffers.
+     * @param pool Optional worker pool; nullptr encodes serially.
+     * @param participants Parallel slots when @p pool is given
+     *        (clamped to the pool size, 0/1 = serial).
+     */
+    void encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
+                    std::vector<uint8_t> &out,
+                    BdEncodeScratch *scratch = nullptr,
+                    ThreadPool *pool = nullptr,
+                    int participants = 1) const;
 
     /** Decode a BD bitstream produced by encode(). */
     static ImageU8 decode(const std::vector<uint8_t> &stream);

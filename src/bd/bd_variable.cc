@@ -13,8 +13,8 @@ constexpr uint32_t kMagic = 0x424456;  // "BDV"
 constexpr unsigned kMagicBits = 24;
 constexpr unsigned kDimBits = 16;
 constexpr unsigned kTileBits = 8;
-constexpr unsigned kWidthFieldBits = 4;
-constexpr unsigned kBaseBits = 8;
+constexpr unsigned kWidthFieldBits = kBdWidthFieldBits;
+constexpr unsigned kBaseBits = kBdBaseBits;
 
 /** Channel minimum over a tile. */
 uint8_t
@@ -79,15 +79,25 @@ BdVariableCodec::BdVariableCodec(int tile_size) : tileSize_(tile_size)
 std::vector<uint8_t>
 BdVariableCodec::encode(const ImageU8 &img) const
 {
+    const auto tiles =
+        tileGrid(img.width(), img.height(), tileSize_);
+
     BitWriter bw;
+    // One upfront worst-case reserve (every channel in 8-bit uniform
+    // mode) so putBits never grows mid-stream — a per-channel exact
+    // reserve would defeat the vector's geometric growth and go
+    // quadratic (same audit as the parallel BD tile emitters, which
+    // know their chunk sizes exactly from the prefix pass).
+    bw.reserve(kMagicBits + 2 * kDimBits + kTileBits +
+               tiles.size() * 3 * (1 + kWidthFieldBits + kBaseBits) +
+               img.pixelCount() * 3 * 8);
     bw.putBits(kMagic, kMagicBits);
     bw.putBits(static_cast<uint32_t>(img.width()), kDimBits);
     bw.putBits(static_cast<uint32_t>(img.height()), kDimBits);
     bw.putBits(static_cast<uint32_t>(tileSize_), kTileBits);
 
     std::vector<unsigned> row_widths;
-    for (const TileRect &rect :
-         tileGrid(img.width(), img.height(), tileSize_)) {
+    for (const TileRect &rect : tiles) {
         for (int c = 0; c < 3; ++c) {
             unsigned uniform_width = 0;
             const std::size_t cost_uniform =

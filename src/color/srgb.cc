@@ -157,6 +157,25 @@ linearToSrgb8(const Vec3 *pixels, std::size_t n, uint8_t *codes)
     }
 }
 
+SrgbForwardTableView
+srgbForwardTable()
+{
+    const SrgbTables &t = tables();
+    return {t.bucketCode, t.codeMin, kFwdBuckets};
+}
+
+void
+linearToSrgb8Planar(const double *x, const double *y, const double *z,
+                    std::size_t n, uint8_t *codes)
+{
+    const SrgbTables &t = tables();
+    for (std::size_t i = 0; i < n; ++i) {
+        codes[3 * i + 0] = lutForward(t, x[i]);
+        codes[3 * i + 1] = lutForward(t, y[i]);
+        codes[3 * i + 2] = lutForward(t, z[i]);
+    }
+}
+
 Vec3
 srgb8ToLinear(const uint8_t in[3])
 {

@@ -67,8 +67,38 @@ void linearToSrgb8(const Vec3 &rgb, uint8_t out[3]);
  */
 void linearToSrgb8(const Vec3 *pixels, std::size_t n, uint8_t *codes);
 
+/**
+ * Planar variant of the batched quantizer: channels arrive as separate
+ * x/y/z arrays (the TileSoA lane layout of src/simd) and leave as the
+ * same interleaved 3-byte codes. Bit-identical to the Vec3 overload on
+ * the same values. The production kernels quantize inline through
+ * srgbForwardTable() with the costing fused in; this materializing
+ * form is their reference oracle (tests/simd) and the general planar
+ * entry point.
+ */
+void linearToSrgb8Planar(const double *x, const double *y,
+                         const double *z, std::size_t n, uint8_t *codes);
+
 /** Apply srgb8ToLinear per channel. */
 Vec3 srgb8ToLinear(const uint8_t in[3]);
+
+/**
+ * Read-only view of the forward-quantization tables backing
+ * linearToSrgb8, for kernels (src/simd) that inline the lookup:
+ * code(x) = bucketCode[int(x * buckets)], +1 if x >= codeMin[code+1],
+ * with x <= 0 -> 0 and x >= 1 -> 255. Sharing the exact tables keeps
+ * any reimplementation bit-identical with linearToSrgb8 by
+ * construction.
+ */
+struct SrgbForwardTableView
+{
+    const uint8_t *bucketCode;  ///< per-bucket base code
+    const double *codeMin;      ///< smallest double mapping to >= code
+    int buckets;                ///< bucket count (input scale factor)
+};
+
+/** The view of the process-wide tables (initialized on first use). */
+SrgbForwardTableView srgbForwardTable();
 
 } // namespace pce
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <typeinfo>
 
 #include "bd/bd_codec.hh"
 #include "color/srgb.hh"
@@ -11,28 +12,6 @@
 namespace pce {
 
 namespace {
-
-/**
- * Clamp the movement parameter @p t of the segment p(t) = origin +
- * t * dir so every coordinate stays within [0, 1]. Assumes origin is in
- * gamut (true for rendered colors). Returns the clamped t.
- */
-double
-clampToGamut(const Vec3 &origin, const Vec3 &dir, double t)
-{
-    for (std::size_t i = 0; i < 3; ++i) {
-        const double d = dir[i];
-        if (d == 0.0)
-            continue;
-        // origin[i] + t*d in [0,1]  =>  t in the interval below.
-        const double t_at_0 = (0.0 - origin[i]) / d;
-        const double t_at_1 = (1.0 - origin[i]) / d;
-        const double t_min = std::min(t_at_0, t_at_1);
-        const double t_max = std::max(t_at_0, t_at_1);
-        t = std::clamp(t, t_min, t_max);
-    }
-    return t;
-}
 
 /** Quantize a candidate tile into @p codes and return its BD bit cost. */
 std::size_t
@@ -50,6 +29,23 @@ bdTileBits(const std::vector<Vec3> &pixels_linear)
 {
     std::vector<uint8_t> codes;
     return tileBitsOf(pixels_linear, codes);
+}
+
+TileAdjuster::TileAdjuster(const DiscriminationModel &model,
+                           ExtremaFn extrema, simd::SimdLevel level)
+    : model_(model), extrema_(std::move(extrema)),
+      simdLevel_(simd::effectiveSimdLevel(level))
+{
+    // The kernel flow hardcodes the analytic model's datapath; engage
+    // it only when the model *is* exactly that type (a subclass could
+    // override the semi-axis evaluation) and the extrema backend is the
+    // default Eq. 11-13 datapath the kernels implement.
+    if (!extrema_ && typeid(model) == typeid(AnalyticDiscriminationModel)) {
+        analyticParams_ =
+            static_cast<const AnalyticDiscriminationModel &>(model)
+                .params();
+        kernels_ = &simd::tileKernels(level);
+    }
 }
 
 void
@@ -115,7 +111,7 @@ TileAdjuster::moveAlongAxis(const std::vector<Vec3> &pixels,
             adjusted[i] = cand;
             continue;
         }
-        const double t_gamut = clampToGamut(p, v, t);
+        const double t_gamut = clampMovementToGamut(p, v, t);
         if (t_gamut != t)
             ++out.gamutClampedPixels;
         adjusted[i] = p + v * t_gamut;
@@ -128,6 +124,103 @@ TileAdjuster::adjustTile(TileScratch &scratch) const
 {
     if (scratch.pixels.size() != scratch.ecc.size())
         throw std::invalid_argument("adjustTile: size mismatch");
+    return kernels_ ? adjustTileKernels(scratch)
+                    : adjustTileLegacy(scratch);
+}
+
+TileOutcome
+TileAdjuster::adjustTileSoA(TileScratch &scratch) const
+{
+    if (!kernels_)
+        throw std::logic_error(
+            "adjustTileSoA: kernel flow not engaged (see "
+            "usingSimdKernels)");
+    simd::TileSoA &soa = scratch.soa;
+    const std::size_t n = soa.n;
+
+    kernels_->ellipsoids(soa, analyticParams_);
+    kernels_->extremaBoth(soa);
+
+    TileOutcome out;
+    int clamped[2] = {0, 0};
+    const int axes[2] = {0, 2};
+    for (int pass = 0; pass < 2; ++pass) {
+        const int axis = axes[pass];
+        AdjustCase tile_case = AdjustCase::C2;
+        if (n > 0) {
+            // Step 2 (Fig. 7): HL / LH reduction over the extrema's
+            // axis components, in the same sequential order as the
+            // legacy flow.
+            const double *low = soa.lane(
+                axis == 0 ? simd::kRedLowX : simd::kBlueLowZ);
+            const double *high = soa.lane(
+                axis == 0 ? simd::kRedHighX : simd::kBlueHighZ);
+            double hl = -1e300;
+            double lh = 1e300;
+            for (std::size_t i = 0; i < n; ++i) {
+                hl = std::max(hl, low[i]);
+                lh = std::min(lh, high[i]);
+            }
+            tile_case = hl > lh ? AdjustCase::C1 : AdjustCase::C2;
+            clamped[pass] = kernels_->moveAxis(
+                soa, axis, tile_case == AdjustCase::C2,
+                0.5 * (hl + lh), lh, hl);
+        }
+        if (pass == 0)
+            out.caseRed = tile_case;
+        else
+            out.caseBlue = tile_case;
+    }
+
+    out.bitsRed = kernels_->tileCost(soa, 0);
+    out.bitsBlue = kernels_->tileCost(soa, 2);
+
+    const bool pick_red = out.bitsRed < out.bitsBlue;
+    out.chosenAxis = pick_red ? 0 : 2;
+    out.chosenCase = pick_red ? out.caseRed : out.caseBlue;
+    out.gamutClampedPixels = clamped[pick_red ? 0 : 1];
+    return out;
+}
+
+TileOutcome
+TileAdjuster::adjustTileKernels(TileScratch &scratch) const
+{
+    const std::size_t n = scratch.pixels.size();
+    simd::TileSoA &soa = scratch.soa;
+    soa.resize(n);
+
+    // Planar split of the gathered tile; frame-pipeline callers gather
+    // into the lanes directly (adjustTileSoA) and skip this.
+    double *px = soa.lane(simd::kPx);
+    double *py = soa.lane(simd::kPy);
+    double *pz = soa.lane(simd::kPz);
+    double *ecc = soa.lane(simd::kEcc);
+    for (std::size_t i = 0; i < n; ++i) {
+        px[i] = scratch.pixels[i].x;
+        py[i] = scratch.pixels[i].y;
+        pz[i] = scratch.pixels[i].z;
+        ecc[i] = scratch.ecc[i];
+    }
+
+    TileOutcome out = adjustTileSoA(scratch);
+
+    const bool pick_red = out.chosenAxis == 0;
+    const double *ox =
+        soa.lane(pick_red ? simd::kOutRedX : simd::kOutBlueX);
+    const double *oy =
+        soa.lane(pick_red ? simd::kOutRedY : simd::kOutBlueY);
+    const double *oz =
+        soa.lane(pick_red ? simd::kOutRedZ : simd::kOutBlueZ);
+    scratch.adjustedChosen.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch.adjustedChosen[i] = Vec3(ox[i], oy[i], oz[i]);
+    out.adjusted = &scratch.adjustedChosen;
+    return out;
+}
+
+TileOutcome
+TileAdjuster::adjustTileLegacy(TileScratch &scratch) const
+{
     const std::size_t n = scratch.pixels.size();
 
     // Step 1 (Fig. 7): per-pixel ellipsoids, computed once and shared

@@ -44,6 +44,7 @@
 #ifndef PCE_CORE_ADJUST_HH
 #define PCE_CORE_ADJUST_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -52,6 +53,8 @@
 #include "common/vec3.hh"
 #include "core/quadric.hh"
 #include "perception/discrimination.hh"
+#include "simd/tile_kernels.hh"
+#include "simd/tile_soa.hh"
 
 namespace pce {
 
@@ -94,6 +97,11 @@ struct TileScratch
     std::vector<Vec3> adjustedBlue;
     /** Interleaved sRGB codes of the candidate being costed. */
     std::vector<uint8_t> codes;
+
+    /** Planar lanes of the SIMD kernel flow (src/simd). */
+    simd::TileSoA soa;
+    /** Chosen variant of the kernel flow, interleaved for callers. */
+    std::vector<Vec3> adjustedChosen;
 };
 
 /** Outcome of adjusting one tile along one axis. */
@@ -144,11 +152,29 @@ class TileAdjuster
      * @param model Discrimination model used to derive per-pixel
      *              ellipsoids. The reference must outlive the adjuster.
      * @param extrema Extrema backend; empty uses extremaAlongAxis.
+     * @param level SIMD dispatch level of the scratch-based tile flow;
+     *              defaults to CPUID detection with the FOVE_SIMD env
+     *              override (see src/simd/tile_kernels.hh). The kernel
+     *              flow only engages when @p model is exactly the
+     *              analytic model and no extrema override is set — any
+     *              other configuration runs the legacy scalar flow,
+     *              whose results every kernel level reproduces bit for
+     *              bit.
      */
     explicit TileAdjuster(const DiscriminationModel &model,
-                          ExtremaFn extrema = {})
-        : model_(model), extrema_(std::move(extrema))
-    {}
+                          ExtremaFn extrema = {},
+                          simd::SimdLevel level =
+                              simd::activeSimdLevel());
+
+    /**
+     * Effective dispatch level of the kernel table (the constructor's
+     * request clamped to what the CPU/build can run). Only meaningful
+     * for the scratch flow when usingSimdKernels() is true.
+     */
+    simd::SimdLevel simdLevel() const { return simdLevel_; }
+
+    /** True when the planar kernel flow (src/simd) is engaged. */
+    bool usingSimdKernels() const { return kernels_ != nullptr; }
 
     /**
      * The full Fig. 7 tile flow on a caller-owned scratch: ellipsoids
@@ -160,6 +186,17 @@ class TileAdjuster
      *                working storage.
      */
     TileOutcome adjustTile(TileScratch &scratch) const;
+
+    /**
+     * Kernel-flow entry for callers that gather straight into the
+     * planar lanes: scratch.soa must be resize(n)'d with lanes
+     * kPx..kPz / kEcc filled. Skips the Vec3 interleave of the chosen
+     * variant — TileOutcome::adjusted stays null and the result lives
+     * in the soa's kOutRed / kOutBlue lane groups of the chosen axis.
+     * Only valid when usingSimdKernels(); the frame pipeline uses this
+     * to avoid one AoS->SoA round trip per tile.
+     */
+    TileOutcome adjustTileSoA(TileScratch &scratch) const;
 
     /**
      * Adjust a tile along a single axis (exposed for tests and the
@@ -204,8 +241,18 @@ class TileAdjuster
                               int axis,
                               std::vector<Vec3> &adjusted) const;
 
+    /** The pre-SIMD Vec3/AoS tile flow (any model, any extrema fn). */
+    TileOutcome adjustTileLegacy(TileScratch &scratch) const;
+
+    /** The planar kernel flow (analytic model, dispatch level). */
+    TileOutcome adjustTileKernels(TileScratch &scratch) const;
+
     const DiscriminationModel &model_;
     ExtremaFn extrema_;
+    /** Params snapshot backing the kernel flow (analytic model only). */
+    AnalyticModelParams analyticParams_;
+    const simd::TileKernels *kernels_ = nullptr;
+    simd::SimdLevel simdLevel_ = simd::SimdLevel::Scalar;
 };
 
 /**
@@ -215,6 +262,33 @@ class TileAdjuster
  * Convenience wrapper over bdTileBitsFromCodes (src/bd).
  */
 std::size_t bdTileBits(const std::vector<Vec3> &pixels_linear);
+
+/**
+ * Clamp the movement parameter @p t of the segment p(t) = origin +
+ * t * dir so every coordinate stays within [0, 1]. Assumes origin is in
+ * gamut (true for rendered colors). Returns the clamped t.
+ *
+ * One definition shared by the legacy tile flow and the scalar kernel
+ * reference (src/simd) — the bit-identity contract between them is
+ * anchored here, and the AVX2 kernel mirrors this exact operation
+ * sequence lanewise.
+ */
+inline double
+clampMovementToGamut(const Vec3 &origin, const Vec3 &dir, double t)
+{
+    for (std::size_t i = 0; i < 3; ++i) {
+        const double d = dir[i];
+        if (d == 0.0)
+            continue;
+        // origin[i] + t*d in [0,1]  =>  t in the interval below.
+        const double t_at_0 = (0.0 - origin[i]) / d;
+        const double t_at_1 = (1.0 - origin[i]) / d;
+        const double t_min = std::min(t_at_0, t_at_1);
+        const double t_max = std::max(t_at_0, t_at_1);
+        t = std::clamp(t, t_min, t_max);
+    }
+    return t;
+}
 
 } // namespace pce
 

@@ -45,20 +45,78 @@ PerceptualEncoder::adjustFrame(const ImageF &frame,
                                const EccentricityMap &ecc,
                                PipelineStats *stats_out) const
 {
+    ImageF out;
+    adjustFrameInto(frame, ecc, out, stats_out);
+    return out;
+}
+
+void
+PerceptualEncoder::adjustFrameInto(const ImageF &frame,
+                                   const EccentricityMap &ecc,
+                                   ImageF &out,
+                                   PipelineStats *stats_out) const
+{
     if (frame.width() != ecc.width() || frame.height() != ecc.height())
         throw std::invalid_argument(
             "PerceptualEncoder: eccentricity map size mismatch");
 
-    ImageF out = frame;
-    const auto tiles =
-        tileGrid(frame.width(), frame.height(), params_.tileSize);
+    // No frame-wide copy: every tile is either adjusted (its rows are
+    // fully written below) or foveal-bypassed (its rows are copied from
+    // the source in the bypass branch), so the output is covered
+    // exactly once either way.
+    if (out.width() != frame.width() ||
+        out.height() != frame.height())
+        out = ImageF(frame.width(), frame.height());
+
+    // Geometry-keyed tile-grid cache (same pattern as
+    // BdEncodeScratch.tiles): a stream of same-size frames must not
+    // rebuild the grid per frame. encodeFrameInto ends up holding the
+    // grid twice (here and in the BD scratch) — accepted: the copies
+    // are small and keeping the codec's scratch self-contained beats
+    // threading a shared cache through its API.
+    struct TileGridCache
+    {
+        int w = -1, h = -1, tile = -1;
+        std::vector<TileRect> tiles;
+    };
+    static thread_local TileGridCache grid;
+    if (grid.w != frame.width() || grid.h != frame.height() ||
+        grid.tile != params_.tileSize) {
+        grid.tiles = tileGrid(frame.width(), frame.height(),
+                              params_.tileSize);
+        grid.w = frame.width();
+        grid.h = frame.height();
+        grid.tile = params_.tileSize;
+    }
+    const std::vector<TileRect> &tiles = grid.tiles;
 
     const int participants = std::max(
         1, std::min<int>(params_.threads,
                          static_cast<int>(tiles.size())));
-    std::vector<PipelineStats> partial(participants);
-    std::vector<TileScratch> scratch(participants);
+    // Per-slot working sets, reused across frames. Thread-local (not
+    // members) so concurrent adjustFrame calls on one const encoder
+    // from different threads stay safe; within one call the slots are
+    // shared with the pool workers through the lambda as before. The
+    // arenas grow to the tile size once and then make the steady state
+    // of a frame stream allocation-free. Reuse is capped at moderate
+    // tile sizes: the SoA arena costs ~28 lanes x tileSize^2 doubles
+    // per slot (~230 KB at the 32 cap, megabytes beyond), and that
+    // retention must not outlive the call for large-tile configs —
+    // whose per-tile math dwarfs one allocation anyway — so those use
+    // call-local scratch instead. The paper's tile sizes (4..16) all
+    // stay on the reuse path.
+    static thread_local std::vector<PipelineStats> partial_tls;
+    static thread_local std::vector<TileScratch> scratch_tls;
+    std::vector<TileScratch> scratch_local;
+    const bool reuse_scratch = params_.tileSize <= 32;
+    std::vector<TileScratch> &scratch =
+        reuse_scratch ? scratch_tls : scratch_local;
+    if (scratch.size() < static_cast<std::size_t>(participants))
+        scratch.resize(participants);
+    partial_tls.assign(participants, PipelineStats{});
+    std::vector<PipelineStats> &partial = partial_tls;
 
+    const bool kernel_flow = adjuster_.usingSimdKernels();
     auto processRange = [&](std::size_t begin, std::size_t end,
                             int slot) {
         PipelineStats &stats = partial[slot];
@@ -72,24 +130,47 @@ PerceptualEncoder::adjustFrame(const ImageF &frame,
             // alone, before any pixel is gathered.
             if (ecc.minInRect(rect) < params_.fovealCutoffDeg) {
                 ++stats.fovealBypassTiles;
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
+                    std::copy_n(&frame.at(rect.x0, y), rect.w,
+                                &out.at(rect.x0, y));
                 continue;
             }
 
-            // SoA gather into the worker's reusable scratch.
             const std::size_t n =
                 static_cast<std::size_t>(rect.pixelCount());
-            s.pixels.resize(n);
-            s.ecc.resize(n);
-            std::size_t k = 0;
-            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                const Vec3 *row = &frame.at(rect.x0, y);
-                for (int x = 0; x < rect.w; ++x, ++k) {
-                    s.pixels[k] = row[x];
-                    s.ecc[k] = ecc.at(rect.x0 + x, y);
+            TileOutcome adj;
+            if (kernel_flow) {
+                // Gather straight into the planar kernel lanes.
+                s.soa.resize(n);
+                double *px = s.soa.lane(simd::kPx);
+                double *py = s.soa.lane(simd::kPy);
+                double *pz = s.soa.lane(simd::kPz);
+                double *pe = s.soa.lane(simd::kEcc);
+                std::size_t k = 0;
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                    const Vec3 *row = &frame.at(rect.x0, y);
+                    for (int x = 0; x < rect.w; ++x, ++k) {
+                        px[k] = row[x].x;
+                        py[k] = row[x].y;
+                        pz[k] = row[x].z;
+                        pe[k] = ecc.at(rect.x0 + x, y);
+                    }
                 }
+                adj = adjuster_.adjustTileSoA(s);
+            } else {
+                // AoS gather into the worker's reusable scratch.
+                s.pixels.resize(n);
+                s.ecc.resize(n);
+                std::size_t k = 0;
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                    const Vec3 *row = &frame.at(rect.x0, y);
+                    for (int x = 0; x < rect.w; ++x, ++k) {
+                        s.pixels[k] = row[x];
+                        s.ecc[k] = ecc.at(rect.x0 + x, y);
+                    }
+                }
+                adj = adjuster_.adjustTile(s);
             }
-
-            const TileOutcome adj = adjuster_.adjustTile(s);
             if (adj.chosenCase == AdjustCase::C1)
                 ++stats.c1Tiles;
             else
@@ -102,11 +183,27 @@ PerceptualEncoder::adjustFrame(const ImageF &frame,
                 static_cast<std::size_t>(adj.gamutClampedPixels);
 
             // Adjusted pixels go straight into the output rows.
-            const std::vector<Vec3> &res = *adj.adjusted;
-            k = 0;
-            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                std::copy_n(&res[k], rect.w, &out.at(rect.x0, y));
-                k += static_cast<std::size_t>(rect.w);
+            if (kernel_flow) {
+                const bool red = adj.chosenAxis == 0;
+                const double *ox = s.soa.lane(
+                    red ? simd::kOutRedX : simd::kOutBlueX);
+                const double *oy = s.soa.lane(
+                    red ? simd::kOutRedY : simd::kOutBlueY);
+                const double *oz = s.soa.lane(
+                    red ? simd::kOutRedZ : simd::kOutBlueZ);
+                std::size_t k = 0;
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                    Vec3 *row = &out.at(rect.x0, y);
+                    for (int x = 0; x < rect.w; ++x, ++k)
+                        row[x] = Vec3(ox[k], oy[k], oz[k]);
+                }
+            } else {
+                const std::vector<Vec3> &res = *adj.adjusted;
+                std::size_t k = 0;
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                    std::copy_n(&res[k], rect.w, &out.at(rect.x0, y));
+                    k += static_cast<std::size_t>(rect.w);
+                }
             }
         }
     };
@@ -123,7 +220,6 @@ PerceptualEncoder::adjustFrame(const ImageF &frame,
             total += p;
         *stats_out = total;
     }
-    return out;
 }
 
 EncodedFrame
@@ -131,11 +227,19 @@ PerceptualEncoder::encodeFrame(const ImageF &frame,
                                const EccentricityMap &ecc) const
 {
     EncodedFrame result;
-    result.adjustedLinear = adjustFrame(frame, ecc, &result.stats);
-    result.adjustedSrgb = toSrgb8(result.adjustedLinear);
-    result.bdStream =
-        codec_.encode(result.adjustedSrgb, &result.bdStats);
+    encodeFrameInto(frame, ecc, result);
     return result;
+}
+
+void
+PerceptualEncoder::encodeFrameInto(const ImageF &frame,
+                                   const EccentricityMap &ecc,
+                                   EncodedFrame &out) const
+{
+    adjustFrameInto(frame, ecc, out.adjustedLinear, &out.stats);
+    toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
+    codec_.encodeInto(out.adjustedSrgb, &out.bdStats, out.bdStream,
+                      &out.bdScratch, pool_.get(), params_.threads);
 }
 
 } // namespace pce

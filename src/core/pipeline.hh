@@ -58,7 +58,12 @@ struct PipelineStats
     PipelineStats &operator+=(const PipelineStats &o);
 };
 
-/** Everything produced for one frame. */
+/**
+ * Everything produced for one frame. A frame loop that keeps one
+ * EncodedFrame and calls encodeFrameInto reuses every buffer here
+ * (images, bitstream, and the BD encoder's working storage), making
+ * the steady state allocation-free.
+ */
 struct EncodedFrame
 {
     ImageF adjustedLinear;   ///< post-adjustment linear RGB
@@ -66,6 +71,8 @@ struct EncodedFrame
     std::vector<uint8_t> bdStream;  ///< BD bitstream of adjustedSrgb
     BdFrameStats bdStats;    ///< bit accounting of the stream
     PipelineStats stats;
+    /** Reusable working storage of the BD encode (not an output). */
+    BdEncodeScratch bdScratch;
 };
 
 /**
@@ -98,9 +105,28 @@ class PerceptualEncoder
     ImageF adjustFrame(const ImageF &frame, const EccentricityMap &ecc,
                        PipelineStats *stats_out = nullptr) const;
 
+    /**
+     * adjustFrame into a caller-owned output image. @p out is resized
+     * only when the frame dimensions change, so a stream of same-size
+     * frames reuses one allocation. @p out must not alias @p frame.
+     */
+    void adjustFrameInto(const ImageF &frame,
+                         const EccentricityMap &ecc, ImageF &out,
+                         PipelineStats *stats_out = nullptr) const;
+
     /** Full pipeline: adjust, quantize, BD-encode, account bits. */
     EncodedFrame encodeFrame(const ImageF &frame,
                              const EccentricityMap &ecc) const;
+
+    /**
+     * encodeFrame into a caller-owned result, reusing every buffer the
+     * result already holds (adjusted images, BD bitstream, encoder
+     * scratch): the steady state of an animation/stereo frame loop
+     * allocates nothing. encodeFrame is a thin wrapper over this.
+     */
+    void encodeFrameInto(const ImageF &frame,
+                         const EccentricityMap &ecc,
+                         EncodedFrame &out) const;
 
     const PipelineParams &params() const { return params_; }
 

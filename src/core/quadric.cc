@@ -55,22 +55,6 @@ Quadric::paperCoefficients() const
     };
 }
 
-namespace {
-
-/**
- * Axis-independent per-ellipsoid precomputation of the Eq. 11-13
- * datapath, built once and shared by both optimization axes. Holds the
- * quadric's quadratic part (the linear and constant parts never enter
- * the extrema computation), the inverse squared semi-axes (reused by
- * the Eq. 13 normalization), and the RGB-space center.
- */
-struct ExtremaFrame
-{
-    Mat3 q3;          ///< M^T S M, S = diag(1/s_i^2)
-    Vec3 sInv2;       ///< 1 / s_i^2
-    Vec3 rgbCenter;   ///< M^-1 * centerDkl
-};
-
 ExtremaFrame
 buildExtremaFrame(const Ellipsoid &e)
 {
@@ -95,7 +79,6 @@ buildExtremaFrame(const Ellipsoid &e)
     return f;
 }
 
-/** The per-axis half of the Eq. 11-13 datapath. */
 ExtremaPair
 extremaFromFrame(const ExtremaFrame &f, int axis)
 {
@@ -133,8 +116,6 @@ extremaFromFrame(const ExtremaFrame &f, int axis)
     }
     return pair;
 }
-
-} // namespace
 
 ExtremaPair
 extremaAlongAxis(const Ellipsoid &e, int axis)

@@ -83,6 +83,34 @@ struct ExtremaPair
  */
 ExtremaPair extremaAlongAxis(const Ellipsoid &e, int axis);
 
+/**
+ * Axis-independent per-ellipsoid precomputation of the Eq. 11-13
+ * datapath, built once and shared by both optimization axes. Holds the
+ * quadric's quadratic part (the linear and constant parts never enter
+ * the extrema computation), the inverse squared semi-axes (reused by
+ * the Eq. 13 normalization), and the RGB-space center.
+ *
+ * Exposed (rather than file-local in quadric.cc) because the SIMD
+ * kernel layer's scalar reference path (src/simd) evaluates extrema
+ * through exactly these helpers — the bit-identity contract between
+ * dispatch levels is anchored to this code.
+ */
+struct ExtremaFrame
+{
+    Mat3 q3;          ///< M^T S M, S = diag(1/s_i^2)
+    Vec3 sInv2;       ///< 1 / s_i^2
+    Vec3 rgbCenter;   ///< M^-1 * centerDkl
+};
+
+/** Build the shared frame of @p e (the axis-independent half). */
+ExtremaFrame buildExtremaFrame(const Ellipsoid &e);
+
+/**
+ * The per-axis half of the Eq. 11-13 datapath.
+ * @throws std::domain_error on a degenerate (zero-denominator) frame.
+ */
+ExtremaPair extremaFromFrame(const ExtremaFrame &f, int axis);
+
 /** Independent Lagrangian closed form; used as a cross-check. */
 ExtremaPair extremaAlongAxisLagrange(const Ellipsoid &e, int axis);
 

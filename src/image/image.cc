@@ -47,11 +47,20 @@ ImageU8::ImageU8(int width, int height)
 ImageU8
 toSrgb8(const ImageF &linear)
 {
-    ImageU8 out(linear.width(), linear.height());
+    ImageU8 out;
+    toSrgb8Into(linear, out);
+    return out;
+}
+
+void
+toSrgb8Into(const ImageF &linear, ImageU8 &out)
+{
+    if (out.width() != linear.width() ||
+        out.height() != linear.height())
+        out = ImageU8(linear.width(), linear.height());
     // Pixels are contiguous row-major in both images: one batched call.
     linearToSrgb8(linear.pixels().data(), linear.pixelCount(),
                   out.data().data());
-    return out;
 }
 
 ImageF

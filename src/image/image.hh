@@ -103,6 +103,12 @@ class ImageU8
 /** Convert a linear-RGB image to quantized 8-bit sRGB (Eq. 1). */
 ImageU8 toSrgb8(const ImageF &linear);
 
+/**
+ * toSrgb8 into a caller-owned image, reallocating only when the
+ * dimensions change — the allocation-free path of a frame stream.
+ */
+void toSrgb8Into(const ImageF &linear, ImageU8 &out);
+
 /** Convert an 8-bit sRGB image back to linear RGB. */
 ImageF toLinear(const ImageU8 &srgb);
 

@@ -55,16 +55,6 @@ AnalyticDiscriminationModel::semiAxesWithDkl(const Vec3 &rgb_linear,
 {
     const Vec3 rgb = rgb_linear.clamped(0.0, 1.0);
 
-    // Extent of each DKL axis over the RGB unit cube; the Weber term is
-    // expressed relative to these so its strength is axis-uniform.
-    // K1 = 0.14R + 0.17G           in [0, 0.31]
-    // K2 = -0.21R - 0.71G - 0.07B  in [-0.99, 0]
-    // K3 = 0.21R + 0.72G + 0.07B   in [0, 1.00]
-    // Stored as reciprocals: this runs once per pixel per frame, and
-    // the three divisions (plus the magic-static guard a function-local
-    // const would cost) showed up in the encode profile.
-    constexpr double kInvAxisRange[3] = {1.0 / 0.31, 1.0 / 0.99, 1.0};
-
     const double ecc = std::max(0.0, ecc_deg);
     const double ecc_scale = 1.0 + params_.eccGain * ecc;
 
@@ -76,7 +66,7 @@ AnalyticDiscriminationModel::semiAxesWithDkl(const Vec3 &rgb_linear,
         lum_scale * ecc_scale * params_.globalScale;
     Vec3 axes;
     for (std::size_t i = 0; i < 3; ++i) {
-        const double chroma = std::abs(dkl[i]) * kInvAxisRange[i];
+        const double chroma = std::abs(dkl[i]) * kDklInvAxisRange[i];
         const double weber = 1.0 + params_.weberGain * chroma;
         axes[i] = params_.base[i] * weber * common;
     }

@@ -95,6 +95,20 @@ class DiscriminationModel
     Ellipsoid ellipsoidFor(const Vec3 &rgb_linear, double ecc_deg) const;
 };
 
+/**
+ * Reciprocal extents of the DKL axes over the RGB unit cube; the
+ * analytic model's Weber term is expressed relative to these so its
+ * strength is axis-uniform:
+ *   K1 = 0.14R + 0.17G           in [0, 0.31]
+ *   K2 = -0.21R - 0.71G - 0.07B  in [-0.99, 0]
+ *   K3 = 0.21R + 0.72G + 0.07B   in [0, 1.00]
+ * Stored as reciprocals (the evaluation runs once per pixel per frame)
+ * and shared between the scalar model and the SIMD kernel layer
+ * (src/simd), whose bit-identity contract requires the same constants.
+ */
+inline constexpr double kDklInvAxisRange[3] = {1.0 / 0.31, 1.0 / 0.99,
+                                               1.0};
+
 /** Tunable constants of the analytic model. */
 struct AnalyticModelParams
 {

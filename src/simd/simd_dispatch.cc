@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Runtime SIMD dispatch: CPUID detection plus the FOVE_SIMD override.
+ *
+ * The AVX2 TU is compiled with -mavx2 and therefore must never execute
+ * on a CPU without AVX2; this TU (compiled for the baseline target)
+ * owns the decision. PCE_HAVE_AVX2_KERNELS is defined by CMake when the
+ * toolchain/target could build the AVX2 TU at all.
+ */
+
+#include "simd/tile_kernels.hh"
+
+#include <string>
+
+#include "common/env.hh"
+
+namespace pce::simd {
+
+const TileKernels &scalarTileKernels();
+#ifdef PCE_HAVE_AVX2_KERNELS
+const TileKernels &avx2TileKernels();
+#endif
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    return level == SimdLevel::Avx2 ? "avx2" : "scalar";
+}
+
+SimdLevel
+detectedSimdLevel()
+{
+#ifdef PCE_HAVE_AVX2_KERNELS
+    static const bool has_avx2 = __builtin_cpu_supports("avx2");
+    if (has_avx2)
+        return SimdLevel::Avx2;
+#endif
+    return SimdLevel::Scalar;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    const std::string v = envString("FOVE_SIMD", "auto");
+    if (v == "off" || v == "scalar" || v == "0")
+        return SimdLevel::Scalar;
+    // "avx2" and "auto" both resolve to the best detected level: an
+    // explicit request is clamped to what the CPU supports rather than
+    // crashing on an unsupported instruction.
+    return detectedSimdLevel();
+}
+
+SimdLevel
+effectiveSimdLevel(SimdLevel requested)
+{
+    if (requested == SimdLevel::Avx2 &&
+        detectedSimdLevel() == SimdLevel::Avx2)
+        return SimdLevel::Avx2;
+    return SimdLevel::Scalar;
+}
+
+const TileKernels &
+tileKernels(SimdLevel level)
+{
+#ifdef PCE_HAVE_AVX2_KERNELS
+    if (effectiveSimdLevel(level) == SimdLevel::Avx2)
+        return avx2TileKernels();
+#else
+    (void)level;
+#endif
+    return scalarTileKernels();
+}
+
+} // namespace pce::simd

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Byte-identity of the parallel BD encode across thread counts, plus
+ * the reusable-buffer (encodeInto) contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bd/bd_codec.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+
+namespace pce {
+namespace {
+
+/** Random image with tile-local structure (realistic BD ranges). */
+ImageU8
+randomImage(Rng &rng, int w, int h)
+{
+    ImageU8 img(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const int base = static_cast<int>(rng.uniform(0.0, 200.0));
+            for (int c = 0; c < 3; ++c)
+                img.setChannel(
+                    x, y, c,
+                    static_cast<uint8_t>(
+                        base + static_cast<int>(
+                                   rng.uniform(0.0, 55.0))));
+        }
+    }
+    return img;
+}
+
+TEST(BdParallel, ThreadCountSweepIsByteIdentical)
+{
+    Rng rng(1);
+    const struct
+    {
+        int w, h, tile;
+    } cases[] = {{64, 64, 4}, {61, 47, 4}, {13, 7, 5}, {128, 96, 16},
+                 {1, 1, 4},   {4, 4, 4}};
+    for (const auto &cs : cases) {
+        const ImageU8 img = randomImage(rng, cs.w, cs.h);
+        const BdCodec codec(cs.tile);
+        const std::vector<uint8_t> serial = codec.encode(img);
+
+        for (const int workers : {0, 1, 2, 3}) {
+            ThreadPool pool(workers);
+            for (const int participants : {2, 3, 8}) {
+                std::vector<uint8_t> out;
+                BdEncodeScratch scratch;
+                BdFrameStats stats;
+                codec.encodeInto(img, &stats, out, &scratch, &pool,
+                                 participants);
+                EXPECT_EQ(out, serial)
+                    << cs.w << "x" << cs.h << " tile " << cs.tile
+                    << " workers " << workers << " participants "
+                    << participants;
+                EXPECT_EQ(stats.totalBits(),
+                          codec.analyze(img).totalBits());
+            }
+        }
+    }
+}
+
+TEST(BdParallel, ParallelStreamDecodesLosslessly)
+{
+    Rng rng(2);
+    const ImageU8 img = randomImage(rng, 96, 80);
+    const BdCodec codec(4);
+    ThreadPool pool(3);
+    std::vector<uint8_t> out;
+    codec.encodeInto(img, nullptr, out, nullptr, &pool, 4);
+    EXPECT_EQ(BdCodec::decode(out), img);
+}
+
+TEST(BdParallel, StatsMatchSerialSinglePass)
+{
+    Rng rng(3);
+    const ImageU8 img = randomImage(rng, 64, 48);
+    const BdCodec codec(4);
+    BdFrameStats serial_stats;
+    codec.encode(img, &serial_stats);
+
+    ThreadPool pool(2);
+    BdFrameStats parallel_stats;
+    std::vector<uint8_t> out;
+    codec.encodeInto(img, &parallel_stats, out, nullptr, &pool, 3);
+    EXPECT_EQ(parallel_stats.pixels, serial_stats.pixels);
+    EXPECT_EQ(parallel_stats.headerBits, serial_stats.headerBits);
+    EXPECT_EQ(parallel_stats.metaBits, serial_stats.metaBits);
+    EXPECT_EQ(parallel_stats.baseBits, serial_stats.baseBits);
+    EXPECT_EQ(parallel_stats.deltaBits, serial_stats.deltaBits);
+}
+
+TEST(BdParallel, EncodeIntoReusesTheOutputBuffer)
+{
+    Rng rng(4);
+    const ImageU8 img = randomImage(rng, 64, 64);
+    const BdCodec codec(4);
+    const std::vector<uint8_t> expected = codec.encode(img);
+
+    std::vector<uint8_t> out;
+    BdEncodeScratch scratch;
+    codec.encodeInto(img, nullptr, out, &scratch);
+    EXPECT_EQ(out, expected);
+
+    // Steady state: the second encode of a same-size frame must land
+    // in the same allocation (capacity reuse, no growth).
+    const uint8_t *data = out.data();
+    const std::size_t cap = out.capacity();
+    codec.encodeInto(img, nullptr, out, &scratch);
+    EXPECT_EQ(out, expected);
+    EXPECT_EQ(out.data(), data);
+    EXPECT_EQ(out.capacity(), cap);
+}
+
+TEST(BdParallel, ScratchSurvivesGeometryChanges)
+{
+    // One scratch reused across different frame sizes and tile sizes
+    // must keep producing serial-identical streams.
+    Rng rng(5);
+    BdEncodeScratch scratch;
+    std::vector<uint8_t> out;
+    ThreadPool pool(2);
+    for (const int dim : {32, 17, 64, 8}) {
+        const ImageU8 img = randomImage(rng, dim, dim + 3);
+        for (const int tile : {4, 7}) {
+            const BdCodec codec(tile);
+            codec.encodeInto(img, nullptr, out, &scratch, &pool, 3);
+            EXPECT_EQ(out, codec.encode(img))
+                << dim << " tile " << tile;
+        }
+    }
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Bit-exactness of the SIMD kernel layer (src/simd) across dispatch
+ * levels, plus the FOVE_SIMD override.
+ *
+ * The contract under test is equality, not tolerance: every kernel at
+ * every level available on this host must reproduce the legacy scalar
+ * datapath (model/quadric code, Vec3 flow) double for double. Scalar
+ * is always available; AVX2 runs whenever the host CPU has it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "bd/bd_codec.hh"
+#include "color/srgb.hh"
+#include "common/rng.hh"
+#include "core/adjust.hh"
+#include "core/quadric.hh"
+#include "perception/discrimination.hh"
+#include "simd/tile_kernels.hh"
+#include "simd/tile_soa.hh"
+
+namespace pce {
+namespace {
+
+const AnalyticDiscriminationModel &
+model()
+{
+    static const AnalyticDiscriminationModel m;
+    return m;
+}
+
+/** Every dispatch level available on this host. */
+std::vector<simd::SimdLevel>
+availableLevels()
+{
+    std::vector<simd::SimdLevel> levels{simd::SimdLevel::Scalar};
+    if (simd::detectedSimdLevel() == simd::SimdLevel::Avx2)
+        levels.push_back(simd::SimdLevel::Avx2);
+    return levels;
+}
+
+/** A random tile around a base color, optionally near the gamut edge. */
+std::vector<Vec3>
+randomTile(Rng &rng, std::size_t n, double spread, bool gamut_edge)
+{
+    std::vector<Vec3> tile;
+    const Vec3 base = gamut_edge
+                          ? Vec3(rng.uniform(), rng.uniform(),
+                                 rng.uniform(0.9, 1.0))
+                          : Vec3(rng.uniform(0.15, 0.85),
+                                 rng.uniform(0.15, 0.85),
+                                 rng.uniform(0.15, 0.85));
+    for (std::size_t i = 0; i < n; ++i) {
+        Vec3 p = base + Vec3(rng.uniform(-spread, spread),
+                             rng.uniform(-spread, spread),
+                             rng.uniform(-spread, spread));
+        tile.push_back(p.clamped(0.0, 1.0));
+    }
+    return tile;
+}
+
+/** Fill a TileSoA's input lanes from AoS pixels/eccentricities. */
+void
+fillSoA(simd::TileSoA &soa, const std::vector<Vec3> &pixels,
+        const std::vector<double> &ecc)
+{
+    soa.resize(pixels.size());
+    for (std::size_t i = 0; i < pixels.size(); ++i) {
+        soa.lane(simd::kPx)[i] = pixels[i].x;
+        soa.lane(simd::kPy)[i] = pixels[i].y;
+        soa.lane(simd::kPz)[i] = pixels[i].z;
+        soa.lane(simd::kEcc)[i] = ecc[i];
+    }
+}
+
+class SimdLevelTest
+    : public ::testing::TestWithParam<simd::SimdLevel>
+{};
+
+TEST_P(SimdLevelTest, EllipsoidKernelMatchesModelExactly)
+{
+    const simd::TileKernels &k = simd::tileKernels(GetParam());
+    Rng rng(101);
+    simd::TileSoA soa;
+    for (const std::size_t n : {16u, 7u, 1u, 33u}) {
+        for (int trial = 0; trial < 25; ++trial) {
+            const auto tile = randomTile(rng, n, 0.2, trial % 3 == 0);
+            std::vector<double> ecc;
+            for (std::size_t i = 0; i < n; ++i)
+                ecc.push_back(rng.uniform(0.0, 40.0));
+            fillSoA(soa, tile, ecc);
+            k.ellipsoids(soa, model().params());
+            for (std::size_t i = 0; i < n; ++i) {
+                const Ellipsoid e = model().ellipsoidFor(
+                    tile[i].clamped(0.0, 1.0), ecc[i]);
+                EXPECT_EQ(soa.lane(simd::kCx)[i], e.centerDkl.x);
+                EXPECT_EQ(soa.lane(simd::kCy)[i], e.centerDkl.y);
+                EXPECT_EQ(soa.lane(simd::kCz)[i], e.centerDkl.z);
+                EXPECT_EQ(soa.lane(simd::kAx)[i], e.semiAxes.x);
+                EXPECT_EQ(soa.lane(simd::kAy)[i], e.semiAxes.y);
+                EXPECT_EQ(soa.lane(simd::kAz)[i], e.semiAxes.z);
+            }
+        }
+    }
+}
+
+TEST_P(SimdLevelTest, ExtremaKernelMatchesQuadricDatapathExactly)
+{
+    const simd::TileKernels &k = simd::tileKernels(GetParam());
+    Rng rng(202);
+    simd::TileSoA soa;
+    for (const std::size_t n : {16u, 5u, 2u}) {
+        for (int trial = 0; trial < 25; ++trial) {
+            const auto tile = randomTile(rng, n, 0.25, false);
+            std::vector<double> ecc;
+            for (std::size_t i = 0; i < n; ++i)
+                ecc.push_back(rng.uniform(0.0, 40.0));
+            fillSoA(soa, tile, ecc);
+            k.ellipsoids(soa, model().params());
+            k.extremaBoth(soa);
+            for (std::size_t i = 0; i < n; ++i) {
+                const Ellipsoid e = model().ellipsoidFor(
+                    tile[i].clamped(0.0, 1.0), ecc[i]);
+                ExtremaPair red;
+                ExtremaPair blue;
+                extremaBothAxes(e, red, blue);
+                EXPECT_EQ(soa.lane(simd::kRedHighX)[i], red.high.x);
+                EXPECT_EQ(soa.lane(simd::kRedHighY)[i], red.high.y);
+                EXPECT_EQ(soa.lane(simd::kRedHighZ)[i], red.high.z);
+                EXPECT_EQ(soa.lane(simd::kRedLowX)[i], red.low.x);
+                EXPECT_EQ(soa.lane(simd::kRedLowY)[i], red.low.y);
+                EXPECT_EQ(soa.lane(simd::kRedLowZ)[i], red.low.z);
+                EXPECT_EQ(soa.lane(simd::kBlueHighX)[i], blue.high.x);
+                EXPECT_EQ(soa.lane(simd::kBlueHighY)[i], blue.high.y);
+                EXPECT_EQ(soa.lane(simd::kBlueHighZ)[i], blue.high.z);
+                EXPECT_EQ(soa.lane(simd::kBlueLowX)[i], blue.low.x);
+                EXPECT_EQ(soa.lane(simd::kBlueLowY)[i], blue.low.y);
+                EXPECT_EQ(soa.lane(simd::kBlueLowZ)[i], blue.low.z);
+            }
+        }
+    }
+}
+
+TEST_P(SimdLevelTest, TileFlowMatchesLegacyFlowExactly)
+{
+    // The full kernel tile flow at this level vs. the legacy Vec3 flow
+    // (forced by a non-default extrema backend that evaluates the same
+    // Eq. 11-13 datapath): outcome metadata, bit costs, gamut counts,
+    // and every adjusted double must be identical. Ragged sizes and
+    // gamut-edge tiles exercise the padded lanes and the clamp path.
+    const TileAdjuster kernel_adjuster(model(), {}, GetParam());
+    ASSERT_TRUE(kernel_adjuster.usingSimdKernels());
+    const TileAdjuster legacy_adjuster(
+        model(), [](const Ellipsoid &e, int axis) {
+            return extremaAlongAxis(e, axis);
+        });
+    ASSERT_FALSE(legacy_adjuster.usingSimdKernels());
+
+    Rng rng(303);
+    TileScratch kernel_scratch;
+    TileScratch legacy_scratch;
+    for (const std::size_t n : {16u, 4u, 1u, 13u, 64u}) {
+        for (int trial = 0; trial < 30; ++trial) {
+            const auto tile =
+                randomTile(rng, n, rng.uniform(0.0, 0.3),
+                           trial % 2 == 0);
+            std::vector<double> ecc;
+            for (std::size_t i = 0; i < n; ++i)
+                ecc.push_back(rng.uniform(5.0, 40.0));
+
+            kernel_scratch.pixels = tile;
+            kernel_scratch.ecc = ecc;
+            const TileOutcome a =
+                kernel_adjuster.adjustTile(kernel_scratch);
+            legacy_scratch.pixels = tile;
+            legacy_scratch.ecc = ecc;
+            const TileOutcome b =
+                legacy_adjuster.adjustTile(legacy_scratch);
+
+            EXPECT_EQ(a.chosenAxis, b.chosenAxis);
+            EXPECT_EQ(a.chosenCase, b.chosenCase);
+            EXPECT_EQ(a.caseRed, b.caseRed);
+            EXPECT_EQ(a.caseBlue, b.caseBlue);
+            EXPECT_EQ(a.bitsRed, b.bitsRed);
+            EXPECT_EQ(a.bitsBlue, b.bitsBlue);
+            EXPECT_EQ(a.gamutClampedPixels, b.gamutClampedPixels);
+            ASSERT_EQ(a.adjusted->size(), b.adjusted->size());
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ((*a.adjusted)[i], (*b.adjusted)[i])
+                    << "n " << n << " trial " << trial << " pixel "
+                    << i;
+        }
+    }
+}
+
+TEST_P(SimdLevelTest, TileCostMatchesCodePath)
+{
+    // The fused quantize+cost kernel vs. the materialized-codes path.
+    const simd::TileKernels &k = simd::tileKernels(GetParam());
+    Rng rng(404);
+    simd::TileSoA soa;
+    for (const std::size_t n : {16u, 3u, 9u}) {
+        for (int trial = 0; trial < 25; ++trial) {
+            soa.resize(n);
+            // Raw candidate values, including slightly out-of-gamut
+            // and exact-boundary inputs the quantizer must clamp.
+            for (std::size_t i = 0; i < n; ++i) {
+                soa.lane(simd::kOutRedX)[i] = rng.uniform(-0.1, 1.1);
+                soa.lane(simd::kOutRedY)[i] = rng.uniform(0.0, 1.0);
+                soa.lane(simd::kOutRedZ)[i] =
+                    i % 4 == 0 ? 1.0 : rng.uniform();
+            }
+            std::vector<uint8_t> codes(n * 3);
+            linearToSrgb8Planar(soa.lane(simd::kOutRedX),
+                                soa.lane(simd::kOutRedY),
+                                soa.lane(simd::kOutRedZ), n,
+                                codes.data());
+            EXPECT_EQ(k.tileCost(soa, 0),
+                      bdTileBitsFromCodes(codes.data(), n));
+        }
+    }
+}
+
+TEST_P(SimdLevelTest, NanPixelsCountAndPlaceIdentically)
+{
+    // A NaN input pixel (upstream renderer bug) must flow through the
+    // kernels exactly like the scalar reference: same gamut-clamp
+    // count (C++ != is unordered-true, so NaN movements count) and
+    // bitwise-identical output lanes (NaN payloads included — compare
+    // representations, not values).
+    const TileAdjuster kernel_adjuster(model(), {}, GetParam());
+    const TileAdjuster legacy_adjuster(
+        model(), [](const Ellipsoid &e, int axis) {
+            return extremaAlongAxis(e, axis);
+        });
+
+    Rng rng(707);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (int trial = 0; trial < 10; ++trial) {
+        auto tile = randomTile(rng, 16, 0.1, trial % 2 == 0);
+        tile[3].y = nan;
+        tile[8] = Vec3(nan, nan, nan);
+        const std::vector<double> ecc(16, 25.0);
+
+        TileScratch a_scratch;
+        a_scratch.pixels = tile;
+        a_scratch.ecc = ecc;
+        const TileOutcome a = kernel_adjuster.adjustTile(a_scratch);
+        TileScratch b_scratch;
+        b_scratch.pixels = tile;
+        b_scratch.ecc = ecc;
+        const TileOutcome b = legacy_adjuster.adjustTile(b_scratch);
+
+        EXPECT_EQ(a.gamutClampedPixels, b.gamutClampedPixels);
+        EXPECT_EQ(a.bitsRed, b.bitsRed);
+        EXPECT_EQ(a.bitsBlue, b.bitsBlue);
+        ASSERT_EQ(a.adjusted->size(), b.adjusted->size());
+        EXPECT_EQ(std::memcmp(a.adjusted->data(), b.adjusted->data(),
+                              a.adjusted->size() * sizeof(Vec3)),
+                  0)
+            << "trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, SimdLevelTest, ::testing::ValuesIn(availableLevels()),
+    [](const ::testing::TestParamInfo<simd::SimdLevel> &info) {
+        return simd::simdLevelName(info.param);
+    });
+
+TEST(SimdDispatch, FoveSimdOffForcesScalar)
+{
+    ASSERT_EQ(setenv("FOVE_SIMD", "off", 1), 0);
+    EXPECT_EQ(simd::activeSimdLevel(), simd::SimdLevel::Scalar);
+    // A TileAdjuster built under the override runs the scalar kernels
+    // and still matches the default-dispatch adjuster bit for bit.
+    const TileAdjuster forced(model());
+    EXPECT_EQ(forced.simdLevel(), simd::SimdLevel::Scalar);
+    ASSERT_EQ(unsetenv("FOVE_SIMD"), 0);
+    EXPECT_EQ(simd::activeSimdLevel(), simd::detectedSimdLevel());
+
+    Rng rng(505);
+    const auto tile = randomTile(rng, 16, 0.1, false);
+    const std::vector<double> ecc(16, 20.0);
+    const TileAdjuster active(model());
+    TileScratch sa;
+    TileScratch sb;
+    sa.pixels = tile;
+    sa.ecc = ecc;
+    sb.pixels = tile;
+    sb.ecc = ecc;
+    const TileOutcome a = forced.adjustTile(sa);
+    const TileOutcome b = active.adjustTile(sb);
+    EXPECT_EQ(a.bitsRed, b.bitsRed);
+    EXPECT_EQ(a.bitsBlue, b.bitsBlue);
+    for (std::size_t i = 0; i < tile.size(); ++i)
+        EXPECT_EQ((*a.adjusted)[i], (*b.adjusted)[i]);
+}
+
+TEST(SimdDispatch, ScalarAliasesAreAccepted)
+{
+    for (const char *v : {"scalar", "0"}) {
+        ASSERT_EQ(setenv("FOVE_SIMD", v, 1), 0);
+        EXPECT_EQ(simd::activeSimdLevel(), simd::SimdLevel::Scalar);
+    }
+    ASSERT_EQ(setenv("FOVE_SIMD", "avx2", 1), 0);
+    // Explicit requests are clamped to what the CPU supports.
+    EXPECT_EQ(simd::activeSimdLevel(), simd::detectedSimdLevel());
+    ASSERT_EQ(unsetenv("FOVE_SIMD"), 0);
+}
+
+TEST(SimdDispatch, NonAnalyticModelFallsBackToLegacyFlow)
+{
+    // A wrapped model cannot go through the analytic kernels; the
+    // adjuster must notice and keep the (correct) legacy flow.
+    const ScaledDiscriminationModel scaled(model(), 1.5);
+    const TileAdjuster adjuster(scaled);
+    EXPECT_FALSE(adjuster.usingSimdKernels());
+
+    Rng rng(606);
+    TileScratch s;
+    s.pixels = randomTile(rng, 16, 0.05, false);
+    s.ecc.assign(16, 25.0);
+    const TileOutcome out = adjuster.adjustTile(s);
+    EXPECT_EQ(out.adjusted->size(), 16u);
+}
+
+} // namespace
+} // namespace pce
