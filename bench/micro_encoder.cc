@@ -184,12 +184,19 @@ BENCHMARK(BM_BdEncode)->Arg(256)->Arg(512);
 void
 BM_BdDecode(benchmark::State &state)
 {
+    // Steady-state hardened decode: caller-owned image + scratch
+    // reused across iterations (the allocating BdCodec::decode wrapper
+    // adds one ImageU8 build per call on top of this).
     const int n = static_cast<int>(state.range(0));
     const BdCodec codec(4);
     const auto stream = codec.encode(
         toSrgb8(renderScene(SceneId::Thai, {n, n, 0, 0.0, 0})));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(BdCodec::decode(stream));
+    ImageU8 out;
+    BdDecodeScratch scratch;
+    for (auto _ : state) {
+        BdCodec::decodeInto(stream, out, &scratch);
+        benchmark::DoNotOptimize(out.data().data());
+    }
     state.SetBytesProcessed(state.iterations() *
                             static_cast<int64_t>(stream.size()));
 }

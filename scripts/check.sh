@@ -24,4 +24,13 @@ cmake -B build-san -S . -DFOVE_SANITIZE=address,undefined > /dev/null
 cmake --build build-san -j"$JOBS"
 ctest --test-dir build-san --output-on-failure -j"$JOBS"
 
+echo "== Decode hardening corpus under asan/ubsan =="
+# The malformed-stream corpus (bit flips, truncations, extensions,
+# adversarial headers) is where decode memory bugs would surface; run
+# it explicitly so a filtered/partial ctest invocation can never skip
+# it, with halt-on-error so sanitizer reports fail the run loudly.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-san/bd_test_bd_decode_hardening
+
 echo "== All checks passed =="

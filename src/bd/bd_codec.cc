@@ -1,10 +1,12 @@
 #include "bd/bd_codec.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "common/bitstream.hh"
 #include "common/thread_pool.hh"
+#include "simd/tile_kernels.hh"
 
 namespace pce {
 
@@ -142,25 +144,28 @@ BdCodec::encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
     const bool parallel = pool != nullptr && participants > 1 &&
                           n_tiles > 1;
 
-    // Pass 1: per-tile-channel minimum and delta width.
+    // Pass 1: per-tile-channel minimum and delta width, through the
+    // dispatched min/max kernel (32 bytes per op under AVX2; the scalar
+    // table is the byte-wise reference — identical results either way,
+    // min/max over integers is order-independent).
     s.base.resize(n_tiles * 3);
     s.width.resize(n_tiles * 3);
+    const simd::TileKernels &kernels = simd::activeTileKernels();
+    const std::size_t row_stride =
+        static_cast<std::size_t>(img.width()) * 3;
+    const uint8_t *buf_end = img.data().data() + img.data().size();
     auto statsRange = [&](std::size_t begin, std::size_t end, int) {
         for (std::size_t t = begin; t < end; ++t) {
             const TileRect &rect = tiles[t];
+            uint8_t lo[3];
+            uint8_t hi[3];
+            kernels.bdTileMinMax(img.pixel(rect.x0, rect.y0),
+                                 row_stride, rect.w, rect.h, buf_end,
+                                 lo, hi);
             for (int c = 0; c < 3; ++c) {
-                uint8_t lo = 255;
-                uint8_t hi = 0;
-                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                    for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
-                        const uint8_t v = img.channel(x, y, c);
-                        lo = std::min(lo, v);
-                        hi = std::max(hi, v);
-                    }
-                }
-                s.base[3 * t + c] = lo;
+                s.base[3 * t + c] = lo[c];
                 s.width[3 * t + c] =
-                    static_cast<uint8_t>(bdDeltaWidth(lo, hi));
+                    static_cast<uint8_t>(bdDeltaWidth(lo[c], hi[c]));
             }
         }
     };
@@ -237,45 +242,160 @@ BdCodec::encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
 ImageU8
 BdCodec::decode(const std::vector<uint8_t> &stream)
 {
-    BitReader br(stream);
-    if (br.getBits(kMagicBits) != kMagic)
-        throw std::runtime_error("BdCodec::decode: bad magic");
-    const int w = static_cast<int>(br.getBits(kDimBits));
-    const int h = static_cast<int>(br.getBits(kDimBits));
-    const int tile = static_cast<int>(br.getBits(kTileBits));
-    if (w <= 0 || h <= 0 || tile <= 0)
-        throw std::runtime_error("BdCodec::decode: bad header");
+    ImageU8 img;
+    decodeInto(stream, img);
+    return img;
+}
 
-    // Dimension sanity before allocating: every tile-channel costs at
-    // least meta+base bits, so a stream shorter than that floor cannot
-    // describe the claimed frame (guards corrupted headers).
-    const std::size_t tiles =
-        (static_cast<std::size_t>(w) + tile - 1) / tile *
-        ((static_cast<std::size_t>(h) + tile - 1) / tile);
-    const std::size_t min_bits =
-        tiles * 3 * (kWidthFieldBits + kBaseBits);
-    if (stream.size() * 8 < min_bits)
+void
+BdCodec::decodeInto(const std::vector<uint8_t> &stream, ImageU8 &out,
+                    BdDecodeScratch *scratch, ThreadPool *pool,
+                    int participants, std::uint64_t max_pixels)
+{
+    constexpr std::size_t kHeaderBits =
+        kMagicBits + 2 * kDimBits + kTileBits;
+    const std::uint64_t stream_bits =
+        static_cast<std::uint64_t>(stream.size()) * 8;
+    if (stream_bits < kHeaderBits)
+        throw std::runtime_error(
+            "BdCodec::decode: stream shorter than header");
+    BitReader hdr(stream);
+    if (hdr.getBits(kMagicBits) != kMagic)
+        throw std::runtime_error("BdCodec::decode: bad magic");
+    const uint32_t w = hdr.getBits(kDimBits);
+    const uint32_t h = hdr.getBits(kDimBits);
+    const uint32_t tile = hdr.getBits(kTileBits);
+    if (w == 0 || h == 0 || tile == 0)
+        throw std::runtime_error("BdCodec::decode: bad header");
+    // Decompression-bomb guard: flat tiles compress so well that a
+    // huge frame can be *honestly* described by a tiny stream, so no
+    // consistency check below bounds the output size — only this cap
+    // does.
+    if (static_cast<std::uint64_t>(w) * h > max_pixels)
+        throw std::runtime_error(
+            "BdCodec::decode: frame exceeds the decode pixel cap");
+
+    // All tile/pixel arithmetic below is 64-bit: an adversarial
+    // 0xFFFF x 0xFFFF header yields ~2^32 tiles and ~2^34 payload
+    // bits, which must be *counted* correctly (no 32-bit wrap) so the
+    // floor check rejects the stream before any allocation scales with
+    // the claimed dimensions.
+    const std::uint64_t tiles_x = (w + tile - 1) / tile;
+    const std::uint64_t tiles_y = (h + tile - 1) / tile;
+    const std::uint64_t n_tiles64 = tiles_x * tiles_y;
+    // Every tile-channel costs at least its meta+base bits; a stream
+    // below that floor cannot describe the claimed frame. This bounds
+    // n_tiles by the actual stream size, so the tile grid and offset
+    // arrays built next are O(stream), never O(claimed dimensions).
+    if (n_tiles64 * 3 * (kWidthFieldBits + kBaseBits) >
+        stream_bits - kHeaderBits)
         throw std::runtime_error(
             "BdCodec::decode: stream too short for header dimensions");
 
-    ImageU8 img(w, h);
-    for (const TileRect &rect : tileGrid(w, h, tile)) {
+    BdDecodeScratch local;
+    BdDecodeScratch &s = scratch ? *scratch : local;
+    if (s.tilesWidth != static_cast<int>(w) ||
+        s.tilesHeight != static_cast<int>(h) ||
+        s.tilesSize != static_cast<int>(tile)) {
+        s.tiles = tileGrid(static_cast<int>(w), static_cast<int>(h),
+                           static_cast<int>(tile));
+        s.tilesWidth = static_cast<int>(w);
+        s.tilesHeight = static_cast<int>(h);
+        s.tilesSize = static_cast<int>(tile);
+    }
+    const std::size_t n_tiles = s.tiles.size();
+
+    // Pass 1 (serial): validate every per-tile-channel record and turn
+    // the width fields into the exclusive prefix of per-tile payload
+    // bit offsets — the exact dual of the encoder's prefix pass. Only
+    // the 12-bit meta fields are read; delta blocks are stepped over
+    // arithmetically.
+    s.bitOffsets.resize(n_tiles + 1);
+    std::uint64_t offset = 0;  // payload bits before the current field
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+        s.bitOffsets[t] = static_cast<std::size_t>(offset);
+        const std::uint64_t pixels = static_cast<std::uint64_t>(
+            s.tiles[t].pixelCount());
         for (int c = 0; c < 3; ++c) {
-            const unsigned width = br.getBits(kWidthFieldBits);
-            const unsigned base = br.getBits(kBaseBits);
-            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
-                    const unsigned delta =
-                        width ? br.getBits(width) : 0u;
-                    img.setChannel(x, y, c,
-                                   static_cast<uint8_t>(base + delta));
+            const std::uint64_t field_pos = kHeaderBits + offset;
+            if (field_pos + kWidthFieldBits + kBaseBits > stream_bits)
+                throw std::runtime_error(
+                    "BdCodec::decode: stream truncated mid-tile");
+            // Only the 4-bit width field is read (getBits' two-byte
+            // fast path); bases and deltas are stepped over
+            // arithmetically.
+            hdr.seek(static_cast<std::size_t>(field_pos));
+            const unsigned width = hdr.getBits(kWidthFieldBits);
+            if (width > 8)
+                throw std::runtime_error(
+                    "BdCodec::decode: delta width field exceeds 8 "
+                    "bits");
+            offset += kWidthFieldBits + kBaseBits + pixels * width;
+            if (kHeaderBits + offset > stream_bits)
+                throw std::runtime_error(
+                    "BdCodec::decode: stream truncated mid-tile");
+        }
+    }
+    s.bitOffsets[n_tiles] = static_cast<std::size_t>(offset);
+
+    // The stream must be exactly the header + payload padded to a byte
+    // boundary with zero bits: a longer buffer is trailing garbage, and
+    // nonzero padding is garbage smuggled below the byte count.
+    const std::uint64_t total_bits = kHeaderBits + offset;
+    if ((total_bits + 7) / 8 != stream.size())
+        throw std::runtime_error(
+            "BdCodec::decode: stream length disagrees with payload "
+            "(trailing garbage)");
+    if (total_bits % 8 != 0) {
+        const unsigned pad = 8 - static_cast<unsigned>(total_bits % 8);
+        if (stream.back() & ((1u << pad) - 1u))
+            throw std::runtime_error(
+                "BdCodec::decode: nonzero padding bits");
+    }
+
+    // Pass 2: tile decode, parallel over the validated offsets. Tiles
+    // are disjoint pixel ranges, so the output is byte-identical for
+    // any participant count. Reallocate only on geometry change; every
+    // byte of the image is overwritten below.
+    if (out.width() != static_cast<int>(w) ||
+        out.height() != static_cast<int>(h))
+        out = ImageU8(static_cast<int>(w), static_cast<int>(h));
+    const uint8_t *data = stream.data();
+    const std::size_t size = stream.size();
+    auto decodeRange = [&](std::size_t begin, std::size_t end, int) {
+        BitReader br(data, size);
+        br.seek(kHeaderBits + s.bitOffsets[begin]);
+        for (std::size_t t = begin; t < end; ++t) {
+            const TileRect &rect = s.tiles[t];
+            for (int c = 0; c < 3; ++c) {
+                const unsigned width = br.getBits(kWidthFieldBits);
+                const unsigned base = br.getBits(kBaseBits);
+                if (width == 0) {
+                    // Flat channel (the cheap "case 2" tiles): no
+                    // delta bits to read, just splat the base.
+                    for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                        uint8_t *row = out.pixel(rect.x0, y);
+                        for (int x = 0; x < rect.w; ++x)
+                            row[3 * x + c] =
+                                static_cast<uint8_t>(base);
+                    }
+                    continue;
+                }
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                    uint8_t *row = out.pixel(rect.x0, y);
+                    for (int x = 0; x < rect.w; ++x)
+                        row[3 * x + c] = static_cast<uint8_t>(
+                            base + br.getBits(width));
                 }
             }
         }
-    }
-    if (br.exhausted())
-        throw std::runtime_error("BdCodec::decode: truncated stream");
-    return img;
+    };
+    const bool parallel =
+        pool != nullptr && participants > 1 && n_tiles > 1;
+    if (parallel)
+        pool->parallelFor(n_tiles, 16, participants, decodeRange);
+    else
+        decodeRange(0, n_tiles, 0);
 }
 
 BdFrameStats

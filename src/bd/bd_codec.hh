@@ -38,6 +38,18 @@ namespace pce {
 class ThreadPool;
 
 /**
+ * Default cap on the pixel count decodeInto will materialize. BD
+ * compresses flat content so well that a ~300 KB stream can honestly
+ * describe a flat 0xFFFF x 0xFFFF frame (~13 GB decoded) — a
+ * decompression bomb on a service decoding untrusted streams. 2^26
+ * pixels (~192 MB of sRGB) covers stereo 8K and every paper workload
+ * with headroom; callers that really decode larger frames pass their
+ * own limit explicitly.
+ */
+inline constexpr std::uint64_t kBdDefaultMaxDecodePixels =
+    std::uint64_t(1) << 26;
+
+/**
  * Field widths of the per-tile-channel BD record
  * ([width][base][deltas...]), shared by the encoder/decoder, the
  * analyze paths, and the SIMD cost kernels (src/simd) so the
@@ -108,6 +120,24 @@ struct BdEncodeScratch
     std::vector<BitWriter> chunks;
 };
 
+/**
+ * Reusable working storage of BdCodec::decodeInto, mirroring
+ * BdEncodeScratch: the tile grid and the per-tile bit-offset prefix
+ * grow once and are reused, so steady-state decode of a frame stream
+ * allocates nothing.
+ */
+struct BdDecodeScratch
+{
+    /** Cached tileGrid() result, keyed by the geometry below. */
+    std::vector<TileRect> tiles;
+    int tilesWidth = -1;
+    int tilesHeight = -1;
+    int tilesSize = -1;
+
+    /** Exclusive prefix of per-tile payload bits (tiles + 1 entries). */
+    std::vector<std::size_t> bitOffsets;
+};
+
 /** Base+Delta encoder/decoder with a configurable square tile size. */
 class BdCodec
 {
@@ -154,8 +184,57 @@ class BdCodec
                     ThreadPool *pool = nullptr,
                     int participants = 1) const;
 
-    /** Decode a BD bitstream produced by encode(). */
+    /**
+     * Decode a BD bitstream produced by encode(). Thin wrapper over
+     * decodeInto, so every caller gets the hardened validation.
+     */
     static ImageU8 decode(const std::vector<uint8_t> &stream);
+
+    /**
+     * decode() into a caller-owned image with optional parallelism —
+     * the hardened, allocation-free sibling of encodeInto.
+     *
+     * Two passes. Pass 1 (serial) validates the stream *before any
+     * pixel is touched or any frame-sized buffer allocated*: the full
+     * header (magic, non-zero 16-bit dimensions, non-zero tile size,
+     * with all tile/pixel arithmetic in 64 bits so adversarial
+     * 0xFFFF x 0xFFFF headers cannot overflow or trigger a huge
+     * allocation), then every per-tile-channel record — a delta width
+     * field above 8 bits, a delta payload running past the end of the
+     * stream (truncated mid-tile), a stream whose byte count disagrees
+     * with the computed total bit length (trailing garbage), or nonzero
+     * padding bits in the final byte all throw std::runtime_error. The
+     * walk only reads the 12-bit meta fields and seeks across delta
+     * blocks, producing the exclusive prefix of per-tile bit offsets —
+     * the exact dual of the encoder's prefix pass. Pass 2 decodes tiles
+     * in parallel on the pool, each chunk's reader seeked to its tile's
+     * offset, writing rows directly into @p out.
+     *
+     * The output is byte-identical to the serial decoder for any
+     * participant count (tiles are disjoint), and a caller that reuses
+     * @p out and @p scratch across same-geometry frames allocates
+     * nothing in the steady state (tests pin the data pointers).
+     *
+     * @param out Overwritten with the decoded frame; reallocated only
+     *        when the stream's dimensions differ from its own.
+     * @param scratch Optional reusable working storage; nullptr uses
+     *        call-local buffers.
+     * @param pool Optional worker pool; nullptr decodes serially.
+     * @param participants Parallel slots when @p pool is given
+     *        (clamped to the pool size, 0/1 = serial).
+     * @param max_pixels Decompression-bomb guard: a header claiming
+     *        more pixels than this throws before anything is
+     *        allocated, even when the stream is otherwise well-formed
+     *        (flat tiles make multi-GB frames honestly encodable in a
+     *        few hundred KB).
+     * @throws std::runtime_error on any malformed or over-cap stream,
+     *         before @p out is modified.
+     */
+    static void decodeInto(
+        const std::vector<uint8_t> &stream, ImageU8 &out,
+        BdDecodeScratch *scratch = nullptr, ThreadPool *pool = nullptr,
+        int participants = 1,
+        std::uint64_t max_pixels = kBdDefaultMaxDecodePixels);
 
     /**
      * Bit accounting without materializing a stream. Exactly matches

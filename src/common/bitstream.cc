@@ -79,25 +79,60 @@ BitWriter::take()
 uint32_t
 BitReader::getBits(unsigned width)
 {
-    uint32_t v = 0;
-    for (unsigned i = 0; i < width; ++i) {
-        if (pos_ >= sizeBits_) {
-            exhausted_ = true;
-            v <<= 1;
-            continue;
-        }
-        const unsigned bit =
-            (data_[pos_ / 8] >> (7 - (pos_ % 8))) & 1u;
-        v = (v << 1) | bit;
-        ++pos_;
+    // Byte-chunked reads, mirroring BitWriter::putBits: the BD decoder
+    // calls this once per pixel per channel, and the original
+    // bit-at-a-time loop dominated the decode profile. Semantics are
+    // unchanged: reading past the end yields the available bits shifted
+    // up with zeros filling the missing low bits, and sets exhausted().
+    if (width == 0)
+        return 0;
+    unsigned avail = width;
+    const std::size_t left = sizeBits_ - pos_;  // pos_ <= sizeBits_
+    if (width <= 8 && width <= left) {
+        // Fast path for the per-pixel BD fields (4-bit widths, 8-bit
+        // bases, 1..8-bit deltas): the field spans at most two bytes,
+        // extracted from one 16-bit window.
+        const std::size_t byte = pos_ / 8;
+        const unsigned used = pos_ % 8;
+        pos_ += width;
+        unsigned win = static_cast<unsigned>(data_[byte]) << 8;
+        if (used + width > 8)
+            win |= data_[byte + 1];
+        return (win >> (16 - used - width)) & ((1u << width) - 1u);
     }
-    return v;
+    if (width > left) {
+        exhausted_ = true;
+        avail = static_cast<unsigned>(left);
+        if (avail == 0)
+            return 0;
+    }
+    uint32_t v = 0;
+    unsigned remaining = avail;
+    while (remaining > 0) {
+        const unsigned used = pos_ % 8;
+        const unsigned space = 8 - used;
+        const unsigned chunk = remaining < space ? remaining : space;
+        const unsigned bits =
+            (static_cast<unsigned>(data_[pos_ / 8]) >>
+             (space - chunk)) &
+            ((1u << chunk) - 1u);
+        v = (v << chunk) | bits;
+        pos_ += chunk;
+        remaining -= chunk;
+    }
+    return v << (width - avail);
 }
 
 void
 BitReader::alignToByte()
 {
     pos_ = (pos_ + 7) / 8 * 8;
+}
+
+void
+BitReader::seek(std::size_t bit_pos)
+{
+    pos_ = bit_pos < sizeBits_ ? bit_pos : sizeBits_;
 }
 
 void

@@ -124,6 +124,14 @@ class BitReader
     /** Skip forward to the next byte boundary. */
     void alignToByte();
 
+    /**
+     * Jump to an absolute bit position (clamped to the end of the
+     * buffer). The parallel BD decoder positions one reader per tile
+     * chunk from the serial prefix of per-tile bit offsets; exhausted()
+     * is left untouched.
+     */
+    void seek(std::size_t bit_pos);
+
     /** Bits consumed so far. */
     std::size_t bitPosition() const { return pos_; }
 

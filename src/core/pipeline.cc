@@ -242,4 +242,13 @@ PerceptualEncoder::encodeFrameInto(const ImageF &frame,
                       &out.bdScratch, pool_.get(), params_.threads);
 }
 
+bool
+PerceptualEncoder::verifyRoundTrip(EncodedFrame &frame) const
+{
+    BdCodec::decodeInto(frame.bdStream, frame.roundTripSrgb,
+                        &frame.bdDecodeScratch, pool_.get(),
+                        params_.threads);
+    return frame.roundTripSrgb == frame.adjustedSrgb;
+}
+
 } // namespace pce

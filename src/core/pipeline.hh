@@ -73,6 +73,13 @@ struct EncodedFrame
     PipelineStats stats;
     /** Reusable working storage of the BD encode (not an output). */
     BdEncodeScratch bdScratch;
+    /**
+     * Reusable storage of verifyRoundTrip (not outputs): the decoded
+     * image and the BD decoder's working storage, kept so per-frame
+     * verification stays allocation-free in the steady state.
+     */
+    ImageU8 roundTripSrgb;
+    BdDecodeScratch bdDecodeScratch;
 };
 
 /**
@@ -127,6 +134,19 @@ class PerceptualEncoder
     void encodeFrameInto(const ImageF &frame,
                          const EccentricityMap &ecc,
                          EncodedFrame &out) const;
+
+    /**
+     * Round-trip verify: decode @p frame's BD stream (in parallel on
+     * the encoder's pool) into frame.roundTripSrgb and compare it
+     * byte-for-byte against frame.adjustedSrgb — the codec-is-lossless
+     * invariant a service can assert per frame at decode cost, reusing
+     * the frame's buffers. Returns true when the stream reproduces the
+     * encoded image exactly.
+     *
+     * @throws std::runtime_error if the stream fails the hardened
+     *         decode validation (it was corrupted after encode).
+     */
+    bool verifyRoundTrip(EncodedFrame &frame) const;
 
     const PipelineParams &params() const { return params_; }
 

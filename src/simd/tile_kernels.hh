@@ -33,6 +33,7 @@
 #define PCE_SIMD_TILE_KERNELS_HH
 
 #include <cstddef>
+#include <cstdint>
 
 #include "perception/discrimination.hh"
 #include "simd/tile_soa.hh"
@@ -126,6 +127,28 @@ struct TileKernels
      * channel, exactly bdTileBitsFromCodes' accounting.
      */
     std::size_t (*tileCost)(const TileSoA &soa, int axis);
+
+    /**
+     * BD stats kernel: per-channel min/max over one tile of interleaved
+     * 8-bit sRGB pixels (the pass-1 scan of BdCodec::encodeInto). Unlike
+     * the TileSoA kernels this one runs in the byte domain, directly on
+     * the image's interleaved rows — min/max over integers is
+     * order-independent, so every level is trivially bit-identical.
+     *
+     * @param rows   First pixel of the tile, 3 bytes per pixel.
+     * @param stride Byte distance between successive tile rows (the
+     *               image row pitch).
+     * @param width  Pixels per tile row (>= 1).
+     * @param height Tile rows (>= 1).
+     * @param end    One past the last readable byte of the image
+     *               buffer; vector loads never touch [end, ...). Rows
+     *               whose 32-byte window would cross it fall back to a
+     *               scalar tail.
+     * @param lo,hi  Outputs: per-channel minimum / maximum.
+     */
+    void (*bdTileMinMax)(const uint8_t *rows, std::size_t stride,
+                         int width, int height, const uint8_t *end,
+                         uint8_t lo[3], uint8_t hi[3]);
 };
 
 /** Kernel table of a specific level (Scalar is always available). */

@@ -184,11 +184,31 @@ tileCostScalar(const TileSoA &soa, int axis)
     return bits;
 }
 
+void
+bdTileMinMaxScalar(const uint8_t *rows, std::size_t stride, int width,
+                   int height, const uint8_t *, uint8_t lo[3],
+                   uint8_t hi[3])
+{
+    lo[0] = lo[1] = lo[2] = 255;
+    hi[0] = hi[1] = hi[2] = 0;
+    for (int y = 0; y < height; ++y) {
+        const uint8_t *p = rows + static_cast<std::size_t>(y) * stride;
+        for (int x = 0; x < width; ++x) {
+            for (int c = 0; c < 3; ++c) {
+                const uint8_t v = p[3 * x + c];
+                lo[c] = std::min(lo[c], v);
+                hi[c] = std::max(hi[c], v);
+            }
+        }
+    }
+}
+
 const TileKernels &
 scalarTileKernels()
 {
     static const TileKernels k{ellipsoidsScalar, extremaBothScalar,
-                               moveAxisScalar, tileCostScalar};
+                               moveAxisScalar, tileCostScalar,
+                               bdTileMinMaxScalar};
     return k;
 }
 

@@ -118,6 +118,93 @@ TEST(BdParallel, EncodeIntoReusesTheOutputBuffer)
     EXPECT_EQ(out.capacity(), cap);
 }
 
+TEST(BdParallel, DecodeIntoRoundTripSweepIsByteIdentical)
+{
+    // encodeInto -> decodeInto across tile sizes, odd frame sizes
+    // (edge tiles), and participant counts: the parallel decode must
+    // reproduce the source image byte for byte, and match the serial
+    // decode exactly, for any pool/participant combination.
+    Rng rng(6);
+    const struct
+    {
+        int w, h;
+    } sizes[] = {{64, 64}, {61, 47}, {13, 7}, {1, 1}, {33, 40}};
+    for (const int tile : {4, 8, 16}) {
+        const BdCodec codec(tile);
+        for (const auto &sz : sizes) {
+            const ImageU8 img = randomImage(rng, sz.w, sz.h);
+            std::vector<uint8_t> stream;
+            codec.encodeInto(img, nullptr, stream);
+
+            ImageU8 serial;
+            BdCodec::decodeInto(stream, serial);
+            EXPECT_EQ(serial, img)
+                << sz.w << "x" << sz.h << " tile " << tile;
+
+            for (const int workers : {0, 1, 3}) {
+                ThreadPool pool(workers);
+                for (const int participants : {1, 2, 8}) {
+                    ImageU8 parallel;
+                    BdDecodeScratch scratch;
+                    BdCodec::decodeInto(stream, parallel, &scratch,
+                                        &pool, participants);
+                    EXPECT_EQ(parallel, img)
+                        << sz.w << "x" << sz.h << " tile " << tile
+                        << " workers " << workers << " participants "
+                        << participants;
+                }
+            }
+        }
+    }
+}
+
+TEST(BdParallel, DecodeIntoReusesEveryBuffer)
+{
+    // Steady state: the second decode of a same-geometry stream must
+    // land in the same allocations (image data, tile grid, offsets) —
+    // the decode mirror of EncodeIntoReusesTheOutputBuffer.
+    Rng rng(7);
+    const ImageU8 img = randomImage(rng, 64, 48);
+    const BdCodec codec(4);
+    const std::vector<uint8_t> stream = codec.encode(img);
+
+    ThreadPool pool(2);
+    ImageU8 out;
+    BdDecodeScratch scratch;
+    BdCodec::decodeInto(stream, out, &scratch, &pool, 3);
+    EXPECT_EQ(out, img);
+
+    const uint8_t *img_data = out.data().data();
+    const TileRect *tiles_data = scratch.tiles.data();
+    const std::size_t *offsets_data = scratch.bitOffsets.data();
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        BdCodec::decodeInto(stream, out, &scratch, &pool, 3);
+        EXPECT_EQ(out, img);
+        EXPECT_EQ(out.data().data(), img_data);
+        EXPECT_EQ(scratch.tiles.data(), tiles_data);
+        EXPECT_EQ(scratch.bitOffsets.data(), offsets_data);
+    }
+}
+
+TEST(BdParallel, DecodeScratchSurvivesGeometryChanges)
+{
+    // One decode scratch reused across frame/tile geometries must keep
+    // decoding losslessly (the cached grid is keyed, not assumed).
+    Rng rng(8);
+    BdDecodeScratch scratch;
+    ImageU8 out;
+    ThreadPool pool(2);
+    for (const int dim : {32, 17, 64, 8}) {
+        const ImageU8 img = randomImage(rng, dim, dim + 3);
+        for (const int tile : {4, 7}) {
+            const BdCodec codec(tile);
+            BdCodec::decodeInto(codec.encode(img), out, &scratch,
+                                &pool, 3);
+            EXPECT_EQ(out, img) << dim << " tile " << tile;
+        }
+    }
+}
+
 TEST(BdParallel, ScratchSurvivesGeometryChanges)
 {
     // One scratch reused across different frame sizes and tile sizes

@@ -96,6 +96,78 @@ TEST(BitReader, AlignSkipsPartialByte)
     EXPECT_EQ(br.bitPosition(), 8u);
 }
 
+TEST(BitReader, SeekRepositionsMidStream)
+{
+    BitWriter bw;
+    bw.putBits(0xdead, 16);
+    bw.putBits(0x3, 2);
+    bw.putBits(0x1cb, 9);
+    bw.alignToByte();
+    BitReader br(bw.bytes());
+    // Seek to an unaligned position and read across byte seams.
+    br.seek(18);
+    EXPECT_EQ(br.bitPosition(), 18u);
+    EXPECT_EQ(br.getBits(9), 0x1cbu);
+    // Seeking backwards re-reads the same field.
+    br.seek(16);
+    EXPECT_EQ(br.getBits(2), 0x3u);
+    EXPECT_FALSE(br.exhausted());
+    // Past-the-end seeks clamp; the next read exhausts.
+    br.seek(1000);
+    EXPECT_EQ(br.bitPosition(), bw.bytes().size() * 8);
+    br.getBits(1);
+    EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitReader, SeekMatchesSequentialReads)
+{
+    // Reading field k after seek(offset_k) must equal the k-th value
+    // of a straight sequential read — the contract the parallel BD
+    // decoder's per-chunk readers rely on.
+    Rng rng(21);
+    BitWriter bw;
+    std::vector<std::pair<uint32_t, unsigned>> fields;
+    std::vector<std::size_t> offsets;
+    for (int i = 0; i < 300; ++i) {
+        const unsigned width =
+            1 + static_cast<unsigned>(rng.uniformInt(24));
+        const uint32_t value =
+            static_cast<uint32_t>(rng.next() & ((1u << width) - 1));
+        offsets.push_back(bw.bitCount());
+        fields.emplace_back(value, width);
+        bw.putBits(value, width);
+    }
+    BitReader br(bw.bytes());
+    for (std::size_t k = 0; k < fields.size(); k += 7) {
+        br.seek(offsets[k]);
+        EXPECT_EQ(br.getBits(fields[k].second), fields[k].first);
+    }
+}
+
+TEST(BitReader, PartialReadPastEndZeroFillsLowBits)
+{
+    // Reading more bits than remain yields the available bits shifted
+    // up with zeros below (the pre-chunking semantics, preserved).
+    BitWriter bw;
+    bw.putBits(0b101, 3);
+    bw.alignToByte();  // buffer: 1010'0000
+    BitReader br(bw.bytes());
+    br.seek(5);  // 3 zero bits remain
+    EXPECT_EQ(br.getBits(8), 0b000'00000u);
+    EXPECT_TRUE(br.exhausted());
+
+    BitWriter bw2;
+    bw2.putBits(0xff, 8);
+    BitReader br2(bw2.bytes());
+    br2.seek(4);
+    EXPECT_EQ(br2.getBits(8), 0b1111'0000u);
+    EXPECT_TRUE(br2.exhausted());
+    EXPECT_EQ(br2.bitPosition(), 8u);
+    // Reads at the hard end return zero without advancing.
+    EXPECT_EQ(br2.getBits(32), 0u);
+    EXPECT_EQ(br2.bitPosition(), 8u);
+}
+
 TEST(LsbBitWriter, SingleByteLsbFirst)
 {
     LsbBitWriter bw;

@@ -114,6 +114,45 @@ TEST(EncodeInto, ReusedResultAdaptsToNewGeometry)
     EXPECT_EQ(out.bdStream, enc.encodeFrame(small, ecc64).bdStream);
 }
 
+TEST(EncodeInto, VerifyRoundTripHoldsAndReusesBuffers)
+{
+    // The per-frame lossless check: decode-back equals the encoded
+    // sRGB frame, serial and parallel, and repeated verification of a
+    // frame stream allocates nothing (decode-side pointers pinned).
+    const int n = 96;
+    const ImageF frame =
+        renderScene(SceneId::Office, {n, n, 0, 0.0, 0});
+    const EccentricityMap ecc = centeredMap(n, n);
+    for (const int threads : {1, 4}) {
+        PipelineParams p;
+        p.threads = threads;
+        const PerceptualEncoder enc(model(), p);
+        EncodedFrame out;
+        enc.encodeFrameInto(frame, ecc, out);
+        EXPECT_TRUE(enc.verifyRoundTrip(out)) << threads << " threads";
+        EXPECT_EQ(out.roundTripSrgb, out.adjustedSrgb);
+
+        const uint8_t *decode_data = out.roundTripSrgb.data().data();
+        for (int repeat = 0; repeat < 2; ++repeat) {
+            enc.encodeFrameInto(frame, ecc, out);
+            EXPECT_TRUE(enc.verifyRoundTrip(out));
+            EXPECT_EQ(out.roundTripSrgb.data().data(), decode_data);
+        }
+
+        // A post-encode corruption must be caught, by throw (stream
+        // structure broken) or by mismatch (payload altered).
+        enc.encodeFrameInto(frame, ecc, out);
+        out.bdStream[out.bdStream.size() / 2] ^= 0x10;
+        bool caught = false;
+        try {
+            caught = !enc.verifyRoundTrip(out);
+        } catch (const std::runtime_error &) {
+            caught = true;
+        }
+        EXPECT_TRUE(caught) << threads << " threads";
+    }
+}
+
 TEST(EncodeInto, ThreadAndSimdInvariance)
 {
     // The Into flow must be bit-identical across thread counts (the

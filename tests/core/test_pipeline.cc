@@ -100,11 +100,13 @@ TEST(Pipeline, EncodeProducesDecodableStream)
         renderScene(SceneId::Fortnite, {n, n, 0, 0.0, 0});
     const EccentricityMap ecc = centeredMap(n, n);
     const PerceptualEncoder enc(model(), {});
-    const EncodedFrame encoded = enc.encodeFrame(frame, ecc);
+    EncodedFrame encoded = enc.encodeFrame(frame, ecc);
 
-    // Decoding needs only the stock BD decoder (no custom hardware).
-    const ImageU8 decoded = BdCodec::decode(encoded.bdStream);
-    EXPECT_EQ(decoded, encoded.adjustedSrgb);
+    // Decoding needs only the stock BD decoder (no custom hardware);
+    // verifyRoundTrip runs the hardened decodeInto over the frame's
+    // own reusable decode buffers.
+    EXPECT_TRUE(enc.verifyRoundTrip(encoded));
+    EXPECT_EQ(encoded.roundTripSrgb, encoded.adjustedSrgb);
     // analyze() and the materialized stream agree (byte padding only).
     EXPECT_NEAR(static_cast<double>(encoded.bdStats.totalBits()),
                 static_cast<double>(encoded.bdStream.size() * 8), 8.0);

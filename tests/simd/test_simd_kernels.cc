@@ -227,6 +227,79 @@ TEST_P(SimdLevelTest, TileCostMatchesCodePath)
     }
 }
 
+TEST_P(SimdLevelTest, BdTileMinMaxMatchesDirectScanExactly)
+{
+    // The BD stats kernel vs. a direct per-channel scan over every
+    // tile of the grid: full tiles, ragged edge tiles, tiles ending at
+    // the very last byte of the buffer (exercising the in-bounds guard
+    // of the vector tail), and row widths on both sides of the 32-byte
+    // vector width.
+    const simd::TileKernels &k = simd::tileKernels(GetParam());
+    Rng rng(808);
+    const struct
+    {
+        int w, h, tile;
+    } cases[] = {{64, 64, 4},  {61, 47, 4}, {13, 7, 5}, {128, 96, 16},
+                 {1, 1, 4},    {40, 40, 8}, {9, 9, 3},  {33, 2, 32},
+                 {256, 3, 255}};
+    for (const auto &cs : cases) {
+        ImageU8 img(cs.w, cs.h);
+        for (auto &b : img.data())
+            b = static_cast<uint8_t>(rng.uniformInt(256));
+        const std::size_t stride =
+            static_cast<std::size_t>(cs.w) * 3;
+        const uint8_t *end = img.data().data() + img.data().size();
+        for (const TileRect &rect :
+             tileGrid(cs.w, cs.h, cs.tile)) {
+            uint8_t lo[3];
+            uint8_t hi[3];
+            k.bdTileMinMax(img.pixel(rect.x0, rect.y0), stride,
+                           rect.w, rect.h, end, lo, hi);
+            uint8_t ref_lo[3] = {255, 255, 255};
+            uint8_t ref_hi[3] = {0, 0, 0};
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
+                for (int x = rect.x0; x < rect.x0 + rect.w; ++x)
+                    for (int c = 0; c < 3; ++c) {
+                        const uint8_t v = img.channel(x, y, c);
+                        ref_lo[c] = std::min(ref_lo[c], v);
+                        ref_hi[c] = std::max(ref_hi[c], v);
+                    }
+            for (int c = 0; c < 3; ++c) {
+                EXPECT_EQ(lo[c], ref_lo[c])
+                    << cs.w << "x" << cs.h << " tile " << cs.tile
+                    << " at (" << rect.x0 << "," << rect.y0
+                    << ") channel " << c;
+                EXPECT_EQ(hi[c], ref_hi[c])
+                    << cs.w << "x" << cs.h << " tile " << cs.tile
+                    << " at (" << rect.x0 << "," << rect.y0
+                    << ") channel " << c;
+            }
+        }
+    }
+}
+
+TEST(SimdDispatch, EncodeStatsPassIsLevelInvariant)
+{
+    // The whole-frame encode must emit byte-identical streams whether
+    // the stats pass ran the AVX2 or the scalar min/max kernel (the
+    // FOVE_SIMD override is read per encodeInto call).
+    Rng rng(909);
+    ImageU8 img(61, 53);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    const BdCodec codec(4);
+
+    ASSERT_EQ(setenv("FOVE_SIMD", "off", 1), 0);
+    std::vector<uint8_t> scalar_stream;
+    codec.encodeInto(img, nullptr, scalar_stream);
+    ASSERT_EQ(unsetenv("FOVE_SIMD"), 0);
+
+    std::vector<uint8_t> active_stream;
+    codec.encodeInto(img, nullptr, active_stream);
+    EXPECT_EQ(scalar_stream, active_stream);
+    EXPECT_EQ(BdCodec::decode(active_stream), img);
+}
+
 TEST_P(SimdLevelTest, NanPixelsCountAndPlaceIdentically)
 {
     // A NaN input pixel (upstream renderer bug) must flow through the
