@@ -138,81 +138,6 @@ measure(const ImageF &frame, const EccentricityMap &ecc, int threads,
     return m;
 }
 
-/** UTC timestamp, ISO 8601. */
-std::string
-isoNowUtc()
-{
-    const std::time_t now = std::time(nullptr);
-    std::tm tm_utc{};
-    gmtime_r(&now, &tm_utc);
-    char buf[32];
-    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-    return buf;
-}
-
-/**
- * Append @p record to the JSON array in @p path. A missing/empty file
- * starts a new array; a legacy single-object snapshot is wrapped into
- * an array with the new record appended after it.
- */
-void
-appendRecord(const std::string &path, const std::string &record)
-{
-    std::string existing;
-    {
-        std::ifstream in(path);
-        std::stringstream ss;
-        ss << in.rdbuf();
-        existing = ss.str();
-    }
-    const auto is_space = [](char c) {
-        return c == '\n' || c == ' ' || c == '\t' || c == '\r';
-    };
-    while (!existing.empty() && is_space(existing.back()))
-        existing.pop_back();
-    std::size_t start = 0;
-    while (start < existing.size() && is_space(existing[start]))
-        ++start;
-    existing.erase(0, start);
-
-    std::string merged;
-    if (!existing.empty() && existing.front() == '[' &&
-        existing.back() == ']') {
-        existing.pop_back();
-        while (!existing.empty() && is_space(existing.back()))
-            existing.pop_back();
-        merged = existing == "["
-                     ? "[\n" + record + "\n]\n"  // was an empty array
-                     : existing + ",\n" + record + "\n]\n";
-    } else if (!existing.empty() && existing.front() == '{' &&
-               existing.back() == '}') {
-        // Legacy single-object snapshot: preserve it as record zero.
-        merged = "[\n" + existing + ",\n" + record + "\n]\n";
-    } else {
-        // Empty, truncated, or unrecognized content: wrapping it would
-        // produce invalid JSON, so start the trajectory fresh.
-        merged = "[\n" + record + "\n]\n";
-    }
-
-    // Write-temp-then-rename so a crash or full disk mid-write cannot
-    // destroy the accumulated trajectory.
-    const std::string tmp_path = path + ".tmp";
-    {
-        std::ofstream out(tmp_path, std::ios::trunc);
-        out << merged;
-        out.flush();
-        if (!out) {
-            std::cerr << "encoder_runner: failed writing " << tmp_path
-                      << "\n";
-            std::remove(tmp_path.c_str());
-            return;
-        }
-    }
-    if (std::rename(tmp_path.c_str(), path.c_str()) != 0)
-        std::cerr << "encoder_runner: failed replacing " << path
-                  << "\n";
-}
-
 } // namespace
 
 int
@@ -241,7 +166,7 @@ main(int argc, char **argv)
     std::ostringstream rec;
     rec << "  {\n"
         << "    \"bench\": \"full_frame_encoder\",\n"
-        << "    \"date\": \"" << isoNowUtc() << "\",\n"
+        << "    \"date\": \"" << pce::bench::isoNowUtc() << "\",\n"
         << "    \"git_rev\": \"" << PCE_GIT_REV << "\",\n"
         << "    \"simd_level\": \""
         << pce::simd::simdLevelName(pce::simd::activeSimdLevel())
@@ -281,7 +206,7 @@ main(int argc, char **argv)
                 ? single.decodeMps / kBaselineDecodeMps
                 : 0.0)
         << "\n  }";
-    appendRecord(out_path, rec.str());
+    pce::bench::appendJsonRecord(out_path, rec.str());
 
     std::cout << "simd level: "
               << pce::simd::simdLevelName(

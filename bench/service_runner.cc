@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Multi-stream service throughput runner: replays N concurrent frame
+ * streams through one EncodeService and *appends* a dated
+ * `"bench": "encode_service"` record to BENCH_encoder.json (schema in
+ * docs/PERF.md), next to encoder_runner's single-frame records.
+ *
+ * Each stream is a producer thread pipelining submit/collect over its
+ * scene's animation frames, so the measurement includes everything a
+ * deployment pays: the input copy, queue transit, per-stream slot
+ * recycling, and the dispatcher fanning every frame across the shared
+ * pool. A single-shot pass over the identical frames (one
+ * encodeFrameInto loop, same thread count) runs first; the ratio of
+ * the two throughputs is the service overhead, recorded as
+ * `service_efficiency`.
+ *
+ * Knobs (environment): PCE_BENCH_WIDTH / PCE_BENCH_HEIGHT /
+ * PCE_BENCH_THREADS (shared with encoder_runner), PCE_BENCH_STREAMS
+ * (concurrent streams, default 4), PCE_BENCH_FRAMES (frames per
+ * stream, default 12), PCE_BENCH_REPEATS (replay rounds, best-of,
+ * default 3). Output path: argv[1] or PCE_BENCH_OUT, default
+ * BENCH_encoder.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "service/encode_service.hh"
+#include "simd/tile_kernels.hh"
+
+#ifdef PCE_HAVE_GIT_REV_HEADER
+#include "pce_git_rev.h"  // build-time stamp (cmake/git_rev.cmake)
+#endif
+#ifndef PCE_GIT_REV
+#define PCE_GIT_REV "unknown"
+#endif
+
+namespace {
+
+using namespace pce;
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct ReplayResult
+{
+    double wallSeconds = 0.0;
+    double megapixels = 0.0;
+    /** Mean per-stream p50 / worst-stream p99 and max, ms. */
+    double queueP50Ms = 0.0;
+    double queueP99Ms = 0.0;
+    double queueMaxMs = 0.0;
+};
+
+/**
+ * One replay round: a fresh service, one producer thread per stream,
+ * each pipelining its frame list (at most one un-collected frame
+ * beyond the in-flight submit, the depth-2 double-buffer pattern).
+ */
+ReplayResult
+replay(const std::vector<std::vector<const ImageF *>> &stream_frames,
+       const EccentricityMap &ecc, int threads)
+{
+    ServiceParams sp;
+    sp.threads = threads;
+    EncodeService svc(bench::benchModel(), sp);
+    const std::size_t n_streams = stream_frames.size();
+    std::vector<StreamHandle> handles;
+    handles.reserve(n_streams);
+    for (std::size_t s = 0; s < n_streams; ++s)
+        handles.push_back(
+            svc.openStream("stream-" + std::to_string(s), ecc));
+
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::thread> producers;
+    producers.reserve(n_streams);
+    for (std::size_t s = 0; s < n_streams; ++s) {
+        producers.emplace_back([&, s] {
+            const auto &frames = stream_frames[s];
+            std::size_t collected = 0;
+            for (std::size_t i = 0; i < frames.size(); ++i) {
+                svc.submit(handles[s], *frames[i]);
+                if (i - collected >= 1) {
+                    const FrameLease lease = svc.collect(handles[s]);
+                    if (lease->bdStream.empty())
+                        std::abort();  // keep the work observable
+                    ++collected;
+                }
+            }
+            while (collected < frames.size()) {
+                const FrameLease lease = svc.collect(handles[s]);
+                if (lease->bdStream.empty())
+                    std::abort();
+                ++collected;
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    const Clock::time_point t1 = Clock::now();
+
+    const ServiceReport rep = svc.report();
+    ReplayResult r;
+    r.wallSeconds = seconds(t0, t1);
+    r.megapixels = rep.megapixels;
+    for (const StreamStats &st : rep.streams) {
+        r.queueP50Ms += st.queueLatencyP50Ms /
+                        static_cast<double>(rep.streams.size());
+        r.queueP99Ms = std::max(r.queueP99Ms, st.queueLatencyP99Ms);
+        r.queueMaxMs = std::max(r.queueMaxMs, st.queueLatencyMaxMs);
+    }
+    return r;
+}
+
+/** The same frames through plain encodeFrameInto, one reused output. */
+double
+singleShotMps(
+    const std::vector<std::vector<const ImageF *>> &stream_frames,
+    const EccentricityMap &ecc, int threads)
+{
+    PipelineParams p;
+    p.threads = threads;
+    const PerceptualEncoder encoder(bench::benchModel(), p);
+    EncodedFrame out;
+    double megapixels = 0.0;
+    // Warm-up on the first frame (pool spin-up, buffer growth).
+    encoder.encodeFrameInto(*stream_frames[0][0], ecc, out);
+    const Clock::time_point t0 = Clock::now();
+    for (const auto &frames : stream_frames) {
+        for (const ImageF *f : frames) {
+            encoder.encodeFrameInto(*f, ecc, out);
+            if (out.bdStream.empty())
+                std::abort();
+            megapixels +=
+                static_cast<double>(f->pixelCount()) / 1e6;
+        }
+    }
+    return megapixels / seconds(t0, Clock::now());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int w = bench::benchWidth();
+    const int h = bench::benchHeight();
+    const int threads = bench::benchThreads();
+    const int n_streams =
+        static_cast<int>(envInt("PCE_BENCH_STREAMS", 4));
+    const int frames_per_stream =
+        static_cast<int>(envInt("PCE_BENCH_FRAMES", 12));
+    const int repeats =
+        static_cast<int>(envInt("PCE_BENCH_REPEATS", 3));
+    if (n_streams < 1 || frames_per_stream < 1 || repeats < 1) {
+        std::cerr << "service_runner: PCE_BENCH_STREAMS, "
+                     "PCE_BENCH_FRAMES, and PCE_BENCH_REPEATS must "
+                     "all be >= 1\n";
+        return 1;
+    }
+    std::string out_path = "BENCH_encoder.json";
+    if (argc > 1)
+        out_path = argv[1];
+    else if (const char *env = std::getenv("PCE_BENCH_OUT"))
+        out_path = env;
+
+    const EccentricityMap ecc(bench::benchDisplay(w, h));
+
+    // Two distinct animation phases per stream, cycled: enough content
+    // variety to defeat trivial caching while keeping prerender memory
+    // at 2 frames x streams, independent of frames_per_stream.
+    const std::vector<SceneId> &scenes = allScenes();
+    std::vector<std::vector<ImageF>> distinct(
+        static_cast<std::size_t>(n_streams));
+    for (int s = 0; s < n_streams; ++s) {
+        const SceneId id = scenes[static_cast<std::size_t>(s) %
+                                  scenes.size()];
+        distinct[s].push_back(
+            renderScene(id, {w, h, s % 2, 0.37 * s, 0}));
+        distinct[s].push_back(
+            renderScene(id, {w, h, s % 2, 0.37 * s + 0.5, 0}));
+    }
+    std::vector<std::vector<const ImageF *>> stream_frames(
+        static_cast<std::size_t>(n_streams));
+    for (int s = 0; s < n_streams; ++s)
+        for (int i = 0; i < frames_per_stream; ++i)
+            stream_frames[s].push_back(
+                &distinct[s][static_cast<std::size_t>(i) % 2]);
+
+    const double singleshot_mps =
+        singleShotMps(stream_frames, ecc, threads);
+
+    ReplayResult best;
+    for (int r = 0; r < repeats; ++r) {
+        const ReplayResult round =
+            replay(stream_frames, ecc, threads);
+        if (best.wallSeconds == 0.0 ||
+            round.wallSeconds < best.wallSeconds)
+            best = round;
+    }
+    const double aggregate_mps = best.megapixels / best.wallSeconds;
+    const double efficiency =
+        singleshot_mps > 0.0 ? aggregate_mps / singleshot_mps : 0.0;
+
+    std::ostringstream rec;
+    rec << "  {\n"
+        << "    \"bench\": \"encode_service\",\n"
+        << "    \"date\": \"" << bench::isoNowUtc() << "\",\n"
+        << "    \"git_rev\": \"" << PCE_GIT_REV << "\",\n"
+        << "    \"simd_level\": \""
+        << simd::simdLevelName(simd::activeSimdLevel()) << "\",\n"
+        << "    \"width\": " << w << ",\n"
+        << "    \"height\": " << h << ",\n"
+        << "    \"streams\": " << n_streams << ",\n"
+        << "    \"frames_per_stream\": " << frames_per_stream << ",\n"
+        << "    \"repeats\": " << repeats << ",\n"
+        << "    \"hw_threads\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "    \"mt_threads\": " << threads << ",\n"
+        << "    \"mt_pool_workers\": " << (threads - 1) << ",\n"
+        << "    \"aggregate_mps\": " << aggregate_mps << ",\n"
+        << "    \"singleshot_mps\": " << singleshot_mps << ",\n"
+        << "    \"service_efficiency\": " << efficiency << ",\n"
+        << "    \"queue_p50_ms\": " << best.queueP50Ms << ",\n"
+        << "    \"queue_p99_ms\": " << best.queueP99Ms << ",\n"
+        << "    \"queue_max_ms\": " << best.queueMaxMs << "\n  }";
+    bench::appendJsonRecord(out_path, rec.str());
+
+    std::cout << "simd level: "
+              << simd::simdLevelName(simd::activeSimdLevel())
+              << " (git " << PCE_GIT_REV << ")\n"
+              << n_streams << " streams x " << frames_per_stream
+              << " frames at " << w << "x" << h << ", " << threads
+              << " threads\n"
+              << "single-shot: " << singleshot_mps << " MP/s\n"
+              << "service:     " << aggregate_mps << " MP/s ("
+              << efficiency * 100.0 << "% of single-shot)\n"
+              << "queue latency: p50 " << best.queueP50Ms
+              << " ms, p99 " << best.queueP99Ms << " ms, max "
+              << best.queueMaxMs << " ms\n"
+              << "appended record to " << out_path << "\n";
+    return 0;
+}

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification in both Release and sanitizer configurations.
+# Tier-1 verification in both Release and sanitizer configurations,
+# plus the repo consistency checks (docs links/layer map, bench record
+# schema).
 #
 # Usage: scripts/check.sh [jobs]
 #
@@ -13,6 +15,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-2}"
+
+echo "== Docs consistency (layer map + markdown links) =="
+scripts/check_docs.sh
 
 echo "== Release build =="
 cmake -B build -S . > /dev/null
@@ -32,5 +37,13 @@ echo "== Decode hardening corpus under asan/ubsan =="
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-san/bd_test_bd_decode_hardening
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-san/bd_test_bd_variable_hardening
+
+echo "== BENCH_encoder.json schema (docs/PERF.md) =="
+# Run explicitly (it is also a ctest suite) so a filtered/partial
+# invocation can never skip validating the checked-in trajectory.
+./build/bench_test_bench_schema
 
 echo "== All checks passed =="

@@ -22,6 +22,22 @@
  * decoder is self-contained. The codec is numerically lossless; the
  * perceptual encoder (src/core) changes only its *input*, never this
  * codec (paper Sec. 3.4, "Remarks on Decoding").
+ *
+ * ## Ownership and reuse contracts
+ *
+ * The `*Into` entry points (encodeInto / decodeInto) write into
+ * caller-owned outputs and accept optional caller-owned scratch
+ * (BdEncodeScratch / BdDecodeScratch). The codec never retains a
+ * pointer past the call: outputs and scratch belong to the caller
+ * before and after, and one scratch may serve any number of codecs
+ * (its geometry-keyed caches re-key themselves). Reusing the same
+ * output + scratch across a stream of same-geometry frames makes the
+ * steady state allocation-free — buffers grow once, then only their
+ * contents change (tests pin the data pointers). A scratch must not
+ * be used from two concurrent calls; distinct scratches make
+ * concurrent encodes/decodes on one codec safe (BdCodec itself is
+ * immutable after construction). The convenience wrappers
+ * encode()/decode() allocate per call and are for one-shot use.
  */
 
 #ifndef PCE_BD_BD_CODEC_HH

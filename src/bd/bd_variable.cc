@@ -1,9 +1,11 @@
 #include "bd/bd_variable.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "common/bitstream.hh"
+#include "common/thread_pool.hh"
 
 namespace pce {
 
@@ -145,57 +147,183 @@ BdVariableCodec::encode(const ImageU8 &img) const
 ImageU8
 BdVariableCodec::decode(const std::vector<uint8_t> &stream)
 {
-    BitReader br(stream);
-    if (br.getBits(kMagicBits) != kMagic)
-        throw std::runtime_error("BdVariableCodec::decode: bad magic");
-    const int w = static_cast<int>(br.getBits(kDimBits));
-    const int h = static_cast<int>(br.getBits(kDimBits));
-    const int tile = static_cast<int>(br.getBits(kTileBits));
-    if (w <= 0 || h <= 0 || tile <= 0)
-        throw std::runtime_error("BdVariableCodec::decode: bad header");
+    ImageU8 img;
+    decodeInto(stream, img);
+    return img;
+}
 
-    // Dimension sanity before allocating (see BdCodec::decode).
-    const std::size_t tiles =
-        (static_cast<std::size_t>(w) + tile - 1) / tile *
-        ((static_cast<std::size_t>(h) + tile - 1) / tile);
-    if (stream.size() * 8 < tiles * 3 * (1 + kBaseBits))
+void
+BdVariableCodec::decodeInto(const std::vector<uint8_t> &stream,
+                            ImageU8 &out, BdDecodeScratch *scratch,
+                            ThreadPool *pool, int participants,
+                            std::uint64_t max_pixels)
+{
+    constexpr std::size_t kHeaderBits =
+        kMagicBits + 2 * kDimBits + kTileBits;
+    const std::uint64_t stream_bits =
+        static_cast<std::uint64_t>(stream.size()) * 8;
+    if (stream_bits < kHeaderBits)
         throw std::runtime_error(
-            "BdVariableCodec::decode: stream too short for header");
+            "BdVariableCodec::decode: stream shorter than header");
+    BitReader hdr(stream);
+    if (hdr.getBits(kMagicBits) != kMagic)
+        throw std::runtime_error("BdVariableCodec::decode: bad magic");
+    const uint32_t w = hdr.getBits(kDimBits);
+    const uint32_t h = hdr.getBits(kDimBits);
+    const uint32_t tile = hdr.getBits(kTileBits);
+    if (w == 0 || h == 0 || tile == 0)
+        throw std::runtime_error("BdVariableCodec::decode: bad header");
+    // Decompression-bomb guard (see BdCodec::decodeInto): flat content
+    // honestly encodes huge frames in tiny streams, so only this cap
+    // bounds the output size.
+    if (static_cast<std::uint64_t>(w) * h > max_pixels)
+        throw std::runtime_error(
+            "BdVariableCodec::decode: frame exceeds the decode pixel "
+            "cap");
 
-    ImageU8 img(w, h);
-    for (const TileRect &rect : tileGrid(w, h, tile)) {
+    // 64-bit tile arithmetic: an adversarial 0xFFFF x 0xFFFF header
+    // must be *counted* correctly so the floor check rejects it before
+    // any allocation scales with the claimed dimensions. The cheapest
+    // well-formed tile-channel is 1 mode + 4 width + 8 base bits in
+    // either mode (mode 1 pays >= one 4-bit row width), so a stream
+    // below that floor cannot describe the claimed frame — bounding
+    // the walk and the offset arrays by the actual stream size.
+    const std::uint64_t tiles_x = (w + tile - 1) / tile;
+    const std::uint64_t tiles_y = (h + tile - 1) / tile;
+    const std::uint64_t n_tiles64 = tiles_x * tiles_y;
+    if (n_tiles64 * 3 * (1 + kWidthFieldBits + kBaseBits) >
+        stream_bits - kHeaderBits)
+        throw std::runtime_error(
+            "BdVariableCodec::decode: stream too short for header "
+            "dimensions");
+
+    BdDecodeScratch local;
+    BdDecodeScratch &s = scratch ? *scratch : local;
+    if (s.tilesWidth != static_cast<int>(w) ||
+        s.tilesHeight != static_cast<int>(h) ||
+        s.tilesSize != static_cast<int>(tile)) {
+        s.tiles = tileGrid(static_cast<int>(w), static_cast<int>(h),
+                           static_cast<int>(tile));
+        s.tilesWidth = static_cast<int>(w);
+        s.tilesHeight = static_cast<int>(h);
+        s.tilesSize = static_cast<int>(tile);
+    }
+    const std::size_t n_tiles = s.tiles.size();
+
+    // Pass 1 (serial): validate every per-tile-channel record and turn
+    // the mode/width fields into the exclusive prefix of per-tile
+    // payload bit offsets. Only the meta fields are read; delta blocks
+    // are stepped over arithmetically. Unlike uniform BD the meta is
+    // mode-dependent (per-row widths), so the walk follows the same
+    // branch structure as the decoder below.
+    s.bitOffsets.resize(n_tiles + 1);
+    std::uint64_t offset = 0;  // payload bits before the current field
+    const auto readField = [&](unsigned bits) -> unsigned {
+        const std::uint64_t pos = kHeaderBits + offset;
+        if (pos + bits > stream_bits)
+            throw std::runtime_error(
+                "BdVariableCodec::decode: stream truncated mid-tile");
+        hdr.seek(static_cast<std::size_t>(pos));
+        offset += bits;
+        return hdr.getBits(bits);
+    };
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+        s.bitOffsets[t] = static_cast<std::size_t>(offset);
+        const TileRect &rect = s.tiles[t];
         for (int c = 0; c < 3; ++c) {
-            const unsigned mode = br.getBits(1);
+            const unsigned mode = readField(1);
             if (mode == 0) {
-                const unsigned width = br.getBits(kWidthFieldBits);
-                const unsigned base = br.getBits(kBaseBits);
-                for (int y = rect.y0; y < rect.y0 + rect.h; ++y)
-                    for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
-                        const unsigned delta =
-                            width ? br.getBits(width) : 0u;
-                        img.setChannel(
-                            x, y, c,
-                            static_cast<uint8_t>(base + delta));
-                    }
+                const unsigned width = readField(kWidthFieldBits);
+                if (width > 8)
+                    throw std::runtime_error(
+                        "BdVariableCodec::decode: delta width field "
+                        "exceeds 8 bits");
+                offset += kBaseBits +
+                          static_cast<std::uint64_t>(
+                              rect.pixelCount()) *
+                              width;
             } else {
-                const unsigned base = br.getBits(kBaseBits);
+                offset += kBaseBits;
                 for (int r = 0; r < rect.h; ++r) {
-                    const int y = rect.y0 + r;
+                    const unsigned width = readField(kWidthFieldBits);
+                    if (width > 8)
+                        throw std::runtime_error(
+                            "BdVariableCodec::decode: row width field "
+                            "exceeds 8 bits");
+                    offset += static_cast<std::uint64_t>(rect.w) *
+                              width;
+                }
+            }
+            if (kHeaderBits + offset > stream_bits)
+                throw std::runtime_error(
+                    "BdVariableCodec::decode: stream truncated "
+                    "mid-tile");
+        }
+    }
+    s.bitOffsets[n_tiles] = static_cast<std::size_t>(offset);
+
+    // The stream must be exactly header + payload padded to a byte
+    // boundary with zero bits: a longer buffer is trailing garbage,
+    // and nonzero padding is garbage smuggled below the byte count.
+    const std::uint64_t total_bits = kHeaderBits + offset;
+    if ((total_bits + 7) / 8 != stream.size())
+        throw std::runtime_error(
+            "BdVariableCodec::decode: stream length disagrees with "
+            "payload (trailing garbage)");
+    if (total_bits % 8 != 0) {
+        const unsigned pad = 8 - static_cast<unsigned>(total_bits % 8);
+        if (stream.back() & ((1u << pad) - 1u))
+            throw std::runtime_error(
+                "BdVariableCodec::decode: nonzero padding bits");
+    }
+
+    // Pass 2: tile decode, parallel over the validated offsets (tiles
+    // are disjoint, so output is byte-identical for any participant
+    // count). Reallocate only on geometry change; every byte of the
+    // image is overwritten below.
+    if (out.width() != static_cast<int>(w) ||
+        out.height() != static_cast<int>(h))
+        out = ImageU8(static_cast<int>(w), static_cast<int>(h));
+    const uint8_t *data = stream.data();
+    const std::size_t size = stream.size();
+    auto decodeRange = [&](std::size_t begin, std::size_t end, int) {
+        BitReader br(data, size);
+        br.seek(kHeaderBits + s.bitOffsets[begin]);
+        for (std::size_t t = begin; t < end; ++t) {
+            const TileRect &rect = s.tiles[t];
+            for (int c = 0; c < 3; ++c) {
+                const unsigned mode = br.getBits(1);
+                if (mode == 0) {
                     const unsigned width = br.getBits(kWidthFieldBits);
-                    for (int x = rect.x0; x < rect.x0 + rect.w; ++x) {
-                        const unsigned delta =
-                            width ? br.getBits(width) : 0u;
-                        img.setChannel(
-                            x, y, c,
-                            static_cast<uint8_t>(base + delta));
+                    const unsigned base = br.getBits(kBaseBits);
+                    for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                        uint8_t *row = out.pixel(rect.x0, y);
+                        for (int x = 0; x < rect.w; ++x)
+                            row[3 * x + c] = static_cast<uint8_t>(
+                                base +
+                                (width ? br.getBits(width) : 0u));
+                    }
+                } else {
+                    const unsigned base = br.getBits(kBaseBits);
+                    for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                        const unsigned width =
+                            br.getBits(kWidthFieldBits);
+                        uint8_t *row = out.pixel(rect.x0, y);
+                        for (int x = 0; x < rect.w; ++x)
+                            row[3 * x + c] = static_cast<uint8_t>(
+                                base +
+                                (width ? br.getBits(width) : 0u));
                     }
                 }
             }
         }
-    }
-    if (br.exhausted())
-        throw std::runtime_error("BdVariableCodec::decode: truncated");
-    return img;
+    };
+    const bool parallel =
+        pool != nullptr && participants > 1 && n_tiles > 1;
+    if (parallel)
+        pool->parallelFor(n_tiles, 16, participants, decodeRange);
+    else
+        decodeRange(0, n_tiles, 0);
 }
 
 BdVariableFrameStats

@@ -56,8 +56,51 @@ class BdVariableCodec
     /** Encode to a self-describing stream (distinct magic from BD). */
     std::vector<uint8_t> encode(const ImageU8 &img) const;
 
-    /** Decode a stream produced by encode(). */
+    /**
+     * Decode a stream produced by encode(). Thin wrapper over
+     * decodeInto, so every caller gets the hardened validation.
+     */
     static ImageU8 decode(const std::vector<uint8_t> &stream);
+
+    /**
+     * decode() into a caller-owned image — the hardened,
+     * allocation-free sibling, with the same walk-validate-then-decode
+     * structure as BdCodec::decodeInto.
+     *
+     * Pass 1 (serial) validates the stream before any pixel is touched
+     * or any frame-sized buffer allocated: header sanity with all
+     * tile/pixel arithmetic in 64 bits, the decompression-bomb pixel
+     * cap, then a walk over every per-tile-channel record reading only
+     * the mode bits and 4-bit width fields (delta blocks are stepped
+     * over arithmetically). A width field above 8 bits, a record
+     * running past the end of the stream (truncated mid-tile), a byte
+     * count that disagrees with the computed total bit length
+     * (trailing garbage), or nonzero padding bits all throw
+     * std::runtime_error — the old decoder zero-filled truncations and
+     * accepted trailing bytes. The walk yields the exclusive prefix of
+     * per-tile bit offsets; pass 2 decodes tiles in parallel on the
+     * pool from those offsets, byte-identical to the serial decode for
+     * any participant count.
+     *
+     * @param out Overwritten with the decoded frame; reallocated only
+     *        when the stream's dimensions differ from its own.
+     * @param scratch Optional reusable working storage (shared
+     *        BdDecodeScratch type; a caller may reuse one across both
+     *        codecs, the grid cache re-keys itself); nullptr uses
+     *        call-local buffers.
+     * @param pool Optional worker pool; nullptr decodes serially.
+     * @param participants Parallel slots when @p pool is given
+     *        (clamped to the pool size, 0/1 = serial).
+     * @param max_pixels Decompression-bomb guard, as in
+     *        BdCodec::decodeInto.
+     * @throws std::runtime_error on any malformed or over-cap stream,
+     *         before @p out is modified.
+     */
+    static void decodeInto(
+        const std::vector<uint8_t> &stream, ImageU8 &out,
+        BdDecodeScratch *scratch = nullptr, ThreadPool *pool = nullptr,
+        int participants = 1,
+        std::uint64_t max_pixels = kBdDefaultMaxDecodePixels);
 
     /** Bit accounting; matches encode()'s length to byte padding. */
     BdVariableFrameStats analyze(const ImageU8 &img) const;

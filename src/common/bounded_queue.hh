@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Bounded blocking MPSC/MPMC queue — the request spine of the encode
+ * service (src/service).
+ *
+ * The service's unit of work is a stream of buffered frame requests,
+ * not a single call (the exposed-datapath scheduling argument: batching
+ * requests in front of a shared datapath is what lets one persistent
+ * pool serve many concurrent streams). This queue provides the two
+ * properties that design needs:
+ *
+ *  - bounded capacity with *blocking* push — producers feel
+ *    backpressure instead of growing an unbounded backlog, so memory
+ *    stays proportional to configured queue depth, never to offered
+ *    load;
+ *  - a close() drain protocol — after close, pushes are refused but
+ *    every element already enqueued is still popped, so shutdown
+ *    finishes in-flight work instead of dropping it.
+ *
+ * Plain mutex + two condition variables: the consumer side of the
+ * service is one dispatcher thread whose per-item work is a full frame
+ * encode (milliseconds), so lock-free cleverness would be noise. All
+ * operations are safe from any number of producer and consumer
+ * threads.
+ *
+ * Storage is a fixed ring of @c capacity default-constructed elements
+ * allocated once at construction (T must be default-constructible and
+ * move-assignable): pushing and popping never touches the heap, which
+ * keeps the service's steady-state request flow allocation-free.
+ */
+
+#ifndef PCE_COMMON_BOUNDED_QUEUE_HH
+#define PCE_COMMON_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pce {
+
+/** Bounded blocking FIFO queue with a close/drain protocol. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity Maximum queued elements; must be >= 1. */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity), ring_(capacity_)
+    {}
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Queued elements right now (racy by nature; for stats only). */
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_;
+    }
+
+    /**
+     * Block until there is room, then enqueue.
+     *
+     * @return false when the queue was closed (before or while
+     *         waiting); the element is not enqueued in that case.
+     */
+    bool push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock,
+                      [&] { return closed_ || count_ < capacity_; });
+        if (closed_)
+            return false;
+        ring_[(head_ + count_) % capacity_] = std::move(value);
+        ++count_;
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Enqueue only if room is available right now (never blocks). */
+    bool tryPush(T value)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || count_ >= capacity_)
+                return false;
+            ring_[(head_ + count_) % capacity_] = std::move(value);
+            ++count_;
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an element is available or the queue is closed and
+     * drained.
+     *
+     * @return The front element, or std::nullopt once the queue is
+     *         closed *and* empty — the consumer's signal to exit after
+     *         finishing all in-flight work.
+     */
+    std::optional<T> pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [&] { return closed_ || count_ > 0; });
+        if (count_ == 0)
+            return std::nullopt;  // closed and drained
+        T value = std::move(ring_[head_]);
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+        lock.unlock();
+        notFull_.notify_one();
+        return value;
+    }
+
+    /**
+     * Refuse all future pushes and wake every waiter. Elements already
+     * enqueued remain poppable (the drain half of the protocol).
+     * Idempotent.
+     */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::vector<T> ring_;     ///< fixed storage, allocated once
+    std::size_t head_ = 0;    ///< index of the front element
+    std::size_t count_ = 0;   ///< live elements in the ring
+    bool closed_ = false;
+};
+
+} // namespace pce
+
+#endif // PCE_COMMON_BOUNDED_QUEUE_HH

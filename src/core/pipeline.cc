@@ -36,8 +36,12 @@ PerceptualEncoder::PerceptualEncoder(const DiscriminationModel &model,
 {
     if (params_.threads < 1)
         throw std::invalid_argument("PerceptualEncoder: threads < 1");
-    if (params_.threads > 1)
-        pool_ = std::make_unique<ThreadPool>(params_.threads - 1);
+    if (params_.pool != nullptr) {
+        pool_ = params_.pool;
+    } else if (params_.threads > 1) {
+        ownedPool_ = std::make_unique<ThreadPool>(params_.threads - 1);
+        pool_ = ownedPool_.get();
+    }
 }
 
 ImageF
@@ -239,14 +243,14 @@ PerceptualEncoder::encodeFrameInto(const ImageF &frame,
     adjustFrameInto(frame, ecc, out.adjustedLinear, &out.stats);
     toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
     codec_.encodeInto(out.adjustedSrgb, &out.bdStats, out.bdStream,
-                      &out.bdScratch, pool_.get(), params_.threads);
+                      &out.bdScratch, pool_, params_.threads);
 }
 
 bool
 PerceptualEncoder::verifyRoundTrip(EncodedFrame &frame) const
 {
     BdCodec::decodeInto(frame.bdStream, frame.roundTripSrgb,
-                        &frame.bdDecodeScratch, pool_.get(),
+                        &frame.bdDecodeScratch, pool_,
                         params_.threads);
     return frame.roundTripSrgb == frame.adjustedSrgb;
 }

@@ -36,10 +36,25 @@ struct PipelineParams
     int tileSize = 4;
     /** Eccentricity below which tiles are left untouched, degrees. */
     double fovealCutoffDeg = 5.0;
-    /** Worker threads for the tile loop (1 = serial). */
+    /**
+     * Parallel participants for the tile loop and the BD passes
+     * (1 = serial). With no external @ref pool, the encoder spawns and
+     * owns a persistent pool of threads-1 workers.
+     */
     int threads = 1;
     /** Extrema backend override (empty = double-precision Eq. 11-13). */
     ExtremaFn extremaFn;
+    /**
+     * Externally owned worker pool (non-owning; nullptr = the encoder
+     * creates its own when threads > 1). The encode service shares one
+     * pool across every encoder it hosts this way, so concurrent
+     * streams batch onto a single set of persistent workers through
+     * the pool's dynamic chunk scheduler instead of oversubscribing
+     * the machine with per-encoder pools. The pool must outlive the
+     * encoder; @ref threads still caps the participants per dispatch
+     * (clamped by the pool's own size).
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /** Aggregate statistics of one encoded frame. */
@@ -94,6 +109,17 @@ struct EncodedFrame
  * tiles dynamically in chunks — foveal tiles are nearly free, so static
  * striding would load-imbalance badly. Output is bit-identical for any
  * thread count (tests assert this).
+ *
+ * Ownership/reuse: the encoder borrows the DiscriminationModel (and
+ * the external pool, when PipelineParams::pool is set) for its whole
+ * lifetime; it never takes ownership of frames, eccentricity maps, or
+ * EncodedFrame outputs. The `*Into` entry points reuse every buffer
+ * the caller's output already holds and resize only on geometry
+ * change — keep one EncodedFrame per frame source and the steady
+ * state allocates nothing (this is the contract the encode service's
+ * per-stream slots are built on). The encoder is safe to share across
+ * threads for concurrent encodes with distinct outputs; one
+ * EncodedFrame must not be passed to two concurrent calls.
  */
 class PerceptualEncoder
 {
@@ -150,13 +176,24 @@ class PerceptualEncoder
 
     const PipelineParams &params() const { return params_; }
 
+    /**
+     * The worker pool this encoder schedules on: the external pool
+     * from PipelineParams::pool when one was given, the encoder's own
+     * persistent pool otherwise, nullptr when serial. Exposed so a
+     * caller holding only the encoder (e.g. a decode step of the same
+     * frame loop) can reuse the workers instead of spawning more.
+     */
+    ThreadPool *pool() const { return pool_; }
+
   private:
     const DiscriminationModel &model_;
     PipelineParams params_;
     TileAdjuster adjuster_;
     BdCodec codec_;
-    /** Persistent workers (threads - 1 of them), kept across frames. */
-    std::unique_ptr<ThreadPool> pool_;
+    /** Persistent workers (threads - 1), when not externally pooled. */
+    std::unique_ptr<ThreadPool> ownedPool_;
+    /** The active pool: external, owned, or nullptr (serial). */
+    ThreadPool *pool_ = nullptr;
 };
 
 } // namespace pce

@@ -433,4 +433,17 @@ renderStereo(SceneId id, int width, int height, double time)
     return frame;
 }
 
+std::vector<StereoFrame>
+renderStereoSequence(SceneId id, int width, int height, int frame_count,
+                     double start_time, double dt)
+{
+    std::vector<StereoFrame> clip;
+    clip.reserve(frame_count > 0 ? static_cast<std::size_t>(frame_count)
+                                 : 0);
+    for (int i = 0; i < frame_count; ++i)
+        clip.push_back(
+            renderStereo(id, width, height, start_time + i * dt));
+    return clip;
+}
+
 } // namespace pce

@@ -80,6 +80,19 @@ struct StereoFrame
 StereoFrame renderStereo(SceneId id, int width, int height,
                          double time = 0.0);
 
+/**
+ * Render an animation clip: @p frame_count stereo pairs sampled at
+ * @p dt-second steps from @p start_time along the scene's 20 s loop —
+ * the multi-frame workload the encode service (src/service) batches.
+ * Deterministic like every render here; dt defaults to a 72 Hz HMD
+ * refresh.
+ */
+std::vector<StereoFrame> renderStereoSequence(SceneId id, int width,
+                                              int height,
+                                              int frame_count,
+                                              double start_time = 0.0,
+                                              double dt = 1.0 / 72.0);
+
 } // namespace pce
 
 #endif // PCE_RENDER_SCENES_HH

@@ -1,0 +1,434 @@
+#include "service/encode_service.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+
+namespace pce {
+
+namespace detail {
+
+/**
+ * Internal per-stream state. Every container here is sized once (at
+ * openStream, from ServiceParams) and reused: the free-slot stack, the
+ * ready ring, the latency window, and each slot's input image and
+ * EncodedFrame all reach steady-state capacity after the first frames
+ * and never reallocate for a same-geometry stream.
+ */
+struct StreamState
+{
+    std::string name;
+    const EccentricityMap *ecc = nullptr;
+
+    struct Slot
+    {
+        ImageF input;          ///< service-owned copy of the submission
+        EncodedFrame frame;    ///< reusable encode output
+        std::exception_ptr error;  ///< set when this encode failed
+    };
+    std::vector<Slot> slots;
+
+    mutable std::mutex mutex;
+    std::condition_variable slotFree;    ///< submit waits here
+    std::condition_variable frameReady;  ///< collect/drain wait here
+
+    std::vector<int> freeSlots;  ///< stack of idle slot indices
+    std::vector<int> readyRing;  ///< FIFO of encoded slot indices
+    std::size_t readyHead = 0;
+    std::size_t readyCount = 0;
+
+    std::uint64_t submitted = 0;
+    std::uint64_t encoded = 0;
+    std::uint64_t collected = 0;
+
+    // Stats, guarded by mutex.
+    double megapixels = 0.0;
+    double encodeSeconds = 0.0;
+    std::vector<double> latencyMs;  ///< fixed ring of recent samples
+    std::size_t latencyCount = 0;   ///< total recorded (ring index)
+    double latencyMaxMs = 0.0;
+};
+
+} // namespace detail
+
+using detail::EncodeRequest;
+using detail::StreamState;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsBetween(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Copy @p src into @p dst, reallocating only on geometry change. */
+void
+copyFrameInto(const ImageF &src, ImageF &dst)
+{
+    if (dst.width() != src.width() || dst.height() != src.height())
+        dst = ImageF(src.width(), src.height());
+    std::copy(src.pixels().begin(), src.pixels().end(),
+              dst.pixels().begin());
+}
+
+/** p-th percentile (0..100) of an already-sorted sample window. */
+double
+percentileOf(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(sorted.size());
+    std::size_t idx = rank <= 1.0
+                          ? 0
+                          : static_cast<std::size_t>(rank + 0.5) - 1;
+    idx = std::min(idx, sorted.size() - 1);
+    return sorted[idx];
+}
+
+} // namespace
+
+const std::string &
+StreamHandle::name() const
+{
+    static const std::string empty;
+    return state_ ? state_->name : empty;
+}
+
+FrameLease::FrameLease(FrameLease &&other) noexcept
+    : state_(other.state_), slot_(other.slot_), frame_(other.frame_)
+{
+    other.state_ = nullptr;
+    other.slot_ = -1;
+    other.frame_ = nullptr;
+}
+
+FrameLease &
+FrameLease::operator=(FrameLease &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        state_ = other.state_;
+        slot_ = other.slot_;
+        frame_ = other.frame_;
+        other.state_ = nullptr;
+        other.slot_ = -1;
+        other.frame_ = nullptr;
+    }
+    return *this;
+}
+
+FrameLease::~FrameLease() { release(); }
+
+void
+FrameLease::release()
+{
+    if (state_ == nullptr)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->freeSlots.push_back(slot_);
+    }
+    state_->slotFree.notify_one();
+    state_ = nullptr;
+    slot_ = -1;
+    frame_ = nullptr;
+}
+
+EncodeService::EncodeService(const DiscriminationModel &model,
+                             const ServiceParams &params)
+    : params_(params), queue_(params.queueCapacity),
+      startTime_(Clock::now())
+{
+    if (params_.threads < 1)
+        throw std::invalid_argument("EncodeService: threads < 1");
+    if (params_.streamDepth < 1)
+        throw std::invalid_argument("EncodeService: streamDepth < 1");
+    if (params_.queueCapacity < 1)
+        throw std::invalid_argument("EncodeService: queueCapacity < 1");
+    if (params_.latencyWindow < 1)
+        throw std::invalid_argument("EncodeService: latencyWindow < 1");
+    if (params_.threads > 1)
+        pool_ = std::make_unique<ThreadPool>(params_.threads - 1);
+
+    PipelineParams pipeline;
+    pipeline.tileSize = params_.tileSize;
+    pipeline.fovealCutoffDeg = params_.fovealCutoffDeg;
+    pipeline.threads = params_.threads;
+    pipeline.extremaFn = params_.extremaFn;
+    pipeline.pool = pool_.get();
+    encoder_ = std::make_unique<PerceptualEncoder>(model, pipeline);
+
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+EncodeService::~EncodeService() { shutdown(); }
+
+StreamHandle
+EncodeService::openStream(std::string name, const EccentricityMap &ecc)
+{
+    if (!accepting_.load())
+        throw std::runtime_error(
+            "EncodeService::openStream: service is shut down");
+    auto state = std::make_unique<StreamState>();
+    state->name = std::move(name);
+    state->ecc = &ecc;
+    const int depth = params_.streamDepth;
+    state->slots.resize(static_cast<std::size_t>(depth));
+    state->freeSlots.reserve(static_cast<std::size_t>(depth));
+    for (int i = depth - 1; i >= 0; --i)
+        state->freeSlots.push_back(i);  // slot 0 served first
+    state->readyRing.assign(static_cast<std::size_t>(depth), -1);
+    state->latencyMs.assign(params_.latencyWindow, 0.0);
+    state->latencyCount = 0;
+
+    StreamState *raw = state.get();
+    std::lock_guard<std::mutex> lock(streamsMutex_);
+    streams_.push_back(std::move(state));
+    return StreamHandle(raw);
+}
+
+void
+EncodeService::submit(StreamHandle handle, const ImageF &frame)
+{
+    if (!handle.valid())
+        throw std::invalid_argument(
+            "EncodeService::submit: invalid stream handle");
+    StreamState &s = *handle.state_;
+    if (frame.width() != s.ecc->width() ||
+        frame.height() != s.ecc->height())
+        throw std::invalid_argument(
+            "EncodeService::submit: frame does not match the stream's "
+            "eccentricity map");
+
+    int slot = -1;
+    {
+        std::unique_lock<std::mutex> lock(s.mutex);
+        // Per-stream backpressure: wait for a free slot (bounded by
+        // streamDepth), bailing out if the service shuts down first.
+        s.slotFree.wait(lock, [&] {
+            return !s.freeSlots.empty() || !accepting_.load();
+        });
+        if (!accepting_.load())
+            throw std::runtime_error(
+                "EncodeService::submit: service is shut down");
+        slot = s.freeSlots.back();
+        s.freeSlots.pop_back();
+        ++s.submitted;
+    }
+
+    // The slot is exclusively ours until the request is enqueued: copy
+    // outside the lock so concurrent producers overlap their copies.
+    StreamState::Slot &sl = s.slots[static_cast<std::size_t>(slot)];
+    copyFrameInto(frame, sl.input);
+    sl.error = nullptr;
+
+    EncodeRequest req;
+    req.stream = &s;
+    req.slot = slot;
+    req.submitTime = Clock::now();
+    // Global backpressure: blocks while the service queue is full.
+    if (!queue_.push(req)) {
+        // Shut down while waiting: roll the submission back so drains
+        // and collects never wait for a frame that will not arrive.
+        {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            s.freeSlots.push_back(slot);
+            --s.submitted;
+        }
+        s.slotFree.notify_one();
+        s.frameReady.notify_all();
+        throw std::runtime_error(
+            "EncodeService::submit: service shut down while enqueuing");
+    }
+}
+
+void
+EncodeService::submitStereo(StreamHandle handle, const StereoFrame &pair)
+{
+    // With one slot, submit(right) would wait for a slot only this
+    // (blocked) caller's collect can free — fail loudly instead.
+    if (params_.streamDepth < 2)
+        throw std::logic_error(
+            "EncodeService::submitStereo: needs streamDepth >= 2 to "
+            "pipeline both eyes");
+    submit(handle, pair.left);
+    submit(handle, pair.right);
+}
+
+FrameLease
+EncodeService::collect(StreamHandle handle)
+{
+    if (!handle.valid())
+        throw std::invalid_argument(
+            "EncodeService::collect: invalid stream handle");
+    StreamState &s = *handle.state_;
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (s.collected == s.submitted)
+        throw std::logic_error(
+            "EncodeService::collect: no frame outstanding");
+    // A rolled-back submit (shutdown race) can retract the frame we
+    // are waiting for, so re-check the outstanding count on wake.
+    s.frameReady.wait(lock, [&] {
+        return s.readyCount > 0 || s.collected == s.submitted;
+    });
+    if (s.readyCount == 0)
+        throw std::runtime_error(
+            "EncodeService::collect: stream drained by shutdown");
+    const int slot = s.readyRing[s.readyHead];
+    s.readyHead = (s.readyHead + 1) % s.readyRing.size();
+    --s.readyCount;
+    ++s.collected;
+    StreamState::Slot &sl = s.slots[static_cast<std::size_t>(slot)];
+    if (sl.error) {
+        std::exception_ptr err = sl.error;
+        sl.error = nullptr;
+        s.freeSlots.push_back(slot);
+        lock.unlock();
+        s.slotFree.notify_one();
+        std::rethrow_exception(err);
+    }
+    return FrameLease(&s, slot, &sl.frame);
+}
+
+void
+EncodeService::drain(StreamHandle handle)
+{
+    if (!handle.valid())
+        throw std::invalid_argument(
+            "EncodeService::drain: invalid stream handle");
+    StreamState &s = *handle.state_;
+    std::unique_lock<std::mutex> lock(s.mutex);
+    s.frameReady.wait(lock, [&] { return s.encoded == s.submitted; });
+}
+
+void
+EncodeService::drainAll()
+{
+    std::vector<StreamState *> states;
+    {
+        std::lock_guard<std::mutex> lock(streamsMutex_);
+        states.reserve(streams_.size());
+        for (const auto &s : streams_)
+            states.push_back(s.get());
+    }
+    for (StreamState *s : states)
+        drain(StreamHandle(s));
+}
+
+void
+EncodeService::shutdown()
+{
+    accepting_.store(false);
+    queue_.close();
+    {
+        // Wake producers blocked on per-stream backpressure so they
+        // observe the shutdown instead of hanging. The accepting_
+        // store above happened outside the stream mutexes the waiters
+        // evaluate their predicates under, so acquire each mutex
+        // (empty critical section) before notifying: any waiter is
+        // then either pre-predicate (sees the store) or parked (gets
+        // the notify) — never between the two.
+        std::lock_guard<std::mutex> lock(streamsMutex_);
+        for (const auto &s : streams_) {
+            { std::lock_guard<std::mutex> g(s->mutex); }
+            s->slotFree.notify_all();
+            s->frameReady.notify_all();
+        }
+    }
+    std::lock_guard<std::mutex> lock(streamsMutex_);
+    if (dispatcher_.joinable())
+        dispatcher_.join();  // drains every queued request first
+}
+
+void
+EncodeService::dispatchLoop()
+{
+    // One dispatcher: requests from all streams are serviced FIFO, and
+    // each encode fans out over the shared pool via the pipeline's
+    // dynamic chunk scheduler. Per-stream order is therefore the
+    // submission order, which collect() relies on.
+    while (auto req = queue_.pop()) {
+        StreamState &s = *req->stream;
+        StreamState::Slot &sl =
+            s.slots[static_cast<std::size_t>(req->slot)];
+        const Clock::time_point start = Clock::now();
+        try {
+            encoder_->encodeFrameInto(sl.input, *s.ecc, sl.frame);
+        } catch (...) {
+            sl.error = std::current_exception();
+        }
+        const Clock::time_point end = Clock::now();
+        {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            ++s.encoded;
+            if (!sl.error) {
+                s.megapixels +=
+                    static_cast<double>(sl.input.pixelCount()) / 1e6;
+                s.encodeSeconds += secondsBetween(start, end);
+            }
+            const double wait_ms =
+                secondsBetween(req->submitTime, start) * 1e3;
+            s.latencyMs[s.latencyCount % s.latencyMs.size()] = wait_ms;
+            ++s.latencyCount;
+            s.latencyMaxMs = std::max(s.latencyMaxMs, wait_ms);
+            s.readyRing[(s.readyHead + s.readyCount) %
+                        s.readyRing.size()] = req->slot;
+            ++s.readyCount;
+        }
+        s.frameReady.notify_all();
+    }
+}
+
+ServiceReport
+EncodeService::report() const
+{
+    ServiceReport rep;
+    rep.wallSeconds = secondsBetween(startTime_, Clock::now());
+    rep.queuedRequests = queue_.size();
+    std::lock_guard<std::mutex> lock(streamsMutex_);
+    rep.streams.reserve(streams_.size());
+    for (const auto &sp : streams_) {
+        const StreamState &s = *sp;
+        StreamStats st;
+        std::vector<double> window;
+        {
+            // Only the snapshot happens under the stream lock the
+            // dispatcher needs; the sort runs outside it.
+            std::lock_guard<std::mutex> slock(s.mutex);
+            st.name = s.name;
+            st.framesSubmitted = s.submitted;
+            st.framesEncoded = s.encoded;
+            st.framesCollected = s.collected;
+            st.megapixels = s.megapixels;
+            st.encodeSeconds = s.encodeSeconds;
+            st.queueLatencyMaxMs = s.latencyMaxMs;
+            st.latencySamples =
+                std::min(s.latencyCount, s.latencyMs.size());
+            window.assign(
+                s.latencyMs.begin(),
+                s.latencyMs.begin() +
+                    static_cast<std::ptrdiff_t>(st.latencySamples));
+        }
+        st.encodeMps = st.encodeSeconds > 0.0
+                           ? st.megapixels / st.encodeSeconds
+                           : 0.0;
+        // One sort serves all three percentiles.
+        std::sort(window.begin(), window.end());
+        st.queueLatencyP50Ms = percentileOf(window, 50.0);
+        st.queueLatencyP90Ms = percentileOf(window, 90.0);
+        st.queueLatencyP99Ms = percentileOf(window, 99.0);
+        rep.framesEncoded += st.framesEncoded;
+        rep.megapixels += st.megapixels;
+        rep.streams.push_back(std::move(st));
+    }
+    rep.aggregateMps = rep.wallSeconds > 0.0
+                           ? rep.megapixels / rep.wallSeconds
+                           : 0.0;
+    return rep;
+}
+
+} // namespace pce

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Multi-stream encode service: the production front of the perceptual
+ * encoder.
+ *
+ * The paper's encoder sits in a live VR pipeline that delivers stereo
+ * pairs every frame; a deployment serves many such pipelines at once.
+ * This layer changes the unit of work from one encodeFrameInto call to
+ * a *stream of buffered requests*: clients open a StreamHandle per
+ * logical frame source (one eye of a headset, an animation sequence),
+ * submit frames asynchronously, and collect encoded results in
+ * submission order. One EncodeService multiplexes every stream onto a
+ * single persistent ThreadPool — each dequeued frame is encoded with
+ * the existing dynamic chunk scheduler across the pool, so concurrent
+ * streams share the machine through the same load-balancing path the
+ * single-frame encoder already uses, instead of fighting over
+ * per-caller pools.
+ *
+ * ## Ownership and reuse contracts
+ *
+ * - Each stream owns a fixed ring of `streamDepth` slots; a slot holds
+ *   a service-owned input copy (ImageF) and a reusable EncodedFrame.
+ *   submit() copies the caller's frame into a free slot and returns —
+ *   the caller's buffer can be reused or freed immediately. Encoded
+ *   results are handed out as FrameLease RAII objects pointing at the
+ *   slot's EncodedFrame; the slot returns to the free ring when the
+ *   lease is dropped. Because slots, queue storage, stats windows, and
+ *   every EncodedFrame buffer are allocated up front and reused, the
+ *   steady state of a same-geometry frame stream allocates nothing
+ *   per frame (tests pin the buffer pointers).
+ * - The EccentricityMap passed to openStream is borrowed and must
+ *   outlive the stream (fixation geometry is per-display and
+ *   long-lived; per-frame gaze would rebuild the map anyway).
+ * - A FrameLease borrows its slot: the referenced EncodedFrame is
+ *   valid and immutable until the lease is destroyed (or release()d),
+ *   and must not outlive the service.
+ *
+ * ## Backpressure
+ *
+ * Two bounds keep memory proportional to configuration, never to
+ * offered load: submit() blocks while all of the stream's slots are in
+ * flight (per-stream backpressure, bounded by `streamDepth`), and
+ * while the service-wide request queue is full (global backpressure,
+ * bounded by `queueCapacity`). Producers therefore self-pace to the
+ * encode rate.
+ *
+ * ## Drain and shutdown
+ *
+ * drain(stream) blocks until everything submitted on the stream has
+ * been encoded. shutdown() (also run by the destructor) refuses new
+ * submissions, *finishes* every request already queued, then joins the
+ * dispatcher — in-flight work is never dropped, and blocked submitters
+ * are woken with an error instead of hanging. Results already encoded
+ * remain collectible after shutdown.
+ *
+ * Results are byte-identical to calling encodeFrameInto directly for
+ * the same frames, for any stream count and any thread count (tests
+ * assert this): the service adds scheduling, never changes the math.
+ */
+
+#ifndef PCE_SERVICE_ENCODE_SERVICE_HH
+#define PCE_SERVICE_ENCODE_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+#include "common/thread_pool.hh"
+#include "core/pipeline.hh"
+#include "perception/discrimination.hh"
+#include "perception/display.hh"
+#include "render/scenes.hh"
+
+namespace pce {
+
+class EncodeService;
+
+namespace detail {
+
+struct StreamState;
+
+/** One queued frame request (internal). */
+struct EncodeRequest
+{
+    StreamState *stream = nullptr;
+    int slot = -1;
+    std::chrono::steady_clock::time_point submitTime{};
+};
+
+} // namespace detail
+
+/** Service configuration. */
+struct ServiceParams
+{
+    /**
+     * Parallel participants per encoded frame (1 = serial). The
+     * service owns one persistent ThreadPool of threads-1 workers,
+     * shared by every stream's encodes through PipelineParams::pool.
+     */
+    int threads = 1;
+    /** BD tile edge for every stream (paper default 4). */
+    int tileSize = 4;
+    /** Foveal bypass cutoff, degrees (paper Sec. 5.1). */
+    double fovealCutoffDeg = 5.0;
+    /** Extrema backend override (empty = double precision). */
+    ExtremaFn extremaFn;
+    /**
+     * Service-wide bound on queued (accepted, not yet encoding)
+     * requests; submit() blocks when full.
+     */
+    std::size_t queueCapacity = 64;
+    /**
+     * EncodedFrame slots per stream — the per-stream in-flight bound
+     * and reuse ring. 2 gives classic double buffering (submit frame
+     * N+1 while collecting frame N); must be >= 1. Stereo submission
+     * needs >= 2 to pipeline both eyes.
+     */
+    int streamDepth = 2;
+    /**
+     * Queue-latency samples retained per stream for the report's
+     * percentiles (a fixed ring, preallocated at openStream so stats
+     * recording never allocates; older samples are overwritten).
+     */
+    std::size_t latencyWindow = 4096;
+};
+
+/** Per-stream service statistics (one entry per ServiceReport). */
+struct StreamStats
+{
+    std::string name;
+    std::uint64_t framesSubmitted = 0;
+    std::uint64_t framesEncoded = 0;
+    std::uint64_t framesCollected = 0;
+    /** Megapixels successfully encoded. */
+    double megapixels = 0.0;
+    /** Wall time spent encoding this stream's frames (dispatcher). */
+    double encodeSeconds = 0.0;
+    /** megapixels / encodeSeconds: the stream's encode throughput. */
+    double encodeMps = 0.0;
+    /**
+     * Queue latency (submit to encode start) percentiles over the
+     * retained window, milliseconds — the service-level number a
+     * frame-budget SLO cares about.
+     */
+    double queueLatencyP50Ms = 0.0;
+    double queueLatencyP90Ms = 0.0;
+    double queueLatencyP99Ms = 0.0;
+    double queueLatencyMaxMs = 0.0;
+    /** Samples currently retained (min(framesEncoded, window)). */
+    std::size_t latencySamples = 0;
+};
+
+/** Aggregate service statistics. */
+struct ServiceReport
+{
+    std::vector<StreamStats> streams;
+    std::uint64_t framesEncoded = 0;
+    double megapixels = 0.0;
+    /** Wall seconds since the service was constructed. */
+    double wallSeconds = 0.0;
+    /** megapixels / wallSeconds across all streams. */
+    double aggregateMps = 0.0;
+    /** Requests sitting in the service queue right now. */
+    std::size_t queuedRequests = 0;
+};
+
+/**
+ * Client-side reference to one open stream. Cheap to copy (it is a
+ * tagged pointer into service-owned state); all operations go through
+ * the owning EncodeService. Valid until the service is destroyed.
+ */
+class StreamHandle
+{
+  public:
+    StreamHandle() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    const std::string &name() const;
+
+  private:
+    friend class EncodeService;
+    explicit StreamHandle(detail::StreamState *state) : state_(state) {}
+
+    detail::StreamState *state_ = nullptr;
+};
+
+/**
+ * RAII borrow of one encoded result. The referenced EncodedFrame (the
+ * stream slot's reusable output) is valid until the lease is
+ * destroyed or release()d, at which point the slot re-enters the
+ * stream's free ring and may be overwritten by a later submit.
+ * Move-only.
+ */
+class FrameLease
+{
+  public:
+    FrameLease() = default;
+    FrameLease(FrameLease &&other) noexcept;
+    FrameLease &operator=(FrameLease &&other) noexcept;
+    FrameLease(const FrameLease &) = delete;
+    FrameLease &operator=(const FrameLease &) = delete;
+    ~FrameLease();
+
+    bool valid() const { return frame_ != nullptr; }
+    const EncodedFrame &frame() const { return *frame_; }
+    const EncodedFrame *operator->() const { return frame_; }
+
+    /** Return the slot early (idempotent; the reference dies here). */
+    void release();
+
+  private:
+    friend class EncodeService;
+    FrameLease(detail::StreamState *state, int slot,
+               const EncodedFrame *frame)
+        : state_(state), slot_(slot), frame_(frame)
+    {}
+
+    detail::StreamState *state_ = nullptr;
+    int slot_ = -1;
+    const EncodedFrame *frame_ = nullptr;
+};
+
+/**
+ * The multi-stream encode service (see the file comment for the
+ * request model and contracts). Thread-safe: any number of producer
+ * threads may submit/collect on their own streams concurrently;
+ * operations on one stream should come from one producer at a time
+ * (per-stream FIFO semantics assume an ordered caller).
+ */
+class EncodeService
+{
+  public:
+    /**
+     * @param model Discrimination model; must outlive the service.
+     * @param params Service configuration (validated here; throws
+     *        std::invalid_argument on nonsense).
+     */
+    explicit EncodeService(const DiscriminationModel &model,
+                           const ServiceParams &params = {});
+
+    /** Runs shutdown(): finishes queued work, joins the dispatcher. */
+    ~EncodeService();
+
+    EncodeService(const EncodeService &) = delete;
+    EncodeService &operator=(const EncodeService &) = delete;
+
+    /**
+     * Open a stream. @p ecc is borrowed and must outlive the stream;
+     * every submitted frame must match its dimensions. Throws
+     * std::runtime_error after shutdown().
+     */
+    StreamHandle openStream(std::string name,
+                            const EccentricityMap &ecc);
+
+    /**
+     * Submit one frame for encoding. Copies @p frame into the next
+     * free stream slot (the caller's buffer is free on return), blocks
+     * under backpressure (all slots in flight, or the service queue
+     * full). Throws std::invalid_argument on a geometry mismatch with
+     * the stream's EccentricityMap and std::runtime_error when the
+     * service is shut down before the request could be accepted.
+     */
+    void submit(StreamHandle handle, const ImageF &frame);
+
+    /**
+     * Submit a stereo pair: left then right, two consecutive frames
+     * of the stream. Throws std::logic_error when streamDepth < 2 —
+     * with a single slot the right-eye submit would deadlock waiting
+     * for a slot only this caller's collect can free.
+     */
+    void submitStereo(StreamHandle handle, const StereoFrame &pair);
+
+    /**
+     * Block until the stream's oldest un-collected frame is encoded
+     * and lease it (FIFO: frames come back in submission order).
+     * Throws std::logic_error when nothing is outstanding, and
+     * rethrows the encode error if that frame's encode failed (its
+     * slot is reclaimed first).
+     */
+    FrameLease collect(StreamHandle handle);
+
+    /** Block until everything submitted on the stream is encoded. */
+    void drain(StreamHandle handle);
+
+    /** drain() every open stream. */
+    void drainAll();
+
+    /**
+     * Stop accepting submissions, finish every queued request, join
+     * the dispatcher. Blocked submitters are woken with an error;
+     * already-encoded results stay collectible. Idempotent; also run
+     * by the destructor.
+     */
+    void shutdown();
+
+    /** Point-in-time statistics (safe to call at any time). */
+    ServiceReport report() const;
+
+    const ServiceParams &params() const { return params_; }
+
+    /** The shared worker pool (nullptr when threads == 1). */
+    ThreadPool *pool() const { return pool_.get(); }
+
+  private:
+    void dispatchLoop();
+
+    const ServiceParams params_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<PerceptualEncoder> encoder_;
+    BoundedQueue<detail::EncodeRequest> queue_;
+    std::atomic<bool> accepting_{true};
+
+    mutable std::mutex streamsMutex_;  ///< guards streams_
+    std::vector<std::unique_ptr<detail::StreamState>> streams_;
+
+    std::chrono::steady_clock::time_point startTime_;
+    std::thread dispatcher_;  ///< last member: joined before the rest
+};
+
+} // namespace pce
+
+#endif // PCE_SERVICE_ENCODE_SERVICE_HH

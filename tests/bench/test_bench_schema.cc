@@ -1,0 +1,449 @@
+/**
+ * @file
+ * BENCH_encoder.json schema validation (docs/PERF.md, "BENCH_encoder
+ * record schema"): the checked-in trajectory file must parse as a JSON
+ * array of record objects with the documented fields and types, and
+ * the runners' append path must keep it that way. A hand-rolled
+ * recursive-descent JSON parser (strict: no trailing commas, no
+ * comments, no NaN/Inf) keeps this dependency-free; it is itself
+ * exercised against malformed inputs below. scripts/check.sh runs this
+ * suite explicitly so a perf-record regression can never slip through
+ * a filtered ctest invocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef PCE_SOURCE_DIR
+#error "PCE_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace {
+
+// ------------------------------------------------------ minimal JSON
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    const JsonValue *find(const std::string &key) const
+    {
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    /** Parse the whole document; throws std::runtime_error. */
+    JsonValue parse()
+    {
+        const JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return parseString();
+        case 't':
+        case 'f': return parseBool();
+        case 'n': return parseNull();
+        default: return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue key = parseString();
+            skipWs();
+            expect(':');
+            if (!v.object.emplace(key.string, parseValue()).second)
+                fail("duplicate key \"" + key.string + "\"");
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                v.string.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': v.string.push_back('"'); break;
+            case '\\': v.string.push_back('\\'); break;
+            case '/': v.string.push_back('/'); break;
+            case 'b': v.string.push_back('\b'); break;
+            case 'f': v.string.push_back('\f'); break;
+            case 'n': v.string.push_back('\n'); break;
+            case 'r': v.string.push_back('\r'); break;
+            case 't': v.string.push_back('\t'); break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                for (int i = 0; i < 4; ++i)
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            text_[pos_ + i])))
+                        fail("bad \\u escape");
+                // Schema fields are ASCII; keep the escape verbatim.
+                v.string.append(text_, pos_ - 2, 6);
+                pos_ += 4;
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseBool()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        JsonValue v;
+        v.type = JsonValue::Type::Null;
+        return v;
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            fail("bad number");
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            fail("leading zero");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("bad fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("bad exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------ schema checks
+
+std::string
+benchFilePath()
+{
+    return std::string(PCE_SOURCE_DIR) + "/BENCH_encoder.json";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Assert @p rec has string field @p key (non-empty). */
+void
+expectString(const JsonValue &rec, const char *key, std::size_t index)
+{
+    const JsonValue *v = rec.find(key);
+    ASSERT_NE(v, nullptr) << "record " << index << " missing \"" << key
+                          << "\"";
+    EXPECT_TRUE(v->isString())
+        << "record " << index << " field \"" << key
+        << "\" is not a string";
+    EXPECT_FALSE(v->string.empty())
+        << "record " << index << " field \"" << key << "\" is empty";
+}
+
+/** Assert @p rec has a finite, non-negative numeric field @p key. */
+void
+expectNumber(const JsonValue &rec, const char *key, std::size_t index)
+{
+    const JsonValue *v = rec.find(key);
+    ASSERT_NE(v, nullptr) << "record " << index << " missing \"" << key
+                          << "\"";
+    EXPECT_TRUE(v->isNumber())
+        << "record " << index << " field \"" << key
+        << "\" is not a number";
+    EXPECT_GE(v->number, 0.0)
+        << "record " << index << " field \"" << key << "\" is negative";
+}
+
+TEST(BenchSchema, TrajectoryFileParsesAndConforms)
+{
+    const std::string text = readFile(benchFilePath());
+    ASSERT_FALSE(text.empty())
+        << benchFilePath() << " is missing or empty";
+    JsonValue doc;
+    ASSERT_NO_THROW(doc = JsonParser(text).parse())
+        << "BENCH_encoder.json does not parse";
+    ASSERT_TRUE(doc.isArray())
+        << "top level must be an array of records";
+    ASSERT_FALSE(doc.array.empty())
+        << "the trajectory must hold at least one record";
+
+    for (std::size_t i = 0; i < doc.array.size(); ++i) {
+        const JsonValue &rec = doc.array[i];
+        ASSERT_TRUE(rec.isObject()) << "record " << i;
+
+        // Shared fields (docs/PERF.md). Records predating the `bench`
+        // discriminator are full_frame_encoder records.
+        std::string bench = "full_frame_encoder";
+        if (const JsonValue *b = rec.find("bench")) {
+            ASSERT_TRUE(b->isString()) << "record " << i;
+            bench = b->string;
+        }
+        for (const char *key : {"width", "height", "repeats"})
+            expectNumber(rec, key, i);
+
+        // Provenance fields exist on every record since PR 2; the
+        // PR 1 record predates them (it carries `threads` instead of
+        // the mt_* pair), detected by the absence of `date`.
+        const bool legacy = rec.find("date") == nullptr;
+        if (legacy) {
+            expectNumber(rec, "threads", i);
+        } else {
+            expectString(rec, "date", i);
+            expectString(rec, "git_rev", i);
+            expectString(rec, "simd_level", i);
+            for (const char *key :
+                 {"hw_threads", "mt_threads", "mt_pool_workers"})
+                expectNumber(rec, key, i);
+
+            // ISO-8601 date shape: YYYY-MM-DDThh:mm:ssZ.
+            const JsonValue *d = rec.find("date");
+            ASSERT_NE(d, nullptr) << "record " << i;
+            const std::string &date = d->string;
+            EXPECT_EQ(date.size(), 20u) << "record " << i;
+            if (date.size() == 20) {
+                EXPECT_EQ(date[4], '-') << "record " << i;
+                EXPECT_EQ(date[10], 'T') << "record " << i;
+                EXPECT_EQ(date[19], 'Z') << "record " << i;
+            }
+        }
+
+        if (bench == "full_frame_encoder") {
+            for (const char *key :
+                 {"adjust_mps_1t", "encode_mps_1t", "adjust_mps_mt",
+                  "encode_mps_mt", "baseline_adjust_mps_1t",
+                  "baseline_encode_mps_1t",
+                  "adjust_speedup_vs_baseline",
+                  "encode_speedup_vs_baseline"})
+                expectNumber(rec, key, i);
+            expectString(rec, "scene", i);
+            // decode_* fields appeared in PR 3; require them from any
+            // record that carries the decode baseline.
+            if (rec.find("baseline_decode_mps_1t") != nullptr)
+                for (const char *key :
+                     {"decode_mps_1t", "decode_mps_mt",
+                      "decode_speedup_vs_baseline"})
+                    expectNumber(rec, key, i);
+        } else if (bench == "encode_service") {
+            for (const char *key :
+                 {"streams", "frames_per_stream", "aggregate_mps",
+                  "singleshot_mps", "service_efficiency",
+                  "queue_p50_ms", "queue_p99_ms", "queue_max_ms"})
+                expectNumber(rec, key, i);
+        } else {
+            ADD_FAILURE() << "record " << i
+                          << " has unknown bench type \"" << bench
+                          << "\" — document it in docs/PERF.md and "
+                             "extend this test";
+        }
+    }
+}
+
+TEST(BenchSchema, ParserRejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",
+        "[",
+        "[{]",
+        "[{}",
+        "{\"a\": }",
+        "[1,]",
+        "[01]",
+        "[1.2.3]",
+        "[\"unterminated]",
+        "[{\"a\":1,\"a\":2}]",   // duplicate key
+        "[true] trailing",
+        "[nul]",
+        "[+1]",
+        "[1e]",
+    };
+    for (const char *text : bad) {
+        const std::string doc(text);
+        EXPECT_THROW(JsonParser(doc).parse(), std::runtime_error)
+            << "accepted: " << doc;
+    }
+}
+
+TEST(BenchSchema, ParserAcceptsRepresentativeDocuments)
+{
+    const char *good[] = {
+        "[]",
+        "[{}]",
+        "{\"a\": [1, -2.5, 1e3, 1.5E-2], \"b\": \"x\\n\\u0041\", "
+        "\"c\": true, \"d\": null}",
+        "  [ { \"nested\" : { \"deep\" : [ [ ] ] } } ]  ",
+    };
+    for (const char *text : good) {
+        const std::string doc(text);
+        EXPECT_NO_THROW(JsonParser(doc).parse()) << "rejected: " << doc;
+    }
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * BoundedQueue: FIFO order, capacity backpressure, close/drain
+ * protocol, and multi-producer stress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+
+namespace pce {
+namespace {
+
+TEST(BoundedQueue, FifoOrderSingleThread)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.size(), 8u);
+    EXPECT_FALSE(q.tryPush(99)) << "queue is full";
+    for (int i = 0; i < 8; ++i) {
+        const auto v = q.pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, WrapAroundKeepsFifo)
+{
+    // Interleave pushes and pops past the ring's capacity several
+    // times over so head/count wrap arithmetic is exercised.
+    BoundedQueue<int> q(3);
+    int next_push = 0;
+    int next_pop = 0;
+    for (int round = 0; round < 10; ++round) {
+        while (q.tryPush(next_push))
+            ++next_push;
+        EXPECT_EQ(q.size(), 3u);
+        for (int i = 0; i < 2; ++i) {
+            const auto v = q.pop();
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, next_pop++);
+        }
+    }
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+        pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load()) << "push must wait on a full queue";
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItemsThenSignalsEnd)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(10));
+    EXPECT_TRUE(q.push(11));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(12)) << "push after close must be refused";
+    EXPECT_EQ(q.pop().value(), 10);
+    EXPECT_EQ(q.pop().value(), 11);
+    EXPECT_FALSE(q.pop().has_value()) << "closed and drained";
+    EXPECT_FALSE(q.pop().has_value()) << "stays drained";
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer)
+{
+    BoundedQueue<int> full(1);
+    ASSERT_TRUE(full.push(0));
+    BoundedQueue<int> empty(1);
+    std::atomic<int> results{0};
+    std::thread producer([&] {
+        EXPECT_FALSE(full.push(1));  // blocked, then refused by close
+        results.fetch_add(1);
+    });
+    std::thread consumer([&] {
+        EXPECT_FALSE(empty.pop().has_value());  // blocked, then ended
+        results.fetch_add(1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    full.close();
+    empty.close();
+    producer.join();
+    consumer.join();
+    EXPECT_EQ(results.load(), 2);
+}
+
+TEST(BoundedQueue, MultiProducerDeliversEveryItemExactlyOnce)
+{
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 500;
+    BoundedQueue<int> q(7);  // small: forces constant backpressure
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    std::vector<int> seen(kProducers * kPerProducer, 0);
+    std::thread consumer([&] {
+        for (;;) {
+            const auto v = q.pop();
+            if (!v.has_value())
+                return;
+            ++seen[static_cast<std::size_t>(*v)];
+        }
+    });
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    consumer.join();
+    for (int i = 0; i < kProducers * kPerProducer; ++i)
+        EXPECT_EQ(seen[static_cast<std::size_t>(i)], 1) << "item " << i;
+}
+
+} // namespace
+} // namespace pce
