@@ -41,6 +41,19 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-san/bd_test_bd_variable_hardening
 
+echo "== Gaze subsystem under asan/ubsan =="
+# The incremental re-fixation path does raw in-place memmove shifts of
+# the eccentricity storage plus band-boundary arithmetic — exactly the
+# kind of code where an off-by-one is a heap overflow. Run the gaze
+# suites explicitly under the sanitizers so a filtered/partial ctest
+# invocation can never skip them.
+for suite in gaze_test_incremental_ecc gaze_test_gaze_trace \
+             gaze_test_gaze_pipeline service_test_gaze_service; do
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        "./build-san/${suite}"
+done
+
 echo "== BENCH_encoder.json schema (docs/PERF.md) =="
 # Run explicitly (it is also a ctest suite) so a filtered/partial
 # invocation can never skip validating the checked-in trajectory.

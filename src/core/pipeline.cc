@@ -26,6 +26,7 @@ PipelineStats::operator+=(const PipelineStats &o)
     redAxisTiles += o.redAxisTiles;
     blueAxisTiles += o.blueAxisTiles;
     gamutClampedPixels += o.gamutClampedPixels;
+    saccadeBypassTiles += o.saccadeBypassTiles;
     return *this;
 }
 
@@ -244,6 +245,58 @@ PerceptualEncoder::encodeFrameInto(const ImageF &frame,
     toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
     codec_.encodeInto(out.adjustedSrgb, &out.bdStats, out.bdStream,
                       &out.bdScratch, pool_, params_.threads);
+}
+
+GazePhase
+PerceptualEncoder::encodeFrameGazeInto(const ImageF &frame,
+                                       GazeTrackedEccentricity &gaze,
+                                       const GazeSample &sample,
+                                       EncodedFrame &out) const
+{
+    // The no-false-bypass guarantee of the incremental map requires
+    // the always-exact band to cover the foveal cutoff plus the worst
+    // accumulated shift error (gaze/incremental_ecc.hh).
+    const IncrementalEccParams &ep = gaze.updater().params();
+    if (ep.exactBandDeg <
+        params_.fovealCutoffDeg + ep.maxAccumulatedErrorDeg)
+        throw std::invalid_argument(
+            "PerceptualEncoder::encodeFrameGazeInto: exactBandDeg < "
+            "fovealCutoffDeg + maxAccumulatedErrorDeg breaks the "
+            "foveal-bypass guarantee");
+    if (frame.width() != gaze.map().width() ||
+        frame.height() != gaze.map().height())
+        throw std::invalid_argument(
+            "PerceptualEncoder::encodeFrameGazeInto: frame does not "
+            "match the gaze state's eccentricity map");
+
+    const GazePhase phase = gaze.update(sample);
+    if (phase == GazePhase::Fixation) {
+        encodeFrameInto(frame, gaze.map(), out);
+        return phase;
+    }
+
+    // Saccadic suppression: every tile takes the bypass path — one
+    // frame-wide copy instead of the per-tile adjustment loop, then
+    // the unchanged quantize + BD encode.
+    if (out.adjustedLinear.width() != frame.width() ||
+        out.adjustedLinear.height() != frame.height())
+        out.adjustedLinear = ImageF(frame.width(), frame.height());
+    std::copy(frame.pixels().begin(), frame.pixels().end(),
+              out.adjustedLinear.pixels().begin());
+    const std::size_t tiles =
+        static_cast<std::size_t>(
+            (frame.width() + params_.tileSize - 1) /
+            params_.tileSize) *
+        static_cast<std::size_t>(
+            (frame.height() + params_.tileSize - 1) /
+            params_.tileSize);
+    out.stats = PipelineStats{};
+    out.stats.totalTiles = tiles;
+    out.stats.saccadeBypassTiles = tiles;
+    toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
+    codec_.encodeInto(out.adjustedSrgb, &out.bdStats, out.bdStream,
+                      &out.bdScratch, pool_, params_.threads);
+    return phase;
 }
 
 bool

@@ -23,6 +23,7 @@
 #include "bd/bd_codec.hh"
 #include "common/thread_pool.hh"
 #include "core/adjust.hh"
+#include "gaze/incremental_ecc.hh"
 #include "image/image.hh"
 #include "perception/discrimination.hh"
 #include "perception/display.hh"
@@ -69,6 +70,11 @@ struct PipelineStats
     std::size_t redAxisTiles = 0;
     std::size_t blueAxisTiles = 0;
     std::size_t gamutClampedPixels = 0;
+    /**
+     * Tiles copied through unadjusted because the frame fell in a
+     * saccade (saccadic suppression; encodeFrameGazeInto only).
+     */
+    std::size_t saccadeBypassTiles = 0;
 
     PipelineStats &operator+=(const PipelineStats &o);
 };
@@ -160,6 +166,31 @@ class PerceptualEncoder
     void encodeFrameInto(const ImageF &frame,
                          const EccentricityMap &ecc,
                          EncodedFrame &out) const;
+
+    /**
+     * The eye-tracked per-frame entry point: classify @p sample
+     * (fixation or saccade) through @p gaze's streaming I-VT
+     * classifier, re-fixate its eccentricity map incrementally (see
+     * gaze/incremental_ecc.hh for the exactness contract), and encode
+     * the frame against it. During a saccade the visual system
+     * suppresses perception, so the encoder switches every tile to the
+     * cheap bypass path — the frame is quantized and BD-encoded
+     * unadjusted (still losslessly decodable), skipping both the
+     * per-tile adjustment math and the map update for that frame;
+     * PipelineStats::saccadeBypassTiles records it.
+     *
+     * @p gaze is the caller's per-stream state (one per frame source;
+     * the encode service keeps one per gaze stream) and is mutated —
+     * feed samples in time order from one thread at a time. Throws
+     * std::invalid_argument if the gaze state's exact-band guarantee
+     * cannot cover this pipeline's foveal cutoff (exactBandDeg <
+     * fovealCutoffDeg + maxAccumulatedErrorDeg), or on a frame/map
+     * geometry mismatch. Returns the classified phase.
+     */
+    GazePhase encodeFrameGazeInto(const ImageF &frame,
+                                  GazeTrackedEccentricity &gaze,
+                                  const GazeSample &sample,
+                                  EncodedFrame &out) const;
 
     /**
      * Round-trip verify: decode @p frame's BD stream (in parallel on

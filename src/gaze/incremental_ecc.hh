@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Incremental eccentricity re-fixation for eye-tracked streams.
+ *
+ * A static-fixation stream builds one EccentricityMap and reuses it
+ * forever; an eye-tracked stream re-fixates every frame, and a full
+ * per-pixel rebuild (one acos + two norms per pixel) per frame is the
+ * dominant per-frame cost before any pixel is encoded. The insight —
+ * the same one application-specific datapaths exploit — is that a gaze
+ * delta changes the map *almost* by a translation: the eccentricity
+ * field is centered on the fixation, so shifting the stored values by
+ * the (rounded) gaze delta reproduces the new field up to perspective
+ * distortion. IncrementalEccentricity therefore re-fixates in place:
+ *
+ *  1. **Shift** the map by the rounded pixel delta (row-wise memmove —
+ *     no per-pixel math, no allocation).
+ *  2. **Recompute exactly** the bands the shift cannot supply: the
+ *     incoming border rows/columns (no source values) and the *foveal
+ *     band* — every pixel whose true eccentricity is at most
+ *     IncrementalEccParams::exactBandDeg (a clamped square around the
+ *     new fixation covering that iso-eccentricity ellipse).
+ *  3. **Fall back** to a full in-place rebuild when the delta exceeds
+ *     maxShiftPx or the accumulated error bound exceeds
+ *     maxAccumulatedErrorDeg.
+ *
+ * ## Exactness contract
+ *
+ * After refixate() the map satisfies, versus a fresh
+ * EccentricityMap(geom) build at the new fixation:
+ *
+ *  - Recomputed pixels (incoming bands, foveal band, or everything on
+ *    the fallback path) are **bit-identical** to the fresh build: both
+ *    run the same DisplayGeometry::eccentricityDeg.
+ *  - Every other (shifted) pixel differs by at most the *accumulated*
+ *    error bound: each step contributes no more than
+ *    shiftErrorBoundDeg() = (|delta| + |rounded delta|) / focal
+ *    (radians, reported in degrees) — a rigorous bound from the
+ *    spherical triangle inequality plus the fact that a view ray
+ *    through a display plane at focal distance f rotates at most 1/f
+ *    radians per pixel of plane motion. Bounds add across incremental
+ *    steps and reset to zero on every full rebuild. In practice the
+ *    observed error is ~3-4x below the bound and concentrated in the
+ *    far periphery, where discrimination thresholds are flattest.
+ *  - **No false foveal bypass**: provided exactBandDeg >=
+ *    fovealCutoffDeg + maxAccumulatedErrorDeg, any pixel whose true
+ *    eccentricity is below the encoder's foveal cutoff lies inside the
+ *    always-exact band, so a tile the encoder would adjust on a fresh
+ *    map is never bypassed on the incremental one (the reverse —
+ *    adjusting a tile that could have been bypassed — costs work, not
+ *    quality). core/pipeline.hh enforces this inequality at its gaze
+ *    entry point.
+ *
+ * Steady-state re-fixation is allocation-free: the shift is in place,
+ * the recompute writes in place, and the fallback rebuild reuses the
+ * map's storage (EccentricityMap::rebuild).
+ */
+
+#ifndef PCE_GAZE_INCREMENTAL_ECC_HH
+#define PCE_GAZE_INCREMENTAL_ECC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gaze/gaze_trace.hh"
+#include "image/image.hh"
+#include "perception/display.hh"
+
+namespace pce {
+
+/** Tuning of the incremental/fallback trade-off. */
+struct IncrementalEccParams
+{
+    /**
+     * Gaze deltas (pixels, Euclidean) above this re-fixate by full
+     * rebuild. Saccade landings typically exceed it; fixation jitter
+     * and smooth pursuit stay under it.
+     */
+    double maxShiftPx = 16.0;
+    /**
+     * Accumulated shift-error bound (degrees) that forces a rebuild.
+     * Between rebuilds, per-step bounds (shiftErrorBoundDeg) add up;
+     * crossing this cap resets the map to exact.
+     */
+    double maxAccumulatedErrorDeg = 6.0;
+    /**
+     * Pixels whose true eccentricity is at most this many degrees are
+     * recomputed exactly after every shift. Must be at least the
+     * encoder's foveal cutoff plus maxAccumulatedErrorDeg for the
+     * no-false-bypass guarantee (defaults: 12 >= 5 + 6).
+     */
+    double exactBandDeg = 12.0;
+};
+
+/** What one refixate() call did (diagnostics and tests). */
+struct RefixStats
+{
+    /** Fallback path: the whole map was rebuilt exactly. */
+    bool fullRebuild = false;
+    /** The requested fixation was clamped into the display. */
+    bool clamped = false;
+    /** Pixels moved by the shift (zero on the fallback path). */
+    std::size_t shiftedPixels = 0;
+    /** Pixels recomputed exactly (bands, or everything on fallback). */
+    std::size_t recomputedPixels = 0;
+    /** This step's shift error bound, degrees (0 when exact). */
+    double stepErrorBoundDeg = 0.0;
+    /** Accumulated bound since the last full rebuild, degrees. */
+    double accumulatedErrorBoundDeg = 0.0;
+    /** The always-exact clamped square around the new fixation. */
+    TileRect exactRect{};
+};
+
+/**
+ * In-place re-fixation of one EccentricityMap (see file comment for
+ * the algorithm and contract). One updater drives one map: it tracks
+ * the error bound accumulated in that map since its last exact state.
+ * Not thread-safe; a per-stream owner (service slot, frame loop) calls
+ * it from one thread at a time.
+ */
+class IncrementalEccentricity
+{
+  public:
+    /**
+     * @param geom Display geometry of the map (its fixation fields are
+     *        ignored; the map carries the current fixation).
+     * @param params Validated here; throws std::invalid_argument.
+     */
+    explicit IncrementalEccentricity(
+        const DisplayGeometry &geom,
+        const IncrementalEccParams &params = {});
+
+    /**
+     * Re-fixate @p map in place to (@p fix_x, @p fix_y), clamped into
+     * the display. The map must match the constructor geometry's
+     * dimensions (throws std::invalid_argument otherwise).
+     * Allocation-free in the steady state.
+     */
+    void refixate(EccentricityMap &map, double fix_x, double fix_y,
+                  RefixStats *stats = nullptr);
+
+    /**
+     * Rigorous per-step error bound (degrees) of re-fixating by shift
+     * for the given gaze delta: (|delta| + |rounded delta|) / focal
+     * radians. Recomputed bands are exact regardless.
+     */
+    static double shiftErrorBoundDeg(const DisplayGeometry &geom,
+                                     double dx, double dy);
+
+    /** Accumulated bound (degrees) since the driven map was exact. */
+    double accumulatedErrorBoundDeg() const { return accumulated_; }
+
+    const IncrementalEccParams &params() const { return params_; }
+
+  private:
+    /**
+     * Half-width (pixels) of the clamped square around the fixation
+     * that covers every pixel with eccentricity <= exactBandDeg.
+     */
+    double exactBandRadiusPx() const;
+
+    DisplayGeometry geom_;  ///< fixation fields track the map's
+    IncrementalEccParams params_;
+    double accumulated_ = 0.0;
+};
+
+/**
+ * Per-stream gaze state: an owned EccentricityMap, its incremental
+ * updater, and a streaming I-VT classifier. update() classifies one
+ * gaze sample and re-fixates the map for it — except during saccades,
+ * where perception is suppressed and the encoder bypasses adjustment
+ * anyway, so the map update is deferred until the saccade lands (the
+ * landing delta usually takes the documented full-rebuild fallback;
+ * the deferral saves the per-saccade-frame updates entirely).
+ *
+ * This is the state the encode service keeps per gaze stream so
+ * concurrent streams re-fixate independently; a single-stream frame
+ * loop uses it directly with PerceptualEncoder::encodeFrameGazeInto.
+ */
+class GazeTrackedEccentricity
+{
+  public:
+    explicit GazeTrackedEccentricity(
+        const DisplayGeometry &geom,
+        const IncrementalEccParams &params = {},
+        double saccade_velocity_deg_per_sec =
+            kSaccadeVelocityDegPerSec);
+
+    /**
+     * Classify @p sample and bring the map up to date for it (unless
+     * the sample is mid-saccade, see above). Returns the phase.
+     */
+    GazePhase update(const GazeSample &sample,
+                     RefixStats *stats = nullptr);
+
+    const EccentricityMap &map() const { return map_; }
+    const IncrementalEccentricity &updater() const { return updater_; }
+
+    /** Phase of the last update() sample. */
+    GazePhase phase() const { return phase_; }
+
+    /** Stats of the last map-updating refixate (not deferred ones). */
+    const RefixStats &lastRefix() const { return lastRefix_; }
+
+    /** update() calls that re-fixated / that fell back to rebuild /
+     *  that deferred (mid-saccade), since construction. */
+    std::uint64_t refixations() const { return refixations_; }
+    std::uint64_t fullRebuilds() const { return fullRebuilds_; }
+    std::uint64_t deferredUpdates() const { return deferred_; }
+
+  private:
+    EccentricityMap map_;
+    IncrementalEccentricity updater_;
+    IVTClassifier classifier_;
+    GazePhase phase_ = GazePhase::Fixation;
+    RefixStats lastRefix_{};
+    std::uint64_t refixations_ = 0;
+    std::uint64_t fullRebuilds_ = 0;
+    std::uint64_t deferred_ = 0;
+};
+
+} // namespace pce
+
+#endif // PCE_GAZE_INCREMENTAL_ECC_HH

@@ -37,10 +37,22 @@ DisplayGeometry::maxEccentricityDeg() const
 }
 
 EccentricityMap::EccentricityMap(const DisplayGeometry &geom)
-    : width_(geom.width), height_(geom.height),
-      fixationX_(geom.fixationX), fixationY_(geom.fixationY),
-      ecc_(static_cast<std::size_t>(geom.width) * geom.height, 0.0)
+    : width_(0), height_(0), fixationX_(0.0), fixationY_(0.0)
 {
+    rebuild(geom);
+}
+
+void
+EccentricityMap::rebuild(const DisplayGeometry &geom)
+{
+    width_ = geom.width;
+    height_ = geom.height;
+    fixationX_ = geom.fixationX;
+    fixationY_ = geom.fixationY;
+    // resize() keeps the capacity (and skips the redundant fill when
+    // the size is unchanged): a same-size rebuild — the per-frame
+    // re-fixation fallback — never reallocates.
+    ecc_.resize(static_cast<std::size_t>(width_) * height_);
     for (int y = 0; y < height_; ++y)
         for (int x = 0; x < width_; ++x)
             ecc_[static_cast<std::size_t>(y) * width_ + x] =

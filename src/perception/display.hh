@@ -54,17 +54,37 @@ struct DisplayGeometry
  * A precomputed per-pixel eccentricity map for a display geometry.
  * The encoder queries eccentricity per tile; precomputing avoids
  * recomputing atan per pixel per frame when the fixation is static.
+ *
+ * For eye-tracked streams the fixation moves every frame; rebuild()
+ * re-fixates by recomputing everything in place (reusing the storage),
+ * and src/gaze's IncrementalEccentricity re-fixates for small gaze
+ * deltas at a fraction of that cost (shift + exact band recompute,
+ * with a documented error bound).
  */
 class EccentricityMap
 {
   public:
     explicit EccentricityMap(const DisplayGeometry &geom);
 
+    /**
+     * Recompute the whole map for @p geom, reusing the existing
+     * storage when the dimensions are unchanged (the allocation-free
+     * full-rebuild path of a re-fixating stream).
+     */
+    void rebuild(const DisplayGeometry &geom);
+
     int width() const { return width_; }
     int height() const { return height_; }
 
+    /** Fixation the map is currently built for, pixel coordinates. */
+    double fixationX() const { return fixationX_; }
+    double fixationY() const { return fixationY_; }
+
     double at(int x, int y) const
     { return ecc_[static_cast<std::size_t>(y) * width_ + x]; }
+
+    /** Row-major raw values (width*height); pointer-pinning tests. */
+    const double *data() const { return ecc_.data(); }
 
     /**
      * Minimum eccentricity over a pixel rectangle. Eccentricity grows
@@ -82,6 +102,11 @@ class EccentricityMap
     double fractionBeyond(double deg) const;
 
   private:
+    /** The in-place re-fixation updater (src/gaze) writes ecc_ and
+     *  the fixation directly; its exactness contract is tested against
+     *  rebuild(). */
+    friend class IncrementalEccentricity;
+
     int width_;
     int height_;
     double fixationX_;

@@ -446,4 +446,49 @@ renderStereoSequence(SceneId id, int width, int height, int frame_count,
     return clip;
 }
 
+GazeAnnotatedClip
+renderGazeClip(SceneId id, int width, int height, int frame_count,
+               double start_time, double dt, double mean_fixation_s,
+               double noise_sigma_px, uint64_t seed)
+{
+    GazeAnnotatedClip clip;
+    clip.frames = renderStereoSequence(id, width, height, frame_count,
+                                       start_time, dt);
+
+    DisplayGeometry geom;
+    geom.width = width;
+    geom.height = height;
+    geom.fixationX = width / 2.0;
+    geom.fixationY = height / 2.0;
+
+    Rng rng(seed ^ (static_cast<uint64_t>(id) << 32));
+    const double hz = 1.0 / dt;
+    const double duration =
+        frame_count > 0 ? (frame_count - 1) * dt : 0.0;
+    clip.gaze = saccadeJumpTrace(geom, duration, hz, mean_fixation_s,
+                                 rng, 0.8);
+    // Dwells drift like smooth pursuit instead of holding still: a
+    // slow circular wander small enough to stay under the I-VT
+    // saccade threshold at 72 Hz.
+    const double drift_radius = std::min(width, height) * 0.02;
+    for (std::size_t i = 0; i < clip.gaze.samples.size(); ++i) {
+        const double phase =
+            2.0 * M_PI * clip.gaze.samples[i].timeSeconds / 2.1;
+        clip.gaze.samples[i].x += drift_radius * std::cos(phase);
+        clip.gaze.samples[i].y += drift_radius * std::sin(phase);
+    }
+    addTrackerNoise(clip.gaze, noise_sigma_px, rng);
+    // The render clock starts at start_time; gaze timestamps share it.
+    for (GazeSample &s : clip.gaze.samples)
+        s.timeSeconds += start_time;
+    // saccadeJumpTrace emits floor(duration*hz)+1 samples == frame
+    // count for an exact-dt clip; guard the pairing regardless.
+    clip.gaze.samples.resize(
+        static_cast<std::size_t>(std::max(frame_count, 0)),
+        clip.gaze.samples.empty()
+            ? GazeSample{start_time, width / 2.0, height / 2.0}
+            : clip.gaze.samples.back());
+    return clip;
+}
+
 } // namespace pce

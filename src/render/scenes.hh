@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "gaze/gaze_trace.hh"
 #include "image/image.hh"
 
 namespace pce {
@@ -92,6 +93,34 @@ std::vector<StereoFrame> renderStereoSequence(SceneId id, int width,
                                               int frame_count,
                                               double start_time = 0.0,
                                               double dt = 1.0 / 72.0);
+
+/**
+ * An animation clip annotated with a synthetic eye-tracked scanpath:
+ * one gaze sample per stereo frame (shared by both eyes — vergence is
+ * not modelled), sampled at the clip's frame times. The workload of
+ * the gaze-dynamics path (src/gaze): per-frame re-fixation with
+ * occasional saccade jumps between dwell points, smooth-pursuit drift
+ * while dwelling, and Gaussian tracker jitter.
+ */
+struct GazeAnnotatedClip
+{
+    std::vector<StereoFrame> frames;
+    GazeTrace gaze;  ///< frames.size() samples, same frame times
+};
+
+/**
+ * renderStereoSequence plus a deterministic scanpath over the display
+ * of @p width x @p height: saccade jumps with ~@p mean_fixation_s
+ * dwells, pursuit drift, and @p noise_sigma_px tracker jitter, all
+ * seeded by @p seed.
+ */
+GazeAnnotatedClip renderGazeClip(SceneId id, int width, int height,
+                                 int frame_count,
+                                 double start_time = 0.0,
+                                 double dt = 1.0 / 72.0,
+                                 double mean_fixation_s = 0.35,
+                                 double noise_sigma_px = 0.6,
+                                 uint64_t seed = 0x9a2ef17dULL);
 
 } // namespace pce
 

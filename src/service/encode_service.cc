@@ -20,12 +20,22 @@ struct StreamState
 {
     std::string name;
     const EccentricityMap *ecc = nullptr;
+    /**
+     * Eye-tracked streams own their eccentricity state (one per
+     * stream: concurrent streams re-fixate independently; the single
+     * dispatcher encodes a stream's frames in submission order, so
+     * per-stream state sees gaze samples in time order). Null for
+     * static-fixation streams, where ecc borrows the caller's map.
+     */
+    std::unique_ptr<GazeTrackedEccentricity> gaze;
 
     struct Slot
     {
         ImageF input;          ///< service-owned copy of the submission
         EncodedFrame frame;    ///< reusable encode output
         std::exception_ptr error;  ///< set when this encode failed
+        GazeSample gazeSample; ///< rides with the frame (gaze streams)
+        bool hasGaze = false;
     };
     std::vector<Slot> slots;
 
@@ -48,6 +58,15 @@ struct StreamState
     std::vector<double> latencyMs;  ///< fixed ring of recent samples
     std::size_t latencyCount = 0;   ///< total recorded (ring index)
     double latencyMaxMs = 0.0;
+    std::uint64_t framesVerified = 0;
+    std::uint64_t corruptFrames = 0;
+    std::uint64_t saccadeFrames = 0;
+    // Mirrors of the gaze state's counters, copied under this mutex
+    // after each encode (the gaze object itself is only touched by
+    // the dispatcher, outside any lock).
+    std::uint64_t refixations = 0;
+    std::uint64_t fullRebuilds = 0;
+    std::uint64_t deferredGazeUpdates = 0;
 };
 
 } // namespace detail
@@ -73,6 +92,20 @@ copyFrameInto(const ImageF &src, ImageF &dst)
         dst = ImageF(src.width(), src.height());
     std::copy(src.pixels().begin(), src.pixels().end(),
               dst.pixels().begin());
+}
+
+/** Size the slot/ready/latency rings once, at stream open. */
+void
+initStreamRings(StreamState &s, const ServiceParams &params)
+{
+    const int depth = params.streamDepth;
+    s.slots.resize(static_cast<std::size_t>(depth));
+    s.freeSlots.reserve(static_cast<std::size_t>(depth));
+    for (int i = depth - 1; i >= 0; --i)
+        s.freeSlots.push_back(i);  // slot 0 served first
+    s.readyRing.assign(static_cast<std::size_t>(depth), -1);
+    s.latencyMs.assign(params.latencyWindow, 0.0);
+    s.latencyCount = 0;
 }
 
 /** p-th percentile (0..100) of an already-sorted sample window. */
@@ -176,14 +209,38 @@ EncodeService::openStream(std::string name, const EccentricityMap &ecc)
     auto state = std::make_unique<StreamState>();
     state->name = std::move(name);
     state->ecc = &ecc;
-    const int depth = params_.streamDepth;
-    state->slots.resize(static_cast<std::size_t>(depth));
-    state->freeSlots.reserve(static_cast<std::size_t>(depth));
-    for (int i = depth - 1; i >= 0; --i)
-        state->freeSlots.push_back(i);  // slot 0 served first
-    state->readyRing.assign(static_cast<std::size_t>(depth), -1);
-    state->latencyMs.assign(params_.latencyWindow, 0.0);
-    state->latencyCount = 0;
+    initStreamRings(*state, params_);
+
+    StreamState *raw = state.get();
+    std::lock_guard<std::mutex> lock(streamsMutex_);
+    streams_.push_back(std::move(state));
+    return StreamHandle(raw);
+}
+
+StreamHandle
+EncodeService::openGazeStream(std::string name,
+                              const DisplayGeometry &geom,
+                              const GazeStreamParams &gaze_params)
+{
+    if (!accepting_.load())
+        throw std::runtime_error(
+            "EncodeService::openGazeStream: service is shut down");
+    // Fail at open time, not first submit: the incremental map's
+    // exact band must cover this service's foveal cutoff (see
+    // PerceptualEncoder::encodeFrameGazeInto).
+    if (gaze_params.ecc.exactBandDeg <
+        params_.fovealCutoffDeg +
+            gaze_params.ecc.maxAccumulatedErrorDeg)
+        throw std::invalid_argument(
+            "EncodeService::openGazeStream: exactBandDeg < "
+            "fovealCutoffDeg + maxAccumulatedErrorDeg");
+    auto gaze = std::make_unique<GazeTrackedEccentricity>(
+        geom, gaze_params.ecc, gaze_params.saccadeVelocityDegPerSec);
+    auto state = std::make_unique<StreamState>();
+    state->name = std::move(name);
+    state->ecc = &gaze->map();
+    state->gaze = std::move(gaze);
+    initStreamRings(*state, params_);
 
     StreamState *raw = state.get();
     std::lock_guard<std::mutex> lock(streamsMutex_);
@@ -194,10 +251,32 @@ EncodeService::openStream(std::string name, const EccentricityMap &ecc)
 void
 EncodeService::submit(StreamHandle handle, const ImageF &frame)
 {
+    submitImpl(handle, frame, nullptr);
+}
+
+void
+EncodeService::submit(StreamHandle handle, const ImageF &frame,
+                      const GazeSample &gaze)
+{
+    submitImpl(handle, frame, &gaze);
+}
+
+void
+EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
+                          const GazeSample *gaze)
+{
     if (!handle.valid())
         throw std::invalid_argument(
             "EncodeService::submit: invalid stream handle");
     StreamState &s = *handle.state_;
+    if (gaze != nullptr && s.gaze == nullptr)
+        throw std::invalid_argument(
+            "EncodeService::submit: gaze sample on a static-fixation "
+            "stream (openGazeStream it instead)");
+    if (gaze == nullptr && s.gaze != nullptr)
+        throw std::invalid_argument(
+            "EncodeService::submit: gaze stream needs a gaze sample "
+            "per frame");
     if (frame.width() != s.ecc->width() ||
         frame.height() != s.ecc->height())
         throw std::invalid_argument(
@@ -225,6 +304,9 @@ EncodeService::submit(StreamHandle handle, const ImageF &frame)
     StreamState::Slot &sl = s.slots[static_cast<std::size_t>(slot)];
     copyFrameInto(frame, sl.input);
     sl.error = nullptr;
+    sl.hasGaze = gaze != nullptr;
+    if (gaze != nullptr)
+        sl.gazeSample = *gaze;
 
     EncodeRequest req;
     req.stream = &s;
@@ -244,6 +326,17 @@ EncodeService::submit(StreamHandle handle, const ImageF &frame)
         throw std::runtime_error(
             "EncodeService::submit: service shut down while enqueuing");
     }
+    // Dispatcher-backlog high watermark (relaxed max): the queue depth
+    // observed right after this push, for ServiceReport. The push put
+    // one request in, so the observed depth is at least 1 even when
+    // the dispatcher dequeues it before the size() sample.
+    const std::size_t depth_now =
+        std::max<std::size_t>(queue_.size(), 1);
+    std::size_t peak = queuePeak_.load(std::memory_order_relaxed);
+    while (depth_now > peak &&
+           !queuePeak_.compare_exchange_weak(
+               peak, depth_now, std::memory_order_relaxed))
+    {}
 }
 
 void
@@ -356,8 +449,27 @@ EncodeService::dispatchLoop()
         StreamState::Slot &sl =
             s.slots[static_cast<std::size_t>(req->slot)];
         const Clock::time_point start = Clock::now();
+        bool saccade = false;
+        bool verified = false;
+        bool corrupt = false;
         try {
-            encoder_->encodeFrameInto(sl.input, *s.ecc, sl.frame);
+            if (sl.hasGaze) {
+                saccade = encoder_->encodeFrameGazeInto(
+                              sl.input, *s.gaze, sl.gazeSample,
+                              sl.frame) == GazePhase::Saccade;
+            } else {
+                encoder_->encodeFrameInto(sl.input, *s.ecc, sl.frame);
+            }
+            if (params_.verifyRoundTrip) {
+                verified = true;
+                try {
+                    corrupt = !encoder_->verifyRoundTrip(sl.frame);
+                } catch (...) {
+                    // The stream failed decode validation outright:
+                    // corruption, not an encode error.
+                    corrupt = true;
+                }
+            }
         } catch (...) {
             sl.error = std::current_exception();
         }
@@ -369,6 +481,18 @@ EncodeService::dispatchLoop()
                 s.megapixels +=
                     static_cast<double>(sl.input.pixelCount()) / 1e6;
                 s.encodeSeconds += secondsBetween(start, end);
+            }
+            if (verified) {
+                ++s.framesVerified;
+                if (corrupt)
+                    ++s.corruptFrames;
+            }
+            if (saccade)
+                ++s.saccadeFrames;
+            if (s.gaze != nullptr) {
+                s.refixations = s.gaze->refixations();
+                s.fullRebuilds = s.gaze->fullRebuilds();
+                s.deferredGazeUpdates = s.gaze->deferredUpdates();
             }
             const double wait_ms =
                 secondsBetween(req->submitTime, start) * 1e3;
@@ -389,6 +513,8 @@ EncodeService::report() const
     ServiceReport rep;
     rep.wallSeconds = secondsBetween(startTime_, Clock::now());
     rep.queuedRequests = queue_.size();
+    rep.queuePeakDepth = queuePeak_.load(std::memory_order_relaxed);
+    rep.queueCapacity = params_.queueCapacity;
     std::lock_guard<std::mutex> lock(streamsMutex_);
     rep.streams.reserve(streams_.size());
     for (const auto &sp : streams_) {
@@ -406,6 +532,12 @@ EncodeService::report() const
             st.megapixels = s.megapixels;
             st.encodeSeconds = s.encodeSeconds;
             st.queueLatencyMaxMs = s.latencyMaxMs;
+            st.framesVerified = s.framesVerified;
+            st.corruptFrames = s.corruptFrames;
+            st.saccadeFrames = s.saccadeFrames;
+            st.refixations = s.refixations;
+            st.fullRebuilds = s.fullRebuilds;
+            st.deferredGazeUpdates = s.deferredGazeUpdates;
             st.latencySamples =
                 std::min(s.latencyCount, s.latencyMs.size());
             window.assign(
@@ -423,6 +555,7 @@ EncodeService::report() const
         st.queueLatencyP99Ms = percentileOf(window, 99.0);
         rep.framesEncoded += st.framesEncoded;
         rep.megapixels += st.megapixels;
+        rep.corruptFrames += st.corruptFrames;
         rep.streams.push_back(std::move(st));
     }
     rep.aggregateMps = rep.wallSeconds > 0.0

@@ -72,6 +72,7 @@
 #include "common/bounded_queue.hh"
 #include "common/thread_pool.hh"
 #include "core/pipeline.hh"
+#include "gaze/incremental_ecc.hh"
 #include "perception/discrimination.hh"
 #include "perception/display.hh"
 #include "render/scenes.hh"
@@ -127,6 +128,24 @@ struct ServiceParams
      * recording never allocates; older samples are overwritten).
      */
     std::size_t latencyWindow = 4096;
+    /**
+     * Run PerceptualEncoder::verifyRoundTrip after every encode: the
+     * BD stream is decoded back (reusing the slot's round-trip
+     * buffers) and compared byte-for-byte against the encoded image —
+     * cheap insurance for a service shipping streams to real decoders.
+     * Failures (mismatch or a stream that no longer validates) count
+     * in StreamStats::corruptFrames; the frame is still delivered.
+     */
+    bool verifyRoundTrip = false;
+};
+
+/** Per-stream gaze configuration (openGazeStream). */
+struct GazeStreamParams
+{
+    /** Incremental re-fixation tuning (gaze/incremental_ecc.hh). */
+    IncrementalEccParams ecc;
+    /** I-VT saccade velocity threshold, deg/s. */
+    double saccadeVelocityDegPerSec = kSaccadeVelocityDegPerSec;
 };
 
 /** Per-stream service statistics (one entry per ServiceReport). */
@@ -153,6 +172,16 @@ struct StreamStats
     double queueLatencyMaxMs = 0.0;
     /** Samples currently retained (min(framesEncoded, window)). */
     std::size_t latencySamples = 0;
+    /** Frames checked / failed by per-frame round-trip verification. */
+    std::uint64_t framesVerified = 0;
+    std::uint64_t corruptFrames = 0;
+    /** Gaze streams: frames encoded through the saccade bypass. */
+    std::uint64_t saccadeFrames = 0;
+    /** Gaze streams: map re-fixations / full-rebuild fallbacks /
+     *  mid-saccade deferred updates (gaze/incremental_ecc.hh). */
+    std::uint64_t refixations = 0;
+    std::uint64_t fullRebuilds = 0;
+    std::uint64_t deferredGazeUpdates = 0;
 };
 
 /** Aggregate service statistics. */
@@ -167,6 +196,18 @@ struct ServiceReport
     double aggregateMps = 0.0;
     /** Requests sitting in the service queue right now. */
     std::size_t queuedRequests = 0;
+    /**
+     * Deepest the request queue has ever been (sampled at submit).
+     * The single dispatcher serializes encodes across streams, so a
+     * peak approaching queueCapacity means streams are waiting on each
+     * other — the baseline metric for the concurrent-dispatcher
+     * follow-up (docs/ARCHITECTURE.md, "Service layer").
+     */
+    std::size_t queuePeakDepth = 0;
+    /** Configured bound the peak is measured against. */
+    std::size_t queueCapacity = 0;
+    /** Sum of corruptFrames across streams (verifyRoundTrip). */
+    std::uint64_t corruptFrames = 0;
 };
 
 /**
@@ -258,6 +299,30 @@ class EncodeService
                             const EccentricityMap &ecc);
 
     /**
+     * Open an eye-tracked stream: the service owns this stream's
+     * eccentricity state (map + incremental updater + I-VT classifier,
+     * one per stream so concurrent streams re-fixate independently)
+     * and every frame must be submitted with a gaze sample. @p geom's
+     * fixation fields give the initial fixation. Frames are encoded
+     * through PerceptualEncoder::encodeFrameGazeInto: per-frame
+     * incremental re-fixation, saccade frames through the cheap
+     * bypass path. Throws std::runtime_error after shutdown() and
+     * std::invalid_argument when @p params cannot honor the service's
+     * foveal cutoff (see encodeFrameGazeInto).
+     */
+    StreamHandle openGazeStream(std::string name,
+                                const DisplayGeometry &geom,
+                                const GazeStreamParams &params = {});
+
+    /**
+     * Submit one frame with its gaze sample (gaze streams only;
+     * std::invalid_argument on a static stream). Samples must carry
+     * the stream's time order. Otherwise behaves like submit().
+     */
+    void submit(StreamHandle handle, const ImageF &frame,
+                const GazeSample &gaze);
+
+    /**
      * Submit one frame for encoding. Copies @p frame into the next
      * free stream slot (the caller's buffer is free on return), blocks
      * under backpressure (all slots in flight, or the service queue
@@ -308,12 +373,15 @@ class EncodeService
 
   private:
     void dispatchLoop();
+    void submitImpl(StreamHandle handle, const ImageF &frame,
+                    const GazeSample *gaze);
 
     const ServiceParams params_;
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<PerceptualEncoder> encoder_;
     BoundedQueue<detail::EncodeRequest> queue_;
     std::atomic<bool> accepting_{true};
+    std::atomic<std::size_t> queuePeak_{0};
 
     mutable std::mutex streamsMutex_;  ///< guards streams_
     std::vector<std::unique_ptr<detail::StreamState>> streams_;

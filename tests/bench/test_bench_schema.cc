@@ -340,7 +340,8 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
         ASSERT_TRUE(rec.isObject()) << "record " << i;
 
         // Shared fields (docs/PERF.md). Records predating the `bench`
-        // discriminator are full_frame_encoder records.
+        // discriminator are full_frame_encoder records; known types
+        // are full_frame_encoder, encode_service, and gaze_encode.
         std::string bench = "full_frame_encoder";
         if (const JsonValue *b = rec.find("bench")) {
             ASSERT_TRUE(b->isString()) << "record " << i;
@@ -397,6 +398,21 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
                   "singleshot_mps", "service_efficiency",
                   "queue_p50_ms", "queue_p99_ms", "queue_max_ms"})
                 expectNumber(rec, key, i);
+        } else if (bench == "gaze_encode") {
+            for (const char *key :
+                 {"frames", "refix_incremental_ms", "refix_rebuild_ms",
+                  "refix_speedup", "refix_fallback_rebuilds",
+                  "gaze_encode_mps", "rebuild_encode_mps",
+                  "moving_fixation_speedup", "saccade_frames"})
+                expectNumber(rec, key, i);
+            // The point of the record: incremental re-fixation must
+            // be measurably cheaper than a full per-frame rebuild.
+            const JsonValue *speedup = rec.find("refix_speedup");
+            ASSERT_NE(speedup, nullptr) << "record " << i;
+            EXPECT_GT(speedup->number, 1.0)
+                << "record " << i
+                << ": incremental re-fixation not cheaper than "
+                   "rebuild";
         } else {
             ADD_FAILURE() << "record " << i
                           << " has unknown bench type \"" << bench
