@@ -54,6 +54,34 @@ for suite in gaze_test_incremental_ecc gaze_test_gaze_trace \
         "./build-san/${suite}"
 done
 
+echo "== Fault injection + integrity hardening under asan/ubsan =="
+# The injector writes raw bits into live buffers and the campaign
+# drives corrupted data through every decode path — run these suites
+# explicitly under the sanitizers so a filtered/partial ctest
+# invocation can never skip them. The campaign smoke is bounded: a
+# handful of trials on a small frame.
+for suite in fault_test_fault_injector common_test_integrity \
+             bd_test_bd_duplicate_validate gaze_test_gaze_integrity \
+             service_test_fault_service; do
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        "./build-san/${suite}"
+done
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-san/fault_test_fault_campaign
+
+echo "== Bounded fault-campaign smoke (Release) =="
+# A tiny end-to-end fault_runner invocation (seconds, not minutes)
+# proving the campaign harness and record writer work as shipped; the
+# record lands in a scratch file, not the checked-in trajectory.
+rm -f build/fault_smoke.json
+PCE_BENCH_FAULT_WIDTH=48 PCE_BENCH_FAULT_HEIGHT=48 \
+PCE_BENCH_FAULT_TRIALS=6 PCE_BENCH_REPEATS=1 \
+PCE_BENCH_THREADS=2 \
+    ./build/fault_runner build/fault_smoke.json
+test -s build/fault_smoke.json
+
 echo "== BENCH_encoder.json schema (docs/PERF.md) =="
 # Run explicitly (it is also a ctest suite) so a filtered/partial
 # invocation can never skip validating the checked-in trajectory.

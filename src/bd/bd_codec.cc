@@ -250,7 +250,8 @@ BdCodec::decode(const std::vector<uint8_t> &stream)
 void
 BdCodec::decodeInto(const std::vector<uint8_t> &stream, ImageU8 &out,
                     BdDecodeScratch *scratch, ThreadPool *pool,
-                    int participants, std::uint64_t max_pixels)
+                    int participants, std::uint64_t max_pixels,
+                    bool duplicate_validate)
 {
     constexpr std::size_t kHeaderBits =
         kMagicBits + 2 * kDimBits + kTileBits;
@@ -310,33 +311,56 @@ BdCodec::decodeInto(const std::vector<uint8_t> &stream, ImageU8 &out,
     // bit offsets — the exact dual of the encoder's prefix pass. Only
     // the 12-bit meta fields are read; delta blocks are stepped over
     // arithmetically.
-    s.bitOffsets.resize(n_tiles + 1);
-    std::uint64_t offset = 0;  // payload bits before the current field
-    for (std::size_t t = 0; t < n_tiles; ++t) {
-        s.bitOffsets[t] = static_cast<std::size_t>(offset);
-        const std::uint64_t pixels = static_cast<std::uint64_t>(
-            s.tiles[t].pixelCount());
-        for (int c = 0; c < 3; ++c) {
-            const std::uint64_t field_pos = kHeaderBits + offset;
-            if (field_pos + kWidthFieldBits + kBaseBits > stream_bits)
-                throw std::runtime_error(
-                    "BdCodec::decode: stream truncated mid-tile");
-            // Only the 4-bit width field is read (getBits' two-byte
-            // fast path); bases and deltas are stepped over
-            // arithmetically.
-            hdr.seek(static_cast<std::size_t>(field_pos));
-            const unsigned width = hdr.getBits(kWidthFieldBits);
-            if (width > 8)
-                throw std::runtime_error(
-                    "BdCodec::decode: delta width field exceeds 8 "
-                    "bits");
-            offset += kWidthFieldBits + kBaseBits + pixels * width;
-            if (kHeaderBits + offset > stream_bits)
-                throw std::runtime_error(
-                    "BdCodec::decode: stream truncated mid-tile");
+    auto walkPrefix =
+        [&](std::vector<std::size_t> &offsets) -> std::uint64_t {
+        offsets.resize(n_tiles + 1);
+        std::uint64_t offset = 0;  // payload bits before current field
+        for (std::size_t t = 0; t < n_tiles; ++t) {
+            offsets[t] = static_cast<std::size_t>(offset);
+            const std::uint64_t pixels = static_cast<std::uint64_t>(
+                s.tiles[t].pixelCount());
+            for (int c = 0; c < 3; ++c) {
+                const std::uint64_t field_pos = kHeaderBits + offset;
+                if (field_pos + kWidthFieldBits + kBaseBits >
+                    stream_bits)
+                    throw std::runtime_error(
+                        "BdCodec::decode: stream truncated mid-tile");
+                // Only the 4-bit width field is read (getBits'
+                // two-byte fast path); bases and deltas are stepped
+                // over arithmetically.
+                hdr.seek(static_cast<std::size_t>(field_pos));
+                const unsigned width = hdr.getBits(kWidthFieldBits);
+                if (width > 8)
+                    throw std::runtime_error(
+                        "BdCodec::decode: delta width field exceeds 8 "
+                        "bits");
+                offset +=
+                    kWidthFieldBits + kBaseBits + pixels * width;
+                if (kHeaderBits + offset > stream_bits)
+                    throw std::runtime_error(
+                        "BdCodec::decode: stream truncated mid-tile");
+            }
         }
+        offsets[n_tiles] = static_cast<std::size_t>(offset);
+        return offset;
+    };
+    const std::uint64_t offset = walkPrefix(s.bitOffsets);
+
+    if (duplicate_validate) {
+        // Selective-EDDI: the walk above is the one serial stage whose
+        // output (the offset table) every later tile read trusts
+        // blindly. Re-run it into an independent buffer and compare;
+        // any disagreement — an SEU in the accumulator, the table, or
+        // the stream bytes between walks — is a detected error instead
+        // of a silently shifted decode.
+        if (s.prefixFaultHook)
+            s.prefixFaultHook(s.bitOffsets);
+        const std::uint64_t dup_offset = walkPrefix(s.dupOffsets);
+        if (dup_offset != offset || s.dupOffsets != s.bitOffsets)
+            throw std::runtime_error(
+                "BdCodec::decode: duplicated validate pass disagrees "
+                "(prefix fault detected)");
     }
-    s.bitOffsets[n_tiles] = static_cast<std::size_t>(offset);
 
     // The stream must be exactly the header + payload padded to a byte
     // boundary with zero bits: a longer buffer is trailing garbage, and

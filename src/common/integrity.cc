@@ -1,6 +1,7 @@
-#include "png/checksum.hh"
+#include "common/integrity.hh"
 
 #include <array>
+#include <cstring>
 
 namespace pce {
 
@@ -27,6 +28,18 @@ crcTable()
 }
 
 constexpr uint32_t kAdlerMod = 65521;
+
+/** SplitMix64 finalizer: a bijective 64-bit mix with full avalanche. */
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
 
 } // namespace
 
@@ -61,6 +74,28 @@ adler32(const uint8_t *data, std::size_t n)
     Adler32 a;
     a.update(data, n);
     return a.value();
+}
+
+uint64_t
+hash64(const void *data, std::size_t n)
+{
+    // XOR of independently mixed words, each salted with its position,
+    // so the sum is order-sensitive without a sequential dependency
+    // chain (the compiler is free to vectorize/unroll the loop).
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint64_t acc = mix64(0x9e3779b97f4a7c15ull ^ n);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint64_t word;
+        std::memcpy(&word, bytes + i, 8);
+        acc ^= mix64(word + 0x9e3779b97f4a7c15ull * (i / 8 + 1));
+    }
+    if (i < n) {
+        uint64_t word = 0;
+        std::memcpy(&word, bytes + i, n - i);
+        acc ^= mix64(word + 0x9e3779b97f4a7c15ull * (i / 8 + 1));
+    }
+    return acc;
 }
 
 } // namespace pce

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/integrity.hh"
+
 namespace pce {
 
 namespace {
@@ -241,6 +243,7 @@ PerceptualEncoder::encodeFrameInto(const ImageF &frame,
                                    const EccentricityMap &ecc,
                                    EncodedFrame &out) const
 {
+    out.seal = FrameSeal{};
     adjustFrameInto(frame, ecc, out.adjustedLinear, &out.stats);
     toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
     codec_.encodeInto(out.adjustedSrgb, &out.bdStats, out.bdStream,
@@ -278,6 +281,7 @@ PerceptualEncoder::encodeFrameGazeInto(const ImageF &frame,
     // Saccadic suppression: every tile takes the bypass path — one
     // frame-wide copy instead of the per-tile adjustment loop, then
     // the unchanged quantize + BD encode.
+    out.seal = FrameSeal{};
     if (out.adjustedLinear.width() != frame.width() ||
         out.adjustedLinear.height() != frame.height())
         out.adjustedLinear = ImageF(frame.width(), frame.height());
@@ -304,8 +308,32 @@ PerceptualEncoder::verifyRoundTrip(EncodedFrame &frame) const
 {
     BdCodec::decodeInto(frame.bdStream, frame.roundTripSrgb,
                         &frame.bdDecodeScratch, pool_,
-                        params_.threads);
+                        params_.threads, kBdDefaultMaxDecodePixels,
+                        params_.duplicateValidate);
     return frame.roundTripSrgb == frame.adjustedSrgb;
+}
+
+void
+sealFrame(EncodedFrame &frame)
+{
+    frame.seal.bdStreamCrc =
+        crc32(frame.bdStream.data(), frame.bdStream.size());
+    frame.seal.srgbHash =
+        hash64(frame.adjustedSrgb.data().data(),
+               frame.adjustedSrgb.data().size());
+    frame.seal.sealed = true;
+}
+
+bool
+verifyFrameSeal(const EncodedFrame &frame)
+{
+    if (!frame.seal.sealed)
+        return false;
+    return crc32(frame.bdStream.data(), frame.bdStream.size()) ==
+               frame.seal.bdStreamCrc &&
+           hash64(frame.adjustedSrgb.data().data(),
+                  frame.adjustedSrgb.data().size()) ==
+               frame.seal.srgbHash;
 }
 
 } // namespace pce

@@ -56,6 +56,13 @@ struct PipelineParams
      * (clamped by the pool's own size).
      */
     ThreadPool *pool = nullptr;
+    /**
+     * Selective-EDDI hardening of decode paths driven through this
+     * pipeline (verifyRoundTrip): run the BD decoder's serial
+     * validate+prefix walk twice and compare (see
+     * BdCodec::decodeInto's duplicate_validate and docs/FAULTS.md).
+     */
+    bool duplicateValidate = false;
 };
 
 /** Aggregate statistics of one encoded frame. */
@@ -80,6 +87,23 @@ struct PipelineStats
 };
 
 /**
+ * Integrity seal over an EncodedFrame's two deliverable buffers (see
+ * docs/FAULTS.md): CRC-32 of the BD bitstream (guaranteed 1-3 bit
+ * flip detection at frame-stream sizes) and hash64 of the adjusted
+ * sRGB image (fast enough to run per frame on megabyte buffers).
+ * Written by sealFrame() right after encode, checked by
+ * verifyFrameSeal() at any later hand-off — the encode service seals
+ * in the dispatcher and verifies at collect(), so a bit flip while
+ * the frame sat in its slot is detected instead of delivered.
+ */
+struct FrameSeal
+{
+    uint32_t bdStreamCrc = 0;
+    uint64_t srgbHash = 0;
+    bool sealed = false;
+};
+
+/**
  * Everything produced for one frame. A frame loop that keeps one
  * EncodedFrame and calls encodeFrameInto reuses every buffer here
  * (images, bitstream, and the BD encoder's working storage), making
@@ -101,7 +125,26 @@ struct EncodedFrame
      */
     ImageU8 roundTripSrgb;
     BdDecodeScratch bdDecodeScratch;
+    /**
+     * Integrity seal over bdStream + adjustedSrgb; invalidated by
+     * every encode into this frame, written by sealFrame().
+     */
+    FrameSeal seal;
 };
+
+/**
+ * Checksum @p frame's deliverable buffers (BD bitstream + adjusted
+ * sRGB) into its seal. Call after the encode that produced them;
+ * re-encoding invalidates the seal automatically.
+ */
+void sealFrame(EncodedFrame &frame);
+
+/**
+ * Recompute the seal checksums and compare. Returns false when the
+ * frame was never sealed (strict: an unsealed frame offers no
+ * integrity evidence) or when either buffer changed since sealing.
+ */
+bool verifyFrameSeal(const EncodedFrame &frame);
 
 /**
  * The full Fig. 7 encoder.

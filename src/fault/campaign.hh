@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Whole-pipeline fault-injection campaign (docs/FAULTS.md).
+ *
+ * runFaultCampaign() sweeps seeded bit flips (fault_injector.hh) over
+ * every named surface of the encode pipeline, once with the stock
+ * defenses ("baseline") and once with the selective hardening
+ * ("hardened": sealed frames, checksummed queue slots and gaze state
+ * — the EncodeService hardenIntegrity path plus CRC-sealed
+ * bitstreams), and classifies every trial against a golden reference:
+ *
+ *  - **detected**: a defense fired — decode validation threw, a
+ *    checksum/seal mismatched, the service quarantined the frame, the
+ *    gaze state recovered. The fault cannot reach a consumer.
+ *  - **silently corrupt**: no defense fired and the delivered output
+ *    differs from the golden reference — the fleet-scale hazard the
+ *    hardening exists to close.
+ *  - **benign**: no defense fired and the output is bit-identical
+ *    (the flip landed in bits the pipeline masks, e.g. low mantissa
+ *    bits that quantize away).
+ *  - **crash**: an exception outside the defense protocol.
+ *
+ * Trials are paired: the (surface, flips, trial) triple seeds the
+ * injector identically in both configurations, so baseline and
+ * hardened face the *same* flip schedules and their rates compare
+ * directly. Everything — the synthetic input frame included — is
+ * deterministic; any trial replays from its coordinates.
+ */
+
+#ifndef PCE_FAULT_CAMPAIGN_HH
+#define PCE_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+
+namespace pce {
+
+/** Campaign shape; defaults give a seconds-scale smoke campaign. */
+struct FaultCampaignConfig
+{
+    /** Synthetic test-frame geometry. */
+    int width = 128;
+    int height = 128;
+    /** BD tile edge and encoder parallelism. */
+    int tileSize = 4;
+    int threads = 1;
+    /** Trials per (surface, flip count, configuration). */
+    int trialsPerSurface = 100;
+    /** Flip multiplicities swept per surface (single- & multi-bit). */
+    std::vector<int> flipCounts = {1, 3};
+    /** Master seed; trials derive their own from it. */
+    std::uint64_t seed = 0x5eedfa017ull;
+};
+
+/** Outcome tallies of one (surface, flip count, configuration). */
+struct SurfaceOutcome
+{
+    FaultSurface surface = FaultSurface::TileScratch;
+    int flips = 0;
+    bool hardened = false;
+    int trials = 0;
+    int detected = 0;
+    int silentCorrupt = 0;
+    int benign = 0;
+    int crashes = 0;
+
+    /**
+     * Detection coverage over the trials where the fault *mattered*:
+     * detected / (trials - benign). Benign flips need no defense, so
+     * counting them against coverage would reward surfaces whose
+     * faults often mask themselves.
+     */
+    double coverage() const
+    {
+        const int consequential = trials - benign;
+        return consequential <= 0
+                   ? 1.0
+                   : static_cast<double>(detected) / consequential;
+    }
+
+    /** Fraction of all trials that ended silently corrupt. */
+    double silentRate() const
+    {
+        return trials <= 0
+                   ? 0.0
+                   : static_cast<double>(silentCorrupt) / trials;
+    }
+};
+
+/** Full campaign result: one SurfaceOutcome per swept combination. */
+struct FaultCampaignReport
+{
+    FaultCampaignConfig config;
+    std::vector<SurfaceOutcome> outcomes;
+
+    /** The outcome of one combination (nullptr when not swept). */
+    const SurfaceOutcome *find(FaultSurface surface, int flips,
+                               bool hardened) const;
+
+    /**
+     * Tallies summed over every flip count of (surface,
+     * configuration) — the per-surface coverage row of the report.
+     */
+    SurfaceOutcome aggregate(FaultSurface surface, bool hardened) const;
+};
+
+/** Run the campaign (see file comment). Deterministic in the config. */
+FaultCampaignReport runFaultCampaign(const FaultCampaignConfig &config);
+
+} // namespace pce
+
+#endif // PCE_FAULT_CAMPAIGN_HH

@@ -1,0 +1,69 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+namespace pce {
+
+const char *
+faultSurfaceName(FaultSurface surface)
+{
+    switch (surface) {
+    case FaultSurface::TileScratch: return "tile_scratch";
+    case FaultSurface::BdStream:    return "bd_stream";
+    case FaultSurface::PngPayload:  return "png_payload";
+    case FaultSurface::QueueSlot:   return "queue_slot";
+    case FaultSurface::EccMap:      return "ecc_map";
+    case FaultSurface::FrameOutput: return "frame_output";
+    }
+    return "unknown";
+}
+
+std::vector<BitFlip>
+FaultInjector::plan(std::size_t byte_size, int flips)
+{
+    std::vector<BitFlip> schedule;
+    if (byte_size == 0 || flips <= 0)
+        return schedule;
+    const std::uint64_t total_bits =
+        static_cast<std::uint64_t>(byte_size) * 8;
+    const int n = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(flips), total_bits));
+    schedule.reserve(static_cast<std::size_t>(n));
+    while (static_cast<int>(schedule.size()) < n) {
+        const std::uint64_t pos = rng_.uniformInt(total_bits);
+        BitFlip flip{static_cast<std::size_t>(pos / 8),
+                     static_cast<int>(pos % 8)};
+        // Distinct positions only: a repeated flip would cancel itself
+        // and the trial would exercise fewer upsets than it reports.
+        if (std::find(schedule.begin(), schedule.end(), flip) ==
+            schedule.end())
+            schedule.push_back(flip);
+    }
+    return schedule;
+}
+
+std::vector<BitFlip>
+FaultInjector::inject(std::uint8_t *data, std::size_t byte_size,
+                      int flips)
+{
+    std::vector<BitFlip> schedule = plan(byte_size, flips);
+    for (const BitFlip &f : schedule)
+        data[f.byte] ^= static_cast<std::uint8_t>(1u << f.bit);
+    return schedule;
+}
+
+std::vector<BitFlip>
+FaultInjector::inject(std::vector<std::uint8_t> &buffer, int flips)
+{
+    return inject(buffer.data(), buffer.size(), flips);
+}
+
+std::vector<BitFlip>
+FaultInjector::injectDoubles(double *data, std::size_t count,
+                             int flips)
+{
+    return inject(reinterpret_cast<std::uint8_t *>(data),
+                  count * sizeof(double), flips);
+}
+
+} // namespace pce

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic, seeded bit-flip injection (docs/FAULTS.md).
+ *
+ * The fleet-scale threat this models is the single-event upset: a bit
+ * of live state silently flips between the moment it was produced and
+ * the moment it is consumed. The injector reproduces that — and only
+ * that — as a pure byte/bit operation on a caller-named buffer: it
+ * never knows what the buffer means, so the same injector drives every
+ * campaign surface (pixel scratch, bitstreams, queue slots,
+ * eccentricity maps) without per-surface code.
+ *
+ * Everything is seeded: one FaultInjector(seed) yields one
+ * reproducible flip schedule, so a campaign trial that crashes or
+ * silently corrupts can be replayed bit-for-bit from its (seed,
+ * surface, trial) coordinates alone. plan() is the schedule,
+ * inject() is plan() + apply; both dedupe so "3 flips" always means
+ * three *distinct* bit positions (a repeated position would cancel
+ * itself and silently weaken the trial).
+ */
+
+#ifndef PCE_FAULT_FAULT_INJECTOR_HH
+#define PCE_FAULT_FAULT_INJECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace pce {
+
+/**
+ * Named injection surfaces of the encode pipeline — every place a
+ * frame's data or steering state rests long enough for an upset to
+ * matter. The campaign (fault/campaign.hh) drives one driver per
+ * surface; the names key the per-surface coverage report.
+ */
+enum class FaultSurface
+{
+    /** Encoder tile working state: the adjusted linear-RGB frame the
+     *  quantize + BD encode consumes. */
+    TileScratch,
+    /** An encoded BD bitstream in flight to a decoder. */
+    BdStream,
+    /** A PNG file payload (container-level comparison point: PNG
+     *  carries its own CRC/Adler checks). */
+    PngPayload,
+    /** A service queue slot: the frame copy waiting for dispatch. */
+    QueueSlot,
+    /** Per-stream eccentricity map + gaze state steering foveation. */
+    EccMap,
+    /** An EncodedFrame's output buffers awaiting collect(). */
+    FrameOutput,
+};
+
+/** Count of FaultSurface values (campaign sweep bound). */
+inline constexpr int kFaultSurfaceCount = 6;
+
+/** Stable snake_case surface name (report keys, bench records). */
+const char *faultSurfaceName(FaultSurface surface);
+
+/** One planned flip: bit @p bit of byte @p byte. */
+struct BitFlip
+{
+    std::size_t byte = 0;
+    int bit = 0;
+
+    bool operator==(const BitFlip &o) const
+    { return byte == o.byte && bit == o.bit; }
+};
+
+/**
+ * Seeded source of bit-flip schedules (see file comment). One
+ * injector is one deterministic stream: interleaving plan()/inject()
+ * calls advances the same underlying Rng, exactly like drawing from
+ * one random stream. Not thread-safe; campaigns use one injector per
+ * (surface, trial) so trials stay independently replayable.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+    /**
+     * Next schedule: @p flips distinct bit positions, uniform over a
+     * buffer of @p byte_size bytes. @p flips is clamped to the number
+     * of bits available. Empty when @p byte_size is zero.
+     */
+    std::vector<BitFlip> plan(std::size_t byte_size, int flips);
+
+    /** plan() and XOR the flips into @p data; returns the schedule. */
+    std::vector<BitFlip> inject(std::uint8_t *data,
+                                std::size_t byte_size, int flips);
+
+    /** inject() over a byte vector. */
+    std::vector<BitFlip> inject(std::vector<std::uint8_t> &buffer,
+                                int flips);
+
+    /**
+     * inject() over an array of doubles (eccentricity maps, linear-RGB
+     * pixel storage), flipping bits of the raw representation.
+     */
+    std::vector<BitFlip> injectDoubles(double *data, std::size_t count,
+                                       int flips);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace pce
+
+#endif // PCE_FAULT_FAULT_INJECTOR_HH

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/integrity.hh"
+
 namespace pce {
 
 IncrementalEccentricity::IncrementalEccentricity(
@@ -214,6 +216,22 @@ IncrementalEccentricity::refixate(EccentricityMap &map, double fix_x,
         *stats = st;
 }
 
+void
+IncrementalEccentricity::rebuildAt(EccentricityMap &map, double fix_x,
+                                   double fix_y)
+{
+    if (map.width() != geom_.width || map.height() != geom_.height)
+        throw std::invalid_argument(
+            "IncrementalEccentricity::rebuildAt: map does not match "
+            "the display geometry");
+    geom_.fixationX = std::clamp(
+        fix_x, 0.0, static_cast<double>(geom_.width - 1));
+    geom_.fixationY = std::clamp(
+        fix_y, 0.0, static_cast<double>(geom_.height - 1));
+    map.rebuild(geom_);
+    accumulated_ = 0.0;
+}
+
 GazeTrackedEccentricity::GazeTrackedEccentricity(
     const DisplayGeometry &geom, const IncrementalEccParams &params,
     double saccade_velocity_deg_per_sec)
@@ -240,9 +258,57 @@ GazeTrackedEccentricity::update(const GazeSample &sample,
     ++refixations_;
     if (lastRefix_.fullRebuild)
         ++fullRebuilds_;
+    // Keep an active seal current: the refixate above legitimately
+    // rewrote map values, so the checksum must follow it.
+    if (seal_.valid)
+        sealState();
     if (stats)
         *stats = lastRefix_;
     return phase_;
+}
+
+std::uint64_t
+GazeTrackedEccentricity::mapHash() const
+{
+    return hash64(map_.data(),
+                  static_cast<std::size_t>(map_.width()) *
+                      static_cast<std::size_t>(map_.height()) *
+                      sizeof(double));
+}
+
+void
+GazeTrackedEccentricity::sealState()
+{
+    seal_.mapHash = mapHash();
+    seal_.fixX = map_.fixationX();
+    seal_.fixY = map_.fixationY();
+    seal_.accumulated = updater_.accumulatedErrorBoundDeg();
+    seal_.valid = true;
+}
+
+bool
+GazeTrackedEccentricity::verifyState() const
+{
+    if (!seal_.valid)
+        return true;
+    return mapHash() == seal_.mapHash &&
+           map_.fixationX() == seal_.fixX &&
+           map_.fixationY() == seal_.fixY &&
+           updater_.accumulatedErrorBoundDeg() == seal_.accumulated;
+}
+
+bool
+GazeTrackedEccentricity::verifyAndRecoverState()
+{
+    if (verifyState())
+        return true;
+    // The sealed fixation is the last state known good; an exact
+    // rebuild there restores a bit-identical map when the sealed map
+    // was itself exact, and an error-bound-free one otherwise.
+    updater_.rebuildAt(map_, seal_.fixX, seal_.fixY);
+    ++recoveries_;
+    sealState();
+    return false;
 }
 
 } // namespace pce

@@ -139,6 +139,16 @@ class IncrementalEccentricity
                   RefixStats *stats = nullptr);
 
     /**
+     * Exact full rebuild of @p map at (@p fix_x, @p fix_y), clamped
+     * into the display, resetting the accumulated error bound — the
+     * fallback path of refixate() exposed directly. This is the
+     * integrity-recovery primitive: a map whose checksum no longer
+     * matches (a bit flip, or writes through EccentricityMap::data())
+     * is restored to a known-exact state at the given fixation.
+     */
+    void rebuildAt(EccentricityMap &map, double fix_x, double fix_y);
+
+    /**
      * Rigorous per-step error bound (degrees) of re-fixating by shift
      * for the given gaze delta: (|delta| + |rounded delta|) / focal
      * radians. Recomputed bands are exact regardless.
@@ -195,6 +205,14 @@ class GazeTrackedEccentricity
     const EccentricityMap &map() const { return map_; }
     const IncrementalEccentricity &updater() const { return updater_; }
 
+    /**
+     * Mutable map access, for fault-injection campaigns (src/fault)
+     * that flip bits in the live state. Writes through this are
+     * exactly what the seal detects; production code re-fixates via
+     * update() instead.
+     */
+    EccentricityMap &mutableMap() { return map_; }
+
     /** Phase of the last update() sample. */
     GazePhase phase() const { return phase_; }
 
@@ -207,7 +225,51 @@ class GazeTrackedEccentricity
     std::uint64_t fullRebuilds() const { return fullRebuilds_; }
     std::uint64_t deferredUpdates() const { return deferred_; }
 
+    /**
+     * Integrity sealing (docs/FAULTS.md): checksum the map values and
+     * the fixation/error-bound bookkeeping. Once sealed, every
+     * update() re-seals automatically (the deferred mid-saccade path
+     * leaves the map untouched, so its seal stays valid), keeping the
+     * seal current across a streaming session at one hash64 of the
+     * map per re-fixation.
+     */
+    void sealState();
+
+    /**
+     * Recompute the checksum and compare against the seal. Returns
+     * true when never sealed (no evidence either way) or when the
+     * state matches; false on any mismatch. Const: no recovery.
+     */
+    bool verifyState() const;
+
+    /**
+     * verifyState(), plus recovery on mismatch: rebuild the map
+     * exactly at the *sealed* fixation (IncrementalEccentricity::
+     * rebuildAt), count the event, and re-seal. The classifier is
+     * deliberately outside the seal — its few scalars are a vanishing
+     * SEU cross-section next to the W*H doubles of the map, and a
+     * corrupted classifier misroutes at most one frame's phase.
+     * Returns true when the state was intact, false when it was
+     * recovered (callers may count the detection).
+     */
+    bool verifyAndRecoverState();
+
+    /** Recoveries performed by verifyAndRecoverState(). */
+    std::uint64_t integrityRecoveries() const { return recoveries_; }
+
   private:
+    /** Checksummed snapshot of the sealable state. */
+    struct StateSeal
+    {
+        std::uint64_t mapHash = 0;
+        double fixX = 0.0;
+        double fixY = 0.0;
+        double accumulated = 0.0;
+        bool valid = false;
+    };
+
+    std::uint64_t mapHash() const;
+
     EccentricityMap map_;
     IncrementalEccentricity updater_;
     IVTClassifier classifier_;
@@ -216,6 +278,8 @@ class GazeTrackedEccentricity
     std::uint64_t refixations_ = 0;
     std::uint64_t fullRebuilds_ = 0;
     std::uint64_t deferred_ = 0;
+    StateSeal seal_{};
+    std::uint64_t recoveries_ = 0;
 };
 
 } // namespace pce

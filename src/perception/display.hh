@@ -87,6 +87,15 @@ class EccentricityMap
     const double *data() const { return ecc_.data(); }
 
     /**
+     * Mutable raw values. For the in-place updater's callers and for
+     * fault-injection campaigns (src/fault) that flip bits in the live
+     * map; writing through this bypasses the map's fixation bookkeeping,
+     * so end with rebuild() (or the gaze layer's checksummed recovery,
+     * gaze/incremental_ecc.hh) to restore a consistent state.
+     */
+    double *data() { return ecc_.data(); }
+
+    /**
      * Minimum eccentricity over a pixel rectangle. Eccentricity grows
      * monotonically along any pixel-space ray leaving the fixation
      * point (the directions to points on a display line through the

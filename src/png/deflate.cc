@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "common/bitstream.hh"
-#include "png/checksum.hh"
+#include "common/integrity.hh"
 #include "png/huffman.hh"
 
 namespace pce {

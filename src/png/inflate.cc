@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "common/bitstream.hh"
-#include "png/checksum.hh"
+#include "common/integrity.hh"
 #include "png/huffman.hh"
 
 namespace pce {

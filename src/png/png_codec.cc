@@ -5,7 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "png/checksum.hh"
+#include "common/integrity.hh"
 #include "png/inflate.hh"
 
 namespace pce {

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "common/integrity.hh"
+
 namespace pce {
 
 namespace detail {
@@ -36,6 +38,10 @@ struct StreamState
         std::exception_ptr error;  ///< set when this encode failed
         GazeSample gazeSample; ///< rides with the frame (gaze streams)
         bool hasGaze = false;
+        /** hash64 of `input` at submit time (hardenIntegrity). */
+        std::uint64_t inputHash = 0;
+        /** Stream-local frame sequence number (fault hooks). */
+        std::uint64_t frameIndex = 0;
     };
     std::vector<Slot> slots;
 
@@ -67,6 +73,10 @@ struct StreamState
     std::uint64_t refixations = 0;
     std::uint64_t fullRebuilds = 0;
     std::uint64_t deferredGazeUpdates = 0;
+    // hardenIntegrity counters (see StreamStats).
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t framesQuarantined = 0;
+    std::uint64_t gazeRecoveries = 0;
 };
 
 } // namespace detail
@@ -236,6 +246,10 @@ EncodeService::openGazeStream(std::string name,
             "fovealCutoffDeg + maxAccumulatedErrorDeg");
     auto gaze = std::make_unique<GazeTrackedEccentricity>(
         geom, gaze_params.ecc, gaze_params.saccadeVelocityDegPerSec);
+    // Sealed from birth: every refixate re-seals, and the dispatcher
+    // verifies (and recovers) before each of this stream's encodes.
+    if (params_.hardenIntegrity)
+        gaze->sealState();
     auto state = std::make_unique<StreamState>();
     state->name = std::move(name);
     state->ecc = &gaze->map();
@@ -284,6 +298,7 @@ EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
             "eccentricity map");
 
     int slot = -1;
+    std::uint64_t seq = 0;
     {
         std::unique_lock<std::mutex> lock(s.mutex);
         // Per-stream backpressure: wait for a free slot (bounded by
@@ -296,6 +311,7 @@ EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
                 "EncodeService::submit: service is shut down");
         slot = s.freeSlots.back();
         s.freeSlots.pop_back();
+        seq = s.submitted;
         ++s.submitted;
     }
 
@@ -305,8 +321,14 @@ EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
     copyFrameInto(frame, sl.input);
     sl.error = nullptr;
     sl.hasGaze = gaze != nullptr;
+    sl.frameIndex = seq;
     if (gaze != nullptr)
         sl.gazeSample = *gaze;
+    // Checksum the copy we will encode from: anything that flips a bit
+    // of it between here and the dispatcher's verify is detected.
+    if (params_.hardenIntegrity)
+        sl.inputHash = hash64(sl.input.pixels().data(),
+                              sl.input.pixels().size() * sizeof(Vec3));
 
     EncodeRequest req;
     req.stream = &s;
@@ -384,6 +406,21 @@ EncodeService::collect(StreamHandle handle)
         s.slotFree.notify_one();
         std::rethrow_exception(err);
     }
+    // Last line of defense: re-verify the seal written at encode time
+    // before handing the frame out. A flip while the result sat in
+    // its slot (or anywhere between seal and here) quarantines the
+    // frame — with hardening on, a corrupt frame never crosses this
+    // boundary undetected.
+    if (params_.hardenIntegrity && !verifyFrameSeal(sl.frame)) {
+        ++s.faultsDetected;
+        ++s.framesQuarantined;
+        s.freeSlots.push_back(slot);
+        lock.unlock();
+        s.slotFree.notify_one();
+        throw FrameQuarantined(
+            "EncodeService::collect: frame seal mismatch (frame "
+            "quarantined)");
+    }
     return FrameLease(&s, slot, &sl.frame);
 }
 
@@ -452,7 +489,30 @@ EncodeService::dispatchLoop()
         bool saccade = false;
         bool verified = false;
         bool corrupt = false;
+        bool quarantined = false;
+        bool gazeRecovered = false;
         try {
+            if (params_.preEncodeFaultHook)
+                params_.preEncodeFaultHook(s.name, sl.frameIndex,
+                                           sl.input);
+            // Hardened dispatch: verify the input copy against its
+            // submit-time checksum before spending an encode on it —
+            // a flip while the request waited in the queue yields a
+            // quarantined frame, not silently corrupt output.
+            if (params_.hardenIntegrity &&
+                hash64(sl.input.pixels().data(),
+                       sl.input.pixels().size() * sizeof(Vec3)) !=
+                    sl.inputHash)
+                throw FrameQuarantined(
+                    "EncodeService: input checksum mismatch at "
+                    "dispatch (frame quarantined)");
+            // Gaze streams: the eccentricity state persisted across
+            // frames, so verify (and recover) it before it steers
+            // this frame's foveal decisions. Recovery rebuilds the
+            // map exactly — the frame is still encoded and delivered.
+            if (params_.hardenIntegrity && s.gaze != nullptr &&
+                !s.gaze->verifyAndRecoverState())
+                gazeRecovered = true;
             if (sl.hasGaze) {
                 saccade = encoder_->encodeFrameGazeInto(
                               sl.input, *s.gaze, sl.gazeSample,
@@ -470,6 +530,14 @@ EncodeService::dispatchLoop()
                     corrupt = true;
                 }
             }
+            if (params_.hardenIntegrity)
+                sealFrame(sl.frame);
+            if (params_.postEncodeFaultHook)
+                params_.postEncodeFaultHook(s.name, sl.frameIndex,
+                                            sl.frame);
+        } catch (const FrameQuarantined &) {
+            sl.error = std::current_exception();
+            quarantined = true;
         } catch (...) {
             sl.error = std::current_exception();
         }
@@ -489,6 +557,14 @@ EncodeService::dispatchLoop()
             }
             if (saccade)
                 ++s.saccadeFrames;
+            if (quarantined) {
+                ++s.faultsDetected;
+                ++s.framesQuarantined;
+            }
+            if (gazeRecovered) {
+                ++s.faultsDetected;
+                ++s.gazeRecoveries;
+            }
             if (s.gaze != nullptr) {
                 s.refixations = s.gaze->refixations();
                 s.fullRebuilds = s.gaze->fullRebuilds();
@@ -538,6 +614,9 @@ EncodeService::report() const
             st.refixations = s.refixations;
             st.fullRebuilds = s.fullRebuilds;
             st.deferredGazeUpdates = s.deferredGazeUpdates;
+            st.faultsDetected = s.faultsDetected;
+            st.framesQuarantined = s.framesQuarantined;
+            st.gazeRecoveries = s.gazeRecoveries;
             st.latencySamples =
                 std::min(s.latencyCount, s.latencyMs.size());
             window.assign(
@@ -556,6 +635,9 @@ EncodeService::report() const
         rep.framesEncoded += st.framesEncoded;
         rep.megapixels += st.megapixels;
         rep.corruptFrames += st.corruptFrames;
+        rep.faultsDetected += st.faultsDetected;
+        rep.framesQuarantined += st.framesQuarantined;
+        rep.gazeRecoveries += st.gazeRecoveries;
         rep.streams.push_back(std::move(st));
     }
     rep.aggregateMps = rep.wallSeconds > 0.0

@@ -64,7 +64,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -137,6 +139,49 @@ struct ServiceParams
      * in StreamStats::corruptFrames; the frame is still delivered.
      */
     bool verifyRoundTrip = false;
+    /**
+     * Selective integrity hardening (docs/FAULTS.md). When on:
+     * submit() checksums the slot's input copy and the dispatcher
+     * verifies it before encoding (a flip while the request waited in
+     * the queue quarantines the frame instead of encoding garbage);
+     * gaze streams verify their checksummed eccentricity state before
+     * each encode and recover by exact rebuild on mismatch; every
+     * encoded frame is sealed (core/pipeline.hh FrameSeal) and the
+     * seal re-verified at collect(), so a corrupt frame is never
+     * delivered — collect() throws FrameQuarantined and the stream
+     * keeps going. Detections/quarantines count per stream and in the
+     * aggregate report; healthy streams are unaffected.
+     */
+    bool hardenIntegrity = false;
+    /**
+     * Fault-injection hooks (src/fault campaigns; production leaves
+     * them empty). Called by the dispatcher with the stream name and
+     * the stream-local frame index: preEncodeFaultHook right after
+     * dequeue with the slot's input copy (models a flip while queued,
+     * *before* the hardened input-checksum verify), postEncodeFaultHook
+     * right after the encode + seal with the slot's output frame
+     * (models a flip while the result waits for collect()).
+     */
+    std::function<void(const std::string &, std::uint64_t, ImageF &)>
+        preEncodeFaultHook;
+    std::function<void(const std::string &, std::uint64_t,
+                       EncodedFrame &)>
+        postEncodeFaultHook;
+};
+
+/**
+ * Thrown by collect() for a frame the hardened service detected as
+ * corrupt (input checksum mismatch at dispatch, or seal mismatch at
+ * collect). The slot is reclaimed before the throw: the stream stays
+ * healthy and later frames collect normally — quarantine drops one
+ * frame, never the stream.
+ */
+class FrameQuarantined : public std::runtime_error
+{
+  public:
+    explicit FrameQuarantined(const std::string &what)
+        : std::runtime_error(what)
+    {}
 };
 
 /** Per-stream gaze configuration (openGazeStream). */
@@ -182,6 +227,15 @@ struct StreamStats
     std::uint64_t refixations = 0;
     std::uint64_t fullRebuilds = 0;
     std::uint64_t deferredGazeUpdates = 0;
+    /**
+     * hardenIntegrity counters: integrity checks that fired (input
+     * checksum, frame seal, gaze-state checksum), frames withheld
+     * from delivery because of one, and gaze states rebuilt in place
+     * (recovered, frame still delivered).
+     */
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t framesQuarantined = 0;
+    std::uint64_t gazeRecoveries = 0;
 };
 
 /** Aggregate service statistics. */
@@ -206,8 +260,16 @@ struct ServiceReport
     std::size_t queuePeakDepth = 0;
     /** Configured bound the peak is measured against. */
     std::size_t queueCapacity = 0;
-    /** Sum of corruptFrames across streams (verifyRoundTrip). */
+    /**
+     * Deployment-health aggregates, summed across streams: round-trip
+     * verification failures (verifyRoundTrip) and the hardenIntegrity
+     * counters. A healthy deployment shows all four at zero; any
+     * nonzero value localizes to its stream in `streams`.
+     */
     std::uint64_t corruptFrames = 0;
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t framesQuarantined = 0;
+    std::uint64_t gazeRecoveries = 0;
 };
 
 /**

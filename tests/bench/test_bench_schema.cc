@@ -341,7 +341,8 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
 
         // Shared fields (docs/PERF.md). Records predating the `bench`
         // discriminator are full_frame_encoder records; known types
-        // are full_frame_encoder, encode_service, and gaze_encode.
+        // are full_frame_encoder, encode_service, gaze_encode, and
+        // fault_campaign.
         std::string bench = "full_frame_encoder";
         if (const JsonValue *b = rec.find("bench")) {
             ASSERT_TRUE(b->isString()) << "record " << i;
@@ -413,6 +414,53 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
                 << "record " << i
                 << ": incremental re-fixation not cheaper than "
                    "rebuild";
+        } else if (bench == "fault_campaign") {
+            for (const char *key :
+                 {"total_trials", "max_flips", "campaign_seconds",
+                  "baseline_encode_mps", "hardened_encode_mps"})
+                expectNumber(rec, key, i);
+            // Per-surface coverage / silent-corruption rates for both
+            // configurations; rates are probabilities.
+            static const char *const surfaces[] = {
+                "tile_scratch", "bd_stream", "png_payload",
+                "queue_slot",   "ecc_map",   "frame_output"};
+            static const char *const metrics[] = {
+                "_baseline_coverage", "_hardened_coverage",
+                "_baseline_silent_rate", "_hardened_silent_rate"};
+            for (const char *surface : surfaces)
+                for (const char *metric : metrics) {
+                    const std::string key =
+                        std::string(surface) + metric;
+                    expectNumber(rec, key.c_str(), i);
+                    const JsonValue *v = rec.find(key);
+                    ASSERT_NE(v, nullptr) << "record " << i;
+                    EXPECT_LE(v->number, 1.0)
+                        << "record " << i << " field \"" << key
+                        << "\" is not a rate";
+                }
+            // The point of the record: on every surface the selective
+            // hardening defends, silent corruption must drop and
+            // detection coverage must rise relative to baseline.
+            for (const char *surface :
+                 {"bd_stream", "queue_slot", "ecc_map",
+                  "frame_output"}) {
+                const std::string s(surface);
+                const JsonValue *bs =
+                    rec.find(s + "_baseline_silent_rate");
+                const JsonValue *hs =
+                    rec.find(s + "_hardened_silent_rate");
+                const JsonValue *bc =
+                    rec.find(s + "_baseline_coverage");
+                const JsonValue *hc =
+                    rec.find(s + "_hardened_coverage");
+                ASSERT_TRUE(bs && hs && bc && hc) << "record " << i;
+                EXPECT_LT(hs->number, bs->number)
+                    << "record " << i << " surface " << surface
+                    << ": hardening did not reduce silent corruption";
+                EXPECT_GT(hc->number, bc->number)
+                    << "record " << i << " surface " << surface
+                    << ": hardening did not raise detection coverage";
+            }
         } else {
             ADD_FAILURE() << "record " << i
                           << " has unknown bench type \"" << bench

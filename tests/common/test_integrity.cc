@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Known-answer tests for CRC-32 and Adler-32, plus detection-property
+ * tests for the fast hash64 used by the integrity seals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/integrity.hh"
+
+namespace pce {
+namespace {
+
+uint32_t
+crcOf(const std::string &s)
+{
+    return crc32(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+uint32_t
+adlerOf(const std::string &s)
+{
+    return adler32(reinterpret_cast<const uint8_t *>(s.data()),
+                   s.size());
+}
+
+TEST(Crc32, StandardTestVector)
+{
+    // The canonical CRC-32 check value.
+    EXPECT_EQ(crcOf("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput)
+{
+    EXPECT_EQ(crcOf(""), 0x00000000u);
+}
+
+TEST(Crc32, KnownStrings)
+{
+    EXPECT_EQ(crcOf("a"), 0xE8B7BE43u);
+    EXPECT_EQ(crcOf("abc"), 0x352441C2u);
+    EXPECT_EQ(crcOf("The quick brown fox jumps over the lazy dog"),
+              0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string s = "incremental-checksum-data-0123456789";
+    Crc32 inc;
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()), 10);
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()) + 10,
+               s.size() - 10);
+    EXPECT_EQ(inc.value(), crcOf(s));
+}
+
+TEST(Crc32, PngIendChunk)
+{
+    // The IEND chunk CRC is fixed in every PNG file: type bytes only.
+    const uint8_t type[4] = {'I', 'E', 'N', 'D'};
+    EXPECT_EQ(crc32(type, 4), 0xAE426082u);
+}
+
+TEST(Adler32, StandardTestVectors)
+{
+    // RFC 1950 examples / well-known values.
+    EXPECT_EQ(adlerOf(""), 1u);
+    EXPECT_EQ(adlerOf("a"), 0x00620062u);
+    EXPECT_EQ(adlerOf("abc"), 0x024d0127u);
+    EXPECT_EQ(adlerOf("Wikipedia"), 0x11E60398u);
+}
+
+TEST(Adler32, IncrementalMatchesOneShot)
+{
+    const std::string s(10000, 'x');
+    Adler32 inc;
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()), 5000);
+    inc.update(reinterpret_cast<const uint8_t *>(s.data()) + 5000, 5000);
+    EXPECT_EQ(inc.value(), adlerOf(s));
+}
+
+TEST(Adler32, ModularReductionOnLongInput)
+{
+    // Long 0xff-runs force many modular reductions.
+    const std::string s(100000, '\xff');
+    const uint32_t v = adlerOf(s);
+    const uint32_t a = v & 0xffff;
+    const uint32_t b = v >> 16;
+    EXPECT_LT(a, 65521u);
+    EXPECT_LT(b, 65521u);
+}
+
+TEST(Hash64, DeterministicAndLengthSensitive)
+{
+    const std::string s = "hash64-determinism-vector";
+    const uint64_t h1 = hash64(s.data(), s.size());
+    const uint64_t h2 = hash64(s.data(), s.size());
+    EXPECT_EQ(h1, h2);
+    EXPECT_NE(h1, hash64(s.data(), s.size() - 1));
+    EXPECT_NE(hash64("", 0), 0u);
+}
+
+TEST(Hash64, EverySingleBitFlipDetected)
+{
+    // The seals rely on hash64 catching any single-bit upset; the
+    // per-word mix is bijective so this must hold for every position,
+    // including the ragged tail beyond the last full 8-byte word.
+    std::vector<uint8_t> buf(37);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<uint8_t>(i * 29 + 3);
+    const uint64_t golden = hash64(buf.data(), buf.size());
+    for (std::size_t byte = 0; byte < buf.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            buf[byte] ^= static_cast<uint8_t>(1u << bit);
+            EXPECT_NE(hash64(buf.data(), buf.size()), golden)
+                << "undetected flip at byte " << byte << " bit " << bit;
+            buf[byte] ^= static_cast<uint8_t>(1u << bit);
+        }
+    }
+    EXPECT_EQ(hash64(buf.data(), buf.size()), golden);
+}
+
+TEST(Hash64, PositionSensitive)
+{
+    // Swapping two equal-content words must change the hash: the
+    // position salt makes identical words at different offsets
+    // contribute differently.
+    std::vector<uint64_t> words = {7, 0, 0, 9};
+    const uint64_t before = hash64(words.data(), words.size() * 8);
+    std::swap(words[0], words[3]);
+    EXPECT_NE(hash64(words.data(), words.size() * 8), before);
+}
+
+TEST(Hash64, DoubleArraysHashByRepresentation)
+{
+    // The gaze/ecc seals hash raw double storage; +0.0 and -0.0 differ
+    // in representation and must be distinguished.
+    std::vector<double> a = {1.5, 0.0, -3.25};
+    std::vector<double> b = {1.5, -0.0, -3.25};
+    EXPECT_NE(hash64(a.data(), a.size() * sizeof(double)),
+              hash64(b.data(), b.size() * sizeof(double)));
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The injector itself must be trustworthy before any campaign number
+ * is: seeded determinism (replayability), surface targeting (flips
+ * land only where planned), and schedule hygiene (distinct, in-bounds
+ * positions; exact flip counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+
+namespace pce {
+namespace {
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    FaultInjector a(42);
+    FaultInjector b(42);
+    for (int round = 0; round < 8; ++round) {
+        const auto pa = a.plan(1000, 3);
+        const auto pb = b.plan(1000, 3);
+        EXPECT_EQ(pa, pb) << "diverged at round " << round;
+    }
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentSchedules)
+{
+    FaultInjector a(1);
+    FaultInjector b(2);
+    // 3 positions out of 8000 bits: a collision of the whole schedule
+    // across seeds would be astronomically unlikely.
+    EXPECT_NE(a.plan(1000, 3), b.plan(1000, 3));
+}
+
+TEST(FaultInjector, PlanPositionsDistinctAndInBounds)
+{
+    FaultInjector inj(7);
+    const std::size_t size = 16;
+    const auto plan = inj.plan(size, 64);
+    EXPECT_EQ(plan.size(), 64u);
+    std::set<std::pair<std::size_t, int>> seen;
+    for (const BitFlip &f : plan) {
+        EXPECT_LT(f.byte, size);
+        EXPECT_GE(f.bit, 0);
+        EXPECT_LT(f.bit, 8);
+        EXPECT_TRUE(seen.insert({f.byte, f.bit}).second)
+            << "duplicate flip at byte " << f.byte << " bit " << f.bit;
+    }
+}
+
+TEST(FaultInjector, FlipCountClampedToBufferBits)
+{
+    FaultInjector inj(3);
+    // 2 bytes = 16 bits; asking for 100 flips must yield exactly 16.
+    EXPECT_EQ(inj.plan(2, 100).size(), 16u);
+    EXPECT_TRUE(inj.plan(0, 5).empty());
+    EXPECT_TRUE(inj.plan(10, 0).empty());
+}
+
+TEST(FaultInjector, InjectFlipsExactlyThePlannedBits)
+{
+    // Surface targeting: snapshot-compare the buffer — only the
+    // returned schedule's bits may differ, everything else identical.
+    std::vector<std::uint8_t> buf(256);
+    std::iota(buf.begin(), buf.end(), 0);
+    const std::vector<std::uint8_t> before = buf;
+
+    FaultInjector inj(99);
+    const auto schedule = inj.inject(buf, 5);
+    EXPECT_EQ(schedule.size(), 5u);
+
+    std::vector<std::uint8_t> expectedDelta(buf.size(), 0);
+    for (const BitFlip &f : schedule)
+        expectedDelta[f.byte] ^= static_cast<std::uint8_t>(1u << f.bit);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        EXPECT_EQ(static_cast<std::uint8_t>(buf[i] ^ before[i]),
+                  expectedDelta[i])
+            << "unplanned modification at byte " << i;
+}
+
+TEST(FaultInjector, InjectTwiceRestoresTheBuffer)
+{
+    // XOR semantics: replaying the same schedule undoes it — the
+    // property campaigns use to reuse one golden copy across trials.
+    std::vector<std::uint8_t> buf(64, 0xA5);
+    const std::vector<std::uint8_t> before = buf;
+    FaultInjector inj(5);
+    const auto schedule = inj.plan(buf.size(), 7);
+    for (int round = 0; round < 2; ++round)
+        for (const BitFlip &f : schedule)
+            buf[f.byte] ^= static_cast<std::uint8_t>(1u << f.bit);
+    EXPECT_EQ(buf, before);
+}
+
+TEST(FaultInjector, InjectDoublesTargetsRawRepresentation)
+{
+    std::vector<double> values(32, 1.0);
+    const std::vector<double> before = values;
+    FaultInjector inj(11);
+    const auto schedule =
+        inj.injectDoubles(values.data(), values.size(), 1);
+    ASSERT_EQ(schedule.size(), 1u);
+    // Exactly one double's representation changed.
+    int changed = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        std::uint64_t a, b;
+        std::memcpy(&a, &values[i], 8);
+        std::memcpy(&b, &before[i], 8);
+        if (a != b) {
+            ++changed;
+            EXPECT_EQ(schedule[0].byte / 8, i);
+            // Exactly one bit differs within it.
+            EXPECT_EQ(__builtin_popcountll(a ^ b), 1);
+        }
+    }
+    EXPECT_EQ(changed, 1);
+}
+
+TEST(FaultSurface, NamesAreStable)
+{
+    // Bench records and the schema test key on these strings.
+    EXPECT_STREQ(faultSurfaceName(FaultSurface::TileScratch),
+                 "tile_scratch");
+    EXPECT_STREQ(faultSurfaceName(FaultSurface::BdStream),
+                 "bd_stream");
+    EXPECT_STREQ(faultSurfaceName(FaultSurface::PngPayload),
+                 "png_payload");
+    EXPECT_STREQ(faultSurfaceName(FaultSurface::QueueSlot),
+                 "queue_slot");
+    EXPECT_STREQ(faultSurfaceName(FaultSurface::EccMap), "ecc_map");
+    EXPECT_STREQ(faultSurfaceName(FaultSurface::FrameOutput),
+                 "frame_output");
+}
+
+} // namespace
+} // namespace pce

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Checksummed gaze/eccentricity state: seal, verify, and
+ * rebuild-on-mismatch recovery (docs/FAULTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "gaze/incremental_ecc.hh"
+#include "perception/display.hh"
+
+namespace pce {
+namespace {
+
+DisplayGeometry
+testGeom(int w = 96, int h = 96)
+{
+    DisplayGeometry g;
+    g.width = w;
+    g.height = h;
+    g.horizontalFovDeg = 100.0;
+    g.fixationX = w / 2.0;
+    g.fixationY = h / 2.0;
+    return g;
+}
+
+TEST(GazeIntegrity, UnsealedStateAlwaysVerifies)
+{
+    GazeTrackedEccentricity gaze(testGeom());
+    EXPECT_TRUE(gaze.verifyState());
+    // Even after map corruption: no seal, no evidence, no false alarm.
+    gaze.mutableMap().data()[0] += 1.0;
+    EXPECT_TRUE(gaze.verifyState());
+    EXPECT_EQ(gaze.integrityRecoveries(), 0u);
+}
+
+TEST(GazeIntegrity, SealedStateDetectsSingleBitFlip)
+{
+    GazeTrackedEccentricity gaze(testGeom());
+    gaze.sealState();
+    EXPECT_TRUE(gaze.verifyState());
+
+    double *values = gaze.mutableMap().data();
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[1234], 8);
+    bits ^= 1ull << 17;
+    std::memcpy(&values[1234], &bits, 8);
+
+    EXPECT_FALSE(gaze.verifyState());
+}
+
+TEST(GazeIntegrity, RecoveryRestoresBitIdenticalMap)
+{
+    const DisplayGeometry geom = testGeom();
+    GazeTrackedEccentricity gaze(geom);
+    gaze.sealState();
+    const EccentricityMap fresh(geom);  // golden reference
+
+    // Corrupt several values outright, then recover.
+    double *values = gaze.mutableMap().data();
+    values[0] = -1.0;
+    values[500] = 9999.0;
+    EXPECT_FALSE(gaze.verifyAndRecoverState());
+    EXPECT_EQ(gaze.integrityRecoveries(), 1u);
+
+    // The recovered map is bit-identical to a fresh build at the
+    // sealed fixation, and the re-seal verifies.
+    const std::size_t n = static_cast<std::size_t>(geom.width) *
+                          static_cast<std::size_t>(geom.height);
+    EXPECT_EQ(std::memcmp(gaze.map().data(), fresh.data(),
+                          n * sizeof(double)),
+              0);
+    EXPECT_TRUE(gaze.verifyState());
+    // Intact state recovers nothing.
+    EXPECT_TRUE(gaze.verifyAndRecoverState());
+    EXPECT_EQ(gaze.integrityRecoveries(), 1u);
+}
+
+TEST(GazeIntegrity, UpdateResealsAutomatically)
+{
+    GazeTrackedEccentricity gaze(testGeom());
+    gaze.sealState();
+
+    // A legitimate re-fixation rewrites map values; the seal must
+    // follow it instead of flagging the service's own work.
+    GazeSample sample{0.1, 40.0, 52.0};
+    gaze.update(sample);
+    EXPECT_TRUE(gaze.verifyState());
+
+    // And a flip after that update is still caught.
+    gaze.mutableMap().data()[42] *= 2.0;
+    EXPECT_FALSE(gaze.verifyState());
+}
+
+TEST(GazeIntegrity, SealCoversFixationBookkeeping)
+{
+    const DisplayGeometry geom = testGeom();
+    GazeTrackedEccentricity gaze(geom);
+    gaze.sealState();
+    // Move the fixation through the legitimate path; auto-reseal keeps
+    // the seal aligned. Then corrupt the map and confirm recovery goes
+    // to the *new* sealed fixation, not the original one.
+    GazeSample sample{0.1, 20.0, 24.0};
+    gaze.update(sample);
+    const double fx = gaze.map().fixationX();
+    const double fy = gaze.map().fixationY();
+    gaze.mutableMap().data()[7] = 1e6;
+    EXPECT_FALSE(gaze.verifyAndRecoverState());
+    EXPECT_EQ(gaze.map().fixationX(), fx);
+    EXPECT_EQ(gaze.map().fixationY(), fy);
+}
+
+TEST(IncrementalEccentricity, RebuildAtResetsErrorAndClamps)
+{
+    const DisplayGeometry geom = testGeom();
+    IncrementalEccentricity updater(geom);
+    EccentricityMap map(geom);
+
+    // Accumulate some shift error first (shift small enough that the
+    // incremental path runs instead of the full-rebuild fallback).
+    updater.refixate(map, geom.fixationX + 1.0, geom.fixationY + 1.0);
+    EXPECT_GT(updater.accumulatedErrorBoundDeg(), 0.0);
+
+    // rebuildAt: exact, clamped, error bound reset.
+    updater.rebuildAt(map, -50.0, 1e9);
+    EXPECT_EQ(updater.accumulatedErrorBoundDeg(), 0.0);
+    EXPECT_EQ(map.fixationX(), 0.0);
+    EXPECT_EQ(map.fixationY(), static_cast<double>(geom.height - 1));
+
+    DisplayGeometry at = geom;
+    at.fixationX = 0.0;
+    at.fixationY = geom.height - 1;
+    const EccentricityMap fresh(at);
+    const std::size_t n = static_cast<std::size_t>(geom.width) *
+                          static_cast<std::size_t>(geom.height);
+    EXPECT_EQ(std::memcmp(map.data(), fresh.data(),
+                          n * sizeof(double)),
+              0);
+}
+
+} // namespace
+} // namespace pce
