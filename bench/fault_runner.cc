@@ -139,8 +139,9 @@ main(int argc, char **argv)
     cfg.flipCounts = {1, 3};
 
     std::cout << "fault campaign: " << w << "x" << h << " frame, "
-              << trials << " trials x {1,3} flips x 6 surfaces x "
-                 "{baseline, hardened}...\n";
+              << trials << " trials x {1,3} flips x "
+              << kFaultSurfaceCount
+              << " surfaces x {baseline, hardened}...\n";
     const Clock::time_point t0 = Clock::now();
     const FaultCampaignReport report = runFaultCampaign(cfg);
     const double campaign_s = seconds(t0, Clock::now());
@@ -152,6 +153,7 @@ main(int argc, char **argv)
         FaultSurface::TileScratch, FaultSurface::BdStream,
         FaultSurface::PngPayload,  FaultSurface::QueueSlot,
         FaultSurface::EccMap,      FaultSurface::FrameOutput,
+        FaultSurface::NetPacket,
     };
     int max_flips = 0;
     for (const int f : cfg.flipCounts)

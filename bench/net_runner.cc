@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Lossy-transport delivery bench: runs an animated scene sequence
+ * through the full encode -> packetize -> lossy channel -> NACK/
+ * retransmit -> deadline reassembly path (src/net) at a sweep of loss
+ * rates, and appends a dated `"bench": "net_delivery"` record to
+ * BENCH_encoder.json (schema in docs/PERF.md).
+ *
+ * Per loss point p in {0%, 10%, 25%} the record carries:
+ *  - loss<p>_delivered_tile_fraction — tiles decoded from the wire
+ *    over tiles total (the rest degraded to temporal hold or fill);
+ *  - loss<p>_foveal_intact_rate — fraction of frames whose foveal
+ *    region (<= fovealCutoffDeg) arrived fully intact, the QoS number
+ *    foveal-priority scheduling exists for;
+ *  - loss<p>_retransmit_overhead — retransmitted bytes over all bytes
+ *    sent (what the NACK loop cost);
+ *  - loss<p>_effective_psnr_db — PSNR of the degraded output against
+ *    the clean encode of the same frame (capped at 99 dB; byte-exact
+ *    delivery is infinite).
+ *
+ * At 0% loss the run aborts unless every frame reassembles
+ * byte-identically (manifest CRC-32 proof) — the bench doubles as the
+ * end-to-end transparency check.
+ *
+ * Knobs (environment): PCE_BENCH_WIDTH / PCE_BENCH_HEIGHT (default
+ * 512x512), PCE_BENCH_NET_FRAMES (frames per loss point, default 12),
+ * PCE_BENCH_THREADS. Output path: argv[1] or PCE_BENCH_OUT, default
+ * BENCH_encoder.json.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "net/delivery.hh"
+#include "simd/tile_kernels.hh"
+
+#ifdef PCE_HAVE_GIT_REV_HEADER
+#include "pce_git_rev.h"  // build-time stamp (cmake/git_rev.cmake)
+#endif
+#ifndef PCE_GIT_REV
+#define PCE_GIT_REV "unknown"
+#endif
+
+namespace {
+
+using namespace pce;
+
+struct LossPointResult
+{
+    int lossPercent = 0;
+    double deliveredTileFraction = 0.0;
+    double fovealIntactRate = 0.0;
+    double retransmitOverhead = 0.0;
+    double effectivePsnrDb = 0.0;
+};
+
+LossPointResult
+runLossPoint(const PerceptualEncoder &enc, const EccentricityMap &ecc,
+             int loss_percent, int frames, int w, int h)
+{
+    net::LossyChannelConfig ch;
+    ch.dropRate = loss_percent / 100.0;
+    if (loss_percent > 0) {
+        ch.duplicateRate = 0.02;
+        ch.corruptRate = 0.02;
+        ch.reorderRate = 0.10;
+    }
+    ch.seed = 0xbe7ce11 + static_cast<std::uint64_t>(loss_percent);
+    net::LossyChannel channel(ch);
+
+    net::SenderPolicy policy;
+    policy.sessionId = 0x5e55;
+    policy.streamId = 1;
+    net::ReassemblerParams rp;
+    rp.sessionId = policy.sessionId;
+    net::FrameReassembler rx(rp);
+
+    LossPointResult res;
+    res.lossPercent = loss_percent;
+    std::size_t tiles_total = 0, tiles_delivered = 0;
+    std::size_t bytes_sent = 0, bytes_retx = 0;
+    int foveal_intact_frames = 0;
+    double psnr_sum = 0.0;
+
+    EncodedFrame encoded;
+    ImageU8 delivered;
+    for (int i = 0; i < frames; ++i) {
+        RenderOptions opt;
+        opt.width = w;
+        opt.height = h;
+        opt.time = 20.0 * i / frames;
+        const ImageF frame = renderScene(SceneId::Skyline, opt);
+        enc.encodeFrameInto(frame, ecc, encoded);
+
+        const net::DeliveryReport rep = net::deliverFrame(
+            encoded.bdStream, static_cast<std::uint64_t>(i), &ecc,
+            channel, rx, delivered, policy);
+        tiles_total += rep.frame.totalTiles;
+        tiles_delivered += rep.frame.deliveredTiles;
+        bytes_sent += rep.bytesSent;
+        bytes_retx += rep.retransmittedBytes;
+        if (rep.fovealIntact)
+            ++foveal_intact_frames;
+        psnr_sum += std::min(
+            99.0, psnr(delivered, encoded.adjustedSrgb));
+
+        if (loss_percent == 0 && !rep.frame.byteIdentical) {
+            std::cerr << "net_runner: frame " << i
+                      << " not byte-identical over a clean channel\n";
+            std::abort();
+        }
+    }
+    res.deliveredTileFraction =
+        tiles_total ? static_cast<double>(tiles_delivered) / tiles_total
+                    : 1.0;
+    res.fovealIntactRate =
+        frames ? static_cast<double>(foveal_intact_frames) / frames
+               : 1.0;
+    res.retransmitOverhead =
+        bytes_sent ? static_cast<double>(bytes_retx) / bytes_sent : 0.0;
+    res.effectivePsnrDb = frames ? psnr_sum / frames : 0.0;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int w = bench::benchWidth();
+    const int h = bench::benchHeight();
+    const int threads = bench::benchThreads();
+    const int frames =
+        static_cast<int>(envInt("PCE_BENCH_NET_FRAMES", 12));
+    if (w < 8 || h < 8 || frames < 1) {
+        std::cerr << "net_runner: frame must be >= 8x8 and "
+                     "PCE_BENCH_NET_FRAMES >= 1\n";
+        return 1;
+    }
+    std::string out_path = "BENCH_encoder.json";
+    if (argc > 1)
+        out_path = argv[1];
+    else if (const char *env = std::getenv("PCE_BENCH_OUT"))
+        out_path = env;
+
+    const DisplayGeometry geom = bench::benchDisplay(w, h);
+    const EccentricityMap ecc(geom);
+    PipelineParams pp;
+    pp.threads = threads;
+    const PerceptualEncoder enc(bench::benchModel(), pp);
+
+    std::cout << "net delivery: " << w << "x" << h << ", " << frames
+              << " frames per loss point, loss sweep {0, 10, 25}%...\n";
+    std::vector<LossPointResult> results;
+    for (const int loss : {0, 10, 25})
+        results.push_back(runLossPoint(enc, ecc, loss, frames, w, h));
+
+    std::ostringstream rec;
+    rec << "  {\n"
+        << "    \"bench\": \"net_delivery\",\n"
+        << "    \"date\": \"" << bench::isoNowUtc() << "\",\n"
+        << "    \"git_rev\": \"" << PCE_GIT_REV << "\",\n"
+        << "    \"simd_level\": \""
+        << simd::simdLevelName(simd::activeSimdLevel()) << "\",\n"
+        << "    \"width\": " << w << ",\n"
+        << "    \"height\": " << h << ",\n"
+        << "    \"repeats\": " << frames << ",\n"
+        << "    \"hw_threads\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "    \"mt_threads\": " << threads << ",\n"
+        << "    \"mt_pool_workers\": " << (threads - 1) << ",\n"
+        << "    \"frames_per_loss_point\": " << frames;
+    for (const LossPointResult &r : results) {
+        const std::string p = "loss" + std::to_string(r.lossPercent);
+        rec << ",\n    \"" << p
+            << "_delivered_tile_fraction\": " << r.deliveredTileFraction
+            << ",\n    \"" << p
+            << "_foveal_intact_rate\": " << r.fovealIntactRate
+            << ",\n    \"" << p
+            << "_retransmit_overhead\": " << r.retransmitOverhead
+            << ",\n    \"" << p
+            << "_effective_psnr_db\": " << r.effectivePsnrDb;
+    }
+    rec << "\n  }";
+    bench::appendJsonRecord(out_path, rec.str());
+
+    std::cout << "simd level: "
+              << simd::simdLevelName(simd::activeSimdLevel())
+              << " (git " << PCE_GIT_REV << ")\n"
+              << "loss   delivered  foveal-intact  retx-overhead  "
+                 "psnr\n";
+    for (const LossPointResult &r : results)
+        std::printf("%3d%%   %8.4f   %12.4f   %12.4f   %6.2f dB\n",
+                    r.lossPercent, r.deliveredTileFraction,
+                    r.fovealIntactRate, r.retransmitOverhead,
+                    r.effectivePsnrDb);
+    std::cout << "appended record to " << out_path << "\n";
+    return 0;
+}

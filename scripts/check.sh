@@ -54,6 +54,21 @@ for suite in gaze_test_incremental_ecc gaze_test_gaze_trace \
         "./build-san/${suite}"
 done
 
+echo "== Lossy delivery tier under asan/ubsan =="
+# The reassembler copies attacker-controlled byte ranges into a frame
+# buffer guided by untrusted header fields, and the prefix walk parses
+# corrupted bit streams — run the net suites explicitly under the
+# sanitizers so a filtered/partial ctest invocation can never skip
+# them. test_reassembly in particular feeds forged-CRC corrupt-prefix
+# datagrams straight at the bounds checks.
+for suite in net_test_wire_format net_test_packetizer \
+             net_test_reassembly net_test_delivery \
+             service_test_collect_timeout; do
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        "./build-san/${suite}"
+done
+
 echo "== Fault injection + integrity hardening under asan/ubsan =="
 # The injector writes raw bits into live buffers and the campaign
 # drives corrupted data through every decode path — run these suites

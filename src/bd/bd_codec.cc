@@ -20,7 +20,31 @@ constexpr unsigned kTileBits = 8;
 constexpr unsigned kWidthFieldBits = kBdWidthFieldBits;
 constexpr unsigned kBaseBits = kBdBaseBits;
 
+static_assert(kMagicBits + 2 * kDimBits + kTileBits ==
+                  kBdStreamHeaderBits,
+              "header constant out of sync with the field widths");
+
 } // namespace
+
+void
+bdWriteStreamHeader(std::uint8_t *out8, int width, int height,
+                    int tile_size)
+{
+    if (width < 1 || width > 0xFFFF || height < 1 || height > 0xFFFF)
+        throw std::invalid_argument(
+            "bdWriteStreamHeader: dimensions out of header range");
+    if (tile_size < 1 || tile_size > 255)
+        throw std::invalid_argument(
+            "bdWriteStreamHeader: tile size out of range");
+    BitWriter bw;
+    bw.putBits(kMagic, kMagicBits);
+    bw.putBits(static_cast<uint32_t>(width), kDimBits);
+    bw.putBits(static_cast<uint32_t>(height), kDimBits);
+    bw.putBits(static_cast<uint32_t>(tile_size), kTileBits);
+    bw.alignToByte();
+    const std::vector<uint8_t> bytes = bw.take();
+    std::copy(bytes.begin(), bytes.end(), out8);
+}
 
 unsigned
 bdDeltaWidth(uint8_t min_value, uint8_t max_value)
@@ -247,6 +271,87 @@ BdCodec::decode(const std::vector<uint8_t> &stream)
     return img;
 }
 
+std::uint64_t
+BdCodec::walkTileRange(const std::uint8_t *data, std::size_t size_bytes,
+                       const std::vector<TileRect> &tiles,
+                       std::size_t tile_begin, std::size_t tile_end,
+                       std::uint64_t payload_bit_begin,
+                       std::size_t *offsets_out)
+{
+    const std::uint64_t stream_bits =
+        static_cast<std::uint64_t>(size_bytes) * 8;
+    BitReader hdr(data, size_bytes);
+    std::uint64_t offset = payload_bit_begin;
+    for (std::size_t t = tile_begin; t < tile_end; ++t) {
+        if (offsets_out)
+            offsets_out[t - tile_begin] =
+                static_cast<std::size_t>(offset);
+        const std::uint64_t pixels =
+            static_cast<std::uint64_t>(tiles[t].pixelCount());
+        for (int c = 0; c < 3; ++c) {
+            const std::uint64_t field_pos =
+                kBdStreamHeaderBits + offset;
+            if (field_pos + kWidthFieldBits + kBaseBits > stream_bits)
+                throw std::runtime_error(
+                    "BdCodec::decode: stream truncated mid-tile");
+            // Only the 4-bit width field is read (getBits' two-byte
+            // fast path); bases and deltas are stepped over
+            // arithmetically.
+            hdr.seek(static_cast<std::size_t>(field_pos));
+            const unsigned width = hdr.getBits(kWidthFieldBits);
+            if (width > 8)
+                throw std::runtime_error(
+                    "BdCodec::decode: delta width field exceeds 8 "
+                    "bits");
+            offset += kWidthFieldBits + kBaseBits + pixels * width;
+            if (kBdStreamHeaderBits + offset > stream_bits)
+                throw std::runtime_error(
+                    "BdCodec::decode: stream truncated mid-tile");
+        }
+    }
+    if (offsets_out)
+        offsets_out[tile_end - tile_begin] =
+            static_cast<std::size_t>(offset);
+    return offset;
+}
+
+void
+BdCodec::decodeTileRangeInto(const std::uint8_t *data,
+                             std::size_t size_bytes,
+                             const std::vector<TileRect> &tiles,
+                             std::size_t tile_begin,
+                             std::size_t tile_end,
+                             std::uint64_t payload_bit_begin,
+                             ImageU8 &out)
+{
+    BitReader br(data, size_bytes);
+    br.seek(static_cast<std::size_t>(kBdStreamHeaderBits +
+                                     payload_bit_begin));
+    for (std::size_t t = tile_begin; t < tile_end; ++t) {
+        const TileRect &rect = tiles[t];
+        for (int c = 0; c < 3; ++c) {
+            const unsigned width = br.getBits(kWidthFieldBits);
+            const unsigned base = br.getBits(kBaseBits);
+            if (width == 0) {
+                // Flat channel (the cheap "case 2" tiles): no delta
+                // bits to read, just splat the base.
+                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                    uint8_t *row = out.pixel(rect.x0, y);
+                    for (int x = 0; x < rect.w; ++x)
+                        row[3 * x + c] = static_cast<uint8_t>(base);
+                }
+                continue;
+            }
+            for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
+                uint8_t *row = out.pixel(rect.x0, y);
+                for (int x = 0; x < rect.w; ++x)
+                    row[3 * x + c] = static_cast<uint8_t>(
+                        base + br.getBits(width));
+            }
+        }
+    }
+}
+
 void
 BdCodec::decodeInto(const std::vector<uint8_t> &stream, ImageU8 &out,
                     BdDecodeScratch *scratch, ThreadPool *pool,
@@ -314,35 +419,8 @@ BdCodec::decodeInto(const std::vector<uint8_t> &stream, ImageU8 &out,
     auto walkPrefix =
         [&](std::vector<std::size_t> &offsets) -> std::uint64_t {
         offsets.resize(n_tiles + 1);
-        std::uint64_t offset = 0;  // payload bits before current field
-        for (std::size_t t = 0; t < n_tiles; ++t) {
-            offsets[t] = static_cast<std::size_t>(offset);
-            const std::uint64_t pixels = static_cast<std::uint64_t>(
-                s.tiles[t].pixelCount());
-            for (int c = 0; c < 3; ++c) {
-                const std::uint64_t field_pos = kHeaderBits + offset;
-                if (field_pos + kWidthFieldBits + kBaseBits >
-                    stream_bits)
-                    throw std::runtime_error(
-                        "BdCodec::decode: stream truncated mid-tile");
-                // Only the 4-bit width field is read (getBits'
-                // two-byte fast path); bases and deltas are stepped
-                // over arithmetically.
-                hdr.seek(static_cast<std::size_t>(field_pos));
-                const unsigned width = hdr.getBits(kWidthFieldBits);
-                if (width > 8)
-                    throw std::runtime_error(
-                        "BdCodec::decode: delta width field exceeds 8 "
-                        "bits");
-                offset +=
-                    kWidthFieldBits + kBaseBits + pixels * width;
-                if (kHeaderBits + offset > stream_bits)
-                    throw std::runtime_error(
-                        "BdCodec::decode: stream truncated mid-tile");
-            }
-        }
-        offsets[n_tiles] = static_cast<std::size_t>(offset);
-        return offset;
+        return walkTileRange(stream.data(), stream.size(), s.tiles, 0,
+                             n_tiles, 0, offsets.data());
     };
     const std::uint64_t offset = walkPrefix(s.bitOffsets);
 
@@ -387,32 +465,8 @@ BdCodec::decodeInto(const std::vector<uint8_t> &stream, ImageU8 &out,
     const uint8_t *data = stream.data();
     const std::size_t size = stream.size();
     auto decodeRange = [&](std::size_t begin, std::size_t end, int) {
-        BitReader br(data, size);
-        br.seek(kHeaderBits + s.bitOffsets[begin]);
-        for (std::size_t t = begin; t < end; ++t) {
-            const TileRect &rect = s.tiles[t];
-            for (int c = 0; c < 3; ++c) {
-                const unsigned width = br.getBits(kWidthFieldBits);
-                const unsigned base = br.getBits(kBaseBits);
-                if (width == 0) {
-                    // Flat channel (the cheap "case 2" tiles): no
-                    // delta bits to read, just splat the base.
-                    for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                        uint8_t *row = out.pixel(rect.x0, y);
-                        for (int x = 0; x < rect.w; ++x)
-                            row[3 * x + c] =
-                                static_cast<uint8_t>(base);
-                    }
-                    continue;
-                }
-                for (int y = rect.y0; y < rect.y0 + rect.h; ++y) {
-                    uint8_t *row = out.pixel(rect.x0, y);
-                    for (int x = 0; x < rect.w; ++x)
-                        row[3 * x + c] = static_cast<uint8_t>(
-                            base + br.getBits(width));
-                }
-            }
-        }
+        decodeTileRangeInto(data, size, s.tiles, begin, end,
+                            s.bitOffsets[begin], out);
     };
     const bool parallel =
         pool != nullptr && participants > 1 && n_tiles > 1;

@@ -76,6 +76,28 @@ inline constexpr std::uint64_t kBdDefaultMaxDecodePixels =
 inline constexpr unsigned kBdWidthFieldBits = 4;
 inline constexpr unsigned kBdBaseBits = 8;
 
+/**
+ * Bit length of the self-describing stream header
+ * ([24-bit magic][16-bit width][16-bit height][8-bit tile size]) — one
+ * byte-aligned 8-byte block. Payload bit offsets (BdEncodeScratch /
+ * BdDecodeScratch::bitOffsets, the tile-range entry points below, and
+ * the network packetizer in src/net) are all relative to the end of
+ * this header.
+ */
+inline constexpr unsigned kBdStreamHeaderBits = 64;
+
+/**
+ * Serialize the 8-byte BD stream header for the given geometry into
+ * @p out8 (exactly kBdStreamHeaderBits / 8 bytes). Lets a receiver
+ * that knows the frame geometry from side-channel metadata (the
+ * delivery tier's manifest packet) rebuild the header bit-exactly
+ * without having received the stream's first packet.
+ * @throws std::invalid_argument when the geometry does not fit the
+ *         header fields (dimensions over 16 bits, tile outside 1..255).
+ */
+void bdWriteStreamHeader(std::uint8_t *out8, int width, int height,
+                         int tile_size);
+
 /** Per-tile, per-channel bit accounting (drives Fig. 11). */
 struct BdChannelStats
 {
@@ -279,6 +301,53 @@ class BdCodec
         int participants = 1,
         std::uint64_t max_pixels = kBdDefaultMaxDecodePixels,
         bool duplicate_validate = false);
+
+    /**
+     * Walk the per-tile-channel records of tiles [tile_begin, tile_end)
+     * starting at payload bit @p payload_bit_begin, validating each
+     * record against the buffer bounds exactly as decodeInto's pass 1
+     * does (width field above 8 bits or a record running past the end
+     * of @p data throws), and return the exclusive end payload bit
+     * offset. This is the tile-range dual of the full-stream validate
+     * walk: a receiver holding only a *slice* of a frame's stream (the
+     * delivery tier's packets) can validate and locate its own tile
+     * range without the rest of the frame, provided the slice's bytes
+     * sit at their original positions in @p data.
+     *
+     * @param data Stream buffer (header at byte 0); bytes outside the
+     *        walked range are never read.
+     * @param tiles Full tile grid of the frame (tileGrid order).
+     * @param offsets_out Optional array of tile_end - tile_begin + 1
+     *        entries, filled with the exclusive prefix of payload bit
+     *        offsets (offsets_out[0] == payload_bit_begin).
+     * @throws std::runtime_error on a malformed or out-of-bounds record.
+     */
+    static std::uint64_t walkTileRange(const std::uint8_t *data,
+                                       std::size_t size_bytes,
+                                       const std::vector<TileRect> &tiles,
+                                       std::size_t tile_begin,
+                                       std::size_t tile_end,
+                                       std::uint64_t payload_bit_begin,
+                                       std::size_t *offsets_out = nullptr);
+
+    /**
+     * Decode tiles [tile_begin, tile_end) of a stream buffer into
+     * @p out, seeking straight to @p payload_bit_begin — the prefix
+     * seek path of decodeInto's pass 2, exposed for partial-frame
+     * decode. The caller must have validated the range first (
+     * walkTileRange) and sized @p out to the frame geometry; bytes of
+     * @p data outside the range's bit span are never read, so a
+     * partially reassembled frame buffer with holes decodes every
+     * *present* tile range correctly regardless of what the holes
+     * contain.
+     */
+    static void decodeTileRangeInto(const std::uint8_t *data,
+                                    std::size_t size_bytes,
+                                    const std::vector<TileRect> &tiles,
+                                    std::size_t tile_begin,
+                                    std::size_t tile_end,
+                                    std::uint64_t payload_bit_begin,
+                                    ImageU8 &out);
 
     /**
      * Bit accounting without materializing a stream. Exactly matches

@@ -9,6 +9,8 @@
 #include "core/pipeline.hh"
 #include "gaze/incremental_ecc.hh"
 #include "image/image.hh"
+#include "net/packetizer.hh"
+#include "net/reassembler.hh"
 #include "perception/discrimination.hh"
 #include "perception/display.hh"
 #include "png/png_codec.hh"
@@ -51,6 +53,10 @@ syntheticFrame(int w, int h, std::uint64_t seed)
     return img;
 }
 
+/** Wire identity the NetPacket surface delivers under. */
+constexpr std::uint64_t kNetSessionId = 0x5e551d;
+constexpr std::uint32_t kNetStreamId = 7;
+
 /** Shared per-campaign fixtures: the golden path, computed once. */
 struct CampaignContext
 {
@@ -63,6 +69,7 @@ struct CampaignContext
     EncodedFrame golden;       ///< golden encode of input against ecc
     std::vector<uint8_t> goldenPng;  ///< golden PNG of adjustedSrgb
     uint32_t goldenStreamCrc = 0;    ///< seal CRC of the golden stream
+    net::PacketizedFrame goldenPackets;  ///< golden wire image
 
     static DisplayGeometry makeGeom(const FaultCampaignConfig &cfg)
     {
@@ -93,6 +100,11 @@ struct CampaignContext
         goldenPng = pngEncode(golden.adjustedSrgb);
         goldenStreamCrc =
             crc32(golden.bdStream.data(), golden.bdStream.size());
+        net::PacketizerParams pp;
+        pp.sessionId = kNetSessionId;
+        pp.streamId = kNetStreamId;
+        goldenPackets =
+            net::packetizeFrame(golden.bdStream, 0, &ecc, pp);
     }
 };
 
@@ -263,6 +275,60 @@ runEccMapHardenedTrial(CampaignContext &ctx,
 }
 
 /**
+ * NetPacket: flip bits of one delivery-tier datagram in flight, with
+ * the rest of the frame's packets arriving clean. Baseline is the
+ * reassembler with per-packet CRC verification off — only the
+ * structural parse and the per-packet prefix walk stand between the
+ * flip and the framebuffer, and a flip in payload delta bits passes
+ * both. Hardened is the product configuration (verifyCrc on): the
+ * CRC-32 guarantees detection of 1-3 flips at datagram scale, the
+ * packet is rejected, and the tile degrades *visibly* (reported
+ * fallback/fill) instead of silently.
+ *
+ * "Detected" here means the tier refused or flagged the damage: a
+ * rejection counter fired, the manifest never validated, or the frame
+ * finalized incomplete — every one of those is surfaced in the
+ * FrameDeliveryReport a consumer sees. Only a frame that claims
+ * complete delivery while differing from the golden image is silent.
+ */
+Outcome
+runNetPacketTrial(CampaignContext &ctx, FaultInjector &inj,
+                  std::uint64_t seed, int flips, bool hardened)
+{
+    net::ReassemblerParams rp;
+    rp.sessionId = kNetSessionId;
+    rp.verifyCrc = hardened;
+    net::FrameReassembler rx(rp);
+    // The victim pick must not perturb the flip schedule: draw it
+    // from an independent stream of the same trial seed.
+    Rng pick(seed ^ 0xA11CE5ull);
+    const std::size_t victim = static_cast<std::size_t>(
+        pick.uniformInt(ctx.goldenPackets.packets.size()));
+    static thread_local ImageU8 delivered;
+    static thread_local std::vector<uint8_t> corrupt;
+    try {
+        for (std::size_t i = 0; i < ctx.goldenPackets.packets.size();
+             ++i) {
+            if (i != victim) {
+                rx.accept(ctx.goldenPackets.packets[i].bytes);
+                continue;
+            }
+            corrupt = ctx.goldenPackets.packets[i].bytes;
+            inj.inject(corrupt, flips);
+            rx.accept(corrupt);
+        }
+        const net::FrameDeliveryReport rep =
+            rx.finalizeFrame(kNetStreamId, 0, delivered);
+        if (rx.rejectedPackets() > 0 || !rep.manifestReceived ||
+            !rep.complete)
+            return Outcome::Detected;
+        return classifyDelivered(delivered, ctx.golden.adjustedSrgb);
+    } catch (...) {
+        return Outcome::Crash;
+    }
+}
+
+/**
  * QueueSlot / FrameOutput: flips inside the live EncodeService, via
  * its fault hooks — QueueSlot corrupts the queued input copy after
  * submit() (before the hardened dispatch verify), FrameOutput
@@ -373,6 +439,7 @@ runFaultCampaign(const FaultCampaignConfig &config)
         FaultSurface::TileScratch, FaultSurface::BdStream,
         FaultSurface::PngPayload,  FaultSurface::QueueSlot,
         FaultSurface::EccMap,      FaultSurface::FrameOutput,
+        FaultSurface::NetPacket,
     };
     for (const bool hardened : {false, true}) {
         for (const FaultSurface surface : surfaces) {
@@ -397,8 +464,9 @@ runFaultCampaign(const FaultCampaignConfig &config)
 
                 for (int trial = 0; trial < config.trialsPerSurface;
                      ++trial) {
-                    FaultInjector inj(
-                        trialSeed(config, surface, flips, trial));
+                    const std::uint64_t seed =
+                        trialSeed(config, surface, flips, trial);
+                    FaultInjector inj(seed);
                     Outcome o = Outcome::Crash;
                     switch (surface) {
                     case FaultSurface::TileScratch:
@@ -419,6 +487,10 @@ runFaultCampaign(const FaultCampaignConfig &config)
                                                          inj, flips)
                                 : runEccMapBaselineTrial(
                                       ctx, baselineMap, inj, flips);
+                        break;
+                    case FaultSurface::NetPacket:
+                        o = runNetPacketTrial(ctx, inj, seed, flips,
+                                              hardened);
                         break;
                     default:
                         break;

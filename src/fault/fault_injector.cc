@@ -14,6 +14,7 @@ faultSurfaceName(FaultSurface surface)
     case FaultSurface::QueueSlot:   return "queue_slot";
     case FaultSurface::EccMap:      return "ecc_map";
     case FaultSurface::FrameOutput: return "frame_output";
+    case FaultSurface::NetPacket:   return "net_packet";
     }
     return "unknown";
 }

@@ -52,10 +52,12 @@ enum class FaultSurface
     EccMap,
     /** An EncodedFrame's output buffers awaiting collect(). */
     FrameOutput,
+    /** A delivery-tier datagram in flight (src/net wire format). */
+    NetPacket,
 };
 
 /** Count of FaultSurface values (campaign sweep bound). */
-inline constexpr int kFaultSurfaceCount = 6;
+inline constexpr int kFaultSurfaceCount = 7;
 
 /** Stable snake_case surface name (report keys, bench records). */
 const char *faultSurfaceName(FaultSurface surface);

@@ -1,0 +1,155 @@
+#include "net/delivery.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "image/image.hh"
+#include "perception/display.hh"
+
+namespace pce::net {
+
+namespace {
+
+/** Per-packet transmission state for the round loop. */
+struct TxState
+{
+    int transmissions = 0;
+    int eligibleRound = 0;
+    bool delivered = false;
+    bool gaveUp = false;
+};
+
+} // namespace
+
+DeliveryReport
+deliverFrame(const std::vector<std::uint8_t> &bd_stream,
+             std::uint64_t frame_id, const EccentricityMap *ecc,
+             LossyChannel &channel, FrameReassembler &receiver,
+             ImageU8 &out, const SenderPolicy &policy)
+{
+    PacketizerParams pp;
+    pp.mtuBytes = policy.mtuBytes;
+    pp.sessionId = policy.sessionId;
+    pp.streamId = policy.streamId;
+    const PacketizedFrame pf =
+        packetizeFrame(bd_stream, frame_id, ecc, pp);
+
+    DeliveryReport rep;
+    std::vector<TxState> tx(pf.packets.size());
+    const int deadline = std::max(policy.deadlineRounds, 1);
+
+    for (int round = 0; round < deadline; ++round) {
+        rep.roundsUsed = round + 1;
+        // Transmit in foveal-priority order under the round budget:
+        // a foveal retransmission outranks a peripheral first send.
+        std::size_t budget = policy.budgetBytesPerRound;
+        for (const std::uint32_t idx : pf.sendOrder) {
+            TxState &t = tx[idx];
+            if (t.delivered || t.gaveUp || t.eligibleRound > round)
+                continue;
+            const std::vector<std::uint8_t> &bytes =
+                pf.packets[idx].bytes;
+            if (bytes.size() > budget)
+                continue;  // over budget this round; waits, then sheds
+            budget -= bytes.size();
+            channel.send(bytes);
+            ++rep.packetsSent;
+            rep.bytesSent += bytes.size();
+            if (t.transmissions > 0) {
+                ++rep.retransmittedPackets;
+                rep.retransmittedBytes += bytes.size();
+            }
+            ++t.transmissions;
+            // Exponential backoff before the next attempt: 1, 2, 4,
+            // ... rounds (the deadline is the hard cutoff).
+            t.eligibleRound =
+                round +
+                (1 << std::min(t.transmissions - 1, 8));
+        }
+
+        // This round's arrivals, then the (reliable) NACK.
+        for (const std::vector<std::uint8_t> &pkt : channel.ready())
+            receiver.accept(pkt);
+        const std::vector<std::uint32_t> missing =
+            receiver.missingSequences(policy.streamId, frame_id);
+        const std::set<std::uint32_t> missing_set(missing.begin(),
+                                                  missing.end());
+        // A NACK that still lists the manifest is incomplete: without
+        // it the receiver cannot enumerate missing data sequences, so
+        // absence from the list is no acknowledgment — treating it as
+        // one would strand every dropped data packet unretransmitted.
+        if (!missing_set.count(0))
+            for (std::size_t i = 0; i < pf.packets.size(); ++i)
+                if (!missing_set.count(pf.packets[i].header.sequence))
+                    tx[i].delivered = true;
+        if (missing.empty())
+            break;
+        for (TxState &t : tx)
+            if (!t.delivered && !t.gaveUp &&
+                t.transmissions > policy.maxRetransmitAttempts)
+                t.gaveUp = true;
+    }
+
+    for (std::size_t i = 0; i < pf.packets.size(); ++i) {
+        if (tx[i].delivered || tx[i].transmissions > 0)
+            continue;
+        ++rep.shedPackets;
+        rep.shedTiles += pf.packets[i].header.tileCount;
+    }
+
+    rep.frame = receiver.finalizeFrame(policy.streamId, frame_id, out);
+
+    // Foveal accounting lives here, not in the receiver: the receiver
+    // never sees an eccentricity map, only the delivery mask.
+    if (ecc) {
+        const std::vector<TileRect> tiles =
+            tileGrid(static_cast<int>(pf.manifest.width),
+                     static_cast<int>(pf.manifest.height),
+                     static_cast<int>(pf.manifest.tileSize));
+        for (std::size_t t = 0; t < tiles.size(); ++t) {
+            if (ecc->minInRect(tiles[t]) > policy.fovealCutoffDeg)
+                continue;
+            ++rep.fovealTiles;
+            if (t < rep.frame.tileDelivered.size() &&
+                rep.frame.tileDelivered[t])
+                ++rep.fovealDelivered;
+        }
+    }
+    rep.fovealIntact = rep.frame.manifestReceived &&
+                       rep.fovealDelivered == rep.fovealTiles;
+    return rep;
+}
+
+DeliverySession::DeliverySession(EncodeService &service,
+                                 StreamHandle handle,
+                                 LossyChannel &channel,
+                                 const SenderPolicy &policy,
+                                 const EccentricityMap *ecc)
+    : service_(service), handle_(handle), channel_(channel),
+      policy_(policy), ecc_(ecc), receiver_([&] {
+          ReassemblerParams rp;
+          rp.sessionId = policy.sessionId;
+          return rp;
+      }())
+{}
+
+DeliveryReport
+DeliverySession::deliverNext(ImageU8 &out,
+                             std::chrono::milliseconds encode_timeout)
+{
+    FrameLease lease = service_.collectFor(handle_, encode_timeout);
+    if (!lease.valid()) {
+        // Encoder missed the frame deadline: finalize the frame id
+        // with nothing in it — whole-frame temporal hold. The late
+        // result stays owed and delivers under the next frame id.
+        DeliveryReport rep;
+        rep.encodeTimedOut = true;
+        rep.frame = receiver_.finalizeFrame(policy_.streamId,
+                                            nextFrame_++, out);
+        return rep;
+    }
+    return deliverFrame(lease->bdStream, nextFrame_++, ecc_, channel_,
+                        receiver_, out, policy_);
+}
+
+} // namespace pce::net

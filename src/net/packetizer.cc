@@ -1,0 +1,147 @@
+#include "net/packetizer.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "bd/bd_codec.hh"
+#include "common/bitstream.hh"
+#include "common/integrity.hh"
+#include "image/image.hh"
+#include "perception/display.hh"
+
+namespace pce::net {
+
+PacketizedFrame
+packetizeFrame(const std::vector<std::uint8_t> &bd_stream,
+               std::uint64_t frame_id, const EccentricityMap *ecc,
+               const PacketizerParams &params)
+{
+    if (params.mtuBytes <= kPacketHeaderBytes)
+        throw std::invalid_argument(
+            "packetizeFrame: MTU does not fit the packet header");
+    if (bd_stream.size() < kBdStreamHeaderBits / 8)
+        throw std::runtime_error(
+            "packetizeFrame: stream shorter than the BD header");
+
+    // Read the geometry fields, then validate the whole header by
+    // re-serializing it — one source of truth for the header layout
+    // (bdWriteStreamHeader) instead of a duplicated magic constant.
+    BitReader hdr(bd_stream);
+    hdr.seek(24);  // past the magic, checked bit-exactly below
+    const std::uint32_t w = hdr.getBits(16);
+    const std::uint32_t h = hdr.getBits(16);
+    const std::uint32_t tile = hdr.getBits(8);
+    std::uint8_t expect[kBdStreamHeaderBits / 8];
+    try {
+        bdWriteStreamHeader(expect, static_cast<int>(w),
+                            static_cast<int>(h),
+                            static_cast<int>(tile));
+    } catch (const std::invalid_argument &) {
+        throw std::runtime_error("packetizeFrame: bad BD header");
+    }
+    if (!std::equal(expect, expect + sizeof(expect), bd_stream.data()))
+        throw std::runtime_error("packetizeFrame: bad BD magic");
+
+    const std::vector<TileRect> tiles = tileGrid(
+        static_cast<int>(w), static_cast<int>(h),
+        static_cast<int>(tile));
+    const std::size_t n_tiles = tiles.size();
+    std::vector<std::size_t> offsets(n_tiles + 1);
+    BdCodec::walkTileRange(bd_stream.data(), bd_stream.size(), tiles, 0,
+                           n_tiles, 0, offsets.data());
+    const std::uint64_t total_bits =
+        kBdStreamHeaderBits + offsets[n_tiles];
+    if ((total_bits + 7) / 8 != bd_stream.size())
+        throw std::runtime_error(
+            "packetizeFrame: stream length disagrees with payload");
+
+    // Byte span of the stream containing payload bits [0, offsets[t]).
+    auto startByteOf = [&](std::size_t t) {
+        return (kBdStreamHeaderBits + offsets[t]) / 8;
+    };
+    auto endByteOf = [&](std::size_t t) {
+        return (kBdStreamHeaderBits + offsets[t] + 7) / 8;
+    };
+
+    // Greedy tile-aligned split under the MTU payload budget.
+    const std::size_t max_payload =
+        params.mtuBytes - kPacketHeaderBytes;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (std::size_t t0 = 0; t0 < n_tiles;) {
+        std::size_t t1 = t0 + 1;
+        while (t1 < n_tiles &&
+               endByteOf(t1 + 1) - startByteOf(t0) <= max_payload)
+            ++t1;
+        ranges.emplace_back(t0, t1);
+        t0 = t1;
+    }
+
+    PacketizedFrame pf;
+    pf.manifest.width = w;
+    pf.manifest.height = h;
+    pf.manifest.tileSize = tile;
+    pf.manifest.tileCount = static_cast<std::uint32_t>(n_tiles);
+    pf.manifest.packetCount = static_cast<std::uint32_t>(ranges.size());
+    pf.manifest.payloadBits = offsets[n_tiles];
+    pf.manifest.streamBytes =
+        static_cast<std::uint32_t>(bd_stream.size());
+    pf.manifest.streamCrc = crc32(bd_stream.data(), bd_stream.size());
+
+    PacketHeader base;
+    base.sessionId = params.sessionId;
+    base.streamId = params.streamId;
+    base.frameId = frame_id;
+
+    pf.packets.reserve(ranges.size() + 1);
+    Packet manifest_pkt;
+    manifest_pkt.header = base;
+    manifest_pkt.header.type = PacketType::Manifest;
+    manifest_pkt.header.sequence = 0;
+    manifest_pkt.header.payloadBytes = kManifestPayloadBytes;
+    manifest_pkt.bytes =
+        buildManifestPacket(manifest_pkt.header, pf.manifest);
+    pf.wireBytes += manifest_pkt.bytes.size();
+    pf.packets.push_back(std::move(manifest_pkt));
+
+    std::uint32_t seq = 1;
+    for (const auto &[t0, t1] : ranges) {
+        Packet pkt;
+        pkt.header = base;
+        pkt.header.type = PacketType::TileData;
+        pkt.header.sequence = seq++;
+        pkt.header.tileBegin = static_cast<std::uint32_t>(t0);
+        pkt.header.tileCount = static_cast<std::uint32_t>(t1 - t0);
+        pkt.header.payloadBitBegin = offsets[t0];
+        const std::size_t sb = startByteOf(t0);
+        const std::size_t eb = endByteOf(t1);
+        pkt.header.payloadBytes =
+            static_cast<std::uint32_t>(eb - sb);
+        pkt.bytes =
+            buildPacket(pkt.header, bd_stream.data() + sb, eb - sb);
+        if (ecc) {
+            double min_ecc = std::numeric_limits<double>::infinity();
+            for (std::size_t t = t0; t < t1; ++t)
+                min_ecc =
+                    std::min(min_ecc, ecc->minInRect(tiles[t]));
+            pkt.minEccDeg = min_ecc;
+        }
+        pf.wireBytes += pkt.bytes.size();
+        pf.packets.push_back(std::move(pkt));
+    }
+
+    // Priority order: manifest, then foveal-out (stable: equal
+    // eccentricities keep tile order, so the no-map schedule is plain
+    // tile order).
+    pf.sendOrder.resize(pf.packets.size());
+    std::iota(pf.sendOrder.begin(), pf.sendOrder.end(), 0u);
+    std::stable_sort(pf.sendOrder.begin() + 1, pf.sendOrder.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return pf.packets[a].minEccDeg <
+                                pf.packets[b].minEccDeg;
+                     });
+    return pf;
+}
+
+} // namespace pce::net

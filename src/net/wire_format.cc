@@ -1,0 +1,186 @@
+#include "net/wire_format.hh"
+
+#include <algorithm>
+
+#include "common/integrity.hh"
+
+namespace pce::net {
+
+namespace {
+
+/** Little-endian field emitters/parsers over a raw byte cursor. */
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** Byte offsets of the serialized header fields. */
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffType = 5;
+constexpr std::size_t kOffFlags = 6;
+// byte 7 reserved, written as zero
+constexpr std::size_t kOffSession = 8;
+constexpr std::size_t kOffStream = 16;
+constexpr std::size_t kOffFrame = 20;
+constexpr std::size_t kOffSequence = 28;
+constexpr std::size_t kOffTileBegin = 32;
+constexpr std::size_t kOffTileCount = 36;
+constexpr std::size_t kOffBitBegin = 40;
+constexpr std::size_t kOffPayloadBytes = 48;
+constexpr std::size_t kOffCrc = 52;
+
+static_assert(kOffCrc + 4 == kPacketHeaderBytes,
+              "header layout out of sync with kPacketHeaderBytes");
+
+} // namespace
+
+std::vector<std::uint8_t>
+buildPacket(PacketHeader header, const std::uint8_t *payload,
+            std::size_t payload_bytes)
+{
+    header.payloadBytes = static_cast<std::uint32_t>(payload_bytes);
+    std::vector<std::uint8_t> pkt(kPacketHeaderBytes + payload_bytes,
+                                  0);
+    std::uint8_t *p = pkt.data();
+    put32(p + kOffMagic, kPacketMagic);
+    p[kOffVersion] = kWireVersion;
+    p[kOffType] = static_cast<std::uint8_t>(header.type);
+    p[kOffFlags] = header.flags;
+    put64(p + kOffSession, header.sessionId);
+    put32(p + kOffStream, header.streamId);
+    put64(p + kOffFrame, header.frameId);
+    put32(p + kOffSequence, header.sequence);
+    put32(p + kOffTileBegin, header.tileBegin);
+    put32(p + kOffTileCount, header.tileCount);
+    put64(p + kOffBitBegin, header.payloadBitBegin);
+    put32(p + kOffPayloadBytes, header.payloadBytes);
+    if (payload_bytes > 0)
+        std::copy(payload, payload + payload_bytes,
+                  p + kPacketHeaderBytes);
+    put32(p + kOffCrc, packetCrc(p, pkt.size()));
+    return pkt;
+}
+
+std::vector<std::uint8_t>
+buildManifestPacket(PacketHeader header, const FrameManifest &m)
+{
+    std::uint8_t payload[kManifestPayloadBytes];
+    serializeManifest(m, payload);
+    header.type = PacketType::Manifest;
+    header.sequence = 0;
+    return buildPacket(header, payload, kManifestPayloadBytes);
+}
+
+bool
+parsePacketHeader(const std::uint8_t *data, std::size_t n,
+                  PacketHeader &out)
+{
+    if (n < kPacketHeaderBytes)
+        return false;
+    if (get32(data + kOffMagic) != kPacketMagic)
+        return false;
+    if (data[kOffVersion] != kWireVersion)
+        return false;
+    const std::uint8_t type = data[kOffType];
+    if (type != static_cast<std::uint8_t>(PacketType::Manifest) &&
+        type != static_cast<std::uint8_t>(PacketType::TileData))
+        return false;
+    out.type = static_cast<PacketType>(type);
+    out.flags = data[kOffFlags];
+    out.sessionId = get64(data + kOffSession);
+    out.streamId = get32(data + kOffStream);
+    out.frameId = get64(data + kOffFrame);
+    out.sequence = get32(data + kOffSequence);
+    out.tileBegin = get32(data + kOffTileBegin);
+    out.tileCount = get32(data + kOffTileCount);
+    out.payloadBitBegin = get64(data + kOffBitBegin);
+    out.payloadBytes = get32(data + kOffPayloadBytes);
+    // The length field must agree with the datagram exactly: transport
+    // truncation and trailing garbage both fail structurally, before
+    // any payload byte is interpreted.
+    if (out.payloadBytes != n - kPacketHeaderBytes)
+        return false;
+    return true;
+}
+
+std::uint32_t
+packetCrc(const std::uint8_t *data, std::size_t n)
+{
+    // CRC over the datagram with the crc field zeroed: feed the bytes
+    // around the field instead of copying the packet.
+    Crc32 crc;
+    crc.update(data, kOffCrc);
+    const std::uint8_t zeros[4] = {0, 0, 0, 0};
+    crc.update(zeros, 4);
+    if (n > kPacketHeaderBytes)
+        crc.update(data + kPacketHeaderBytes, n - kPacketHeaderBytes);
+    return crc.value();
+}
+
+bool
+verifyPacketCrc(const std::uint8_t *data, std::size_t n)
+{
+    if (n < kPacketHeaderBytes)
+        return false;
+    return get32(data + kOffCrc) == packetCrc(data, n);
+}
+
+void
+serializeManifest(const FrameManifest &m, std::uint8_t *out)
+{
+    put32(out + 0, m.width);
+    put32(out + 4, m.height);
+    put32(out + 8, m.tileSize);
+    put32(out + 12, m.tileCount);
+    put32(out + 16, m.packetCount);
+    put64(out + 20, m.payloadBits);
+    put32(out + 28, m.streamBytes);
+    put32(out + 32, m.streamCrc);
+}
+
+bool
+parseManifestPayload(const std::uint8_t *payload, std::size_t n,
+                     FrameManifest &out)
+{
+    if (n != kManifestPayloadBytes)
+        return false;
+    out.width = get32(payload + 0);
+    out.height = get32(payload + 4);
+    out.tileSize = get32(payload + 8);
+    out.tileCount = get32(payload + 12);
+    out.packetCount = get32(payload + 16);
+    out.payloadBits = get64(payload + 20);
+    out.streamBytes = get32(payload + 28);
+    out.streamCrc = get32(payload + 32);
+    return true;
+}
+
+} // namespace pce::net

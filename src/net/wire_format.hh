@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Wire format of the lossy-transport delivery tier.
+ *
+ * A BD frame crosses the network as one *manifest* packet plus a run
+ * of *tile-data* packets, each a self-contained datagram: fixed
+ * little-endian header, payload, and a CRC-32 (src/common/integrity)
+ * over both. Tile-data payloads are byte slices of the frame's BD
+ * bitstream cut on per-tile bit-offset prefix boundaries (src/bd's
+ * walk), so every packet decodes independently of every other via the
+ * prefix seek path — a lost packet degrades its tile range, never the
+ * frame. The manifest carries the frame geometry and whole-stream
+ * accounting (packet count, payload bits, stream bytes + CRC) the
+ * receiver needs to size its reassembly buffer, rebuild the 8-byte BD
+ * header, enumerate missing sequences for NACKs, and prove
+ * byte-identical reassembly end to end.
+ *
+ * Integrity layering: the per-packet CRC-32 rejects transport bit
+ * flips (guaranteed for 1-3 flips at MTU sizes — Hamming distance >= 4
+ * below ~11 KB); the per-packet prefix walk rejects structurally
+ * inconsistent tile ranges that a forged-but-CRC-valid packet could
+ * smuggle; the manifest's whole-stream CRC-32 is the end-to-end
+ * byte-identity proof once every packet has landed. Parsing never
+ * trusts a length field before bounding it against the datagram.
+ */
+
+#ifndef PCE_NET_WIRE_FORMAT_HH
+#define PCE_NET_WIRE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pce::net {
+
+/** Datagram magic ("PCEP"), first field of every packet. */
+inline constexpr std::uint32_t kPacketMagic = 0x50434550u;
+/** Wire format version; receivers reject anything else. */
+inline constexpr std::uint8_t kWireVersion = 1;
+/** Serialized PacketHeader size, bytes (fixed, little-endian). */
+inline constexpr std::size_t kPacketHeaderBytes = 56;
+/** Serialized FrameManifest payload size, bytes. */
+inline constexpr std::size_t kManifestPayloadBytes = 36;
+/** PacketHeader::flags bit: this transmission is a retransmit. */
+inline constexpr std::uint8_t kFlagRetransmit = 0x01;
+
+enum class PacketType : std::uint8_t {
+    Manifest = 0,  ///< per-frame metadata, always sequence 0
+    TileData = 1,  ///< a tile-aligned slice of the BD bitstream
+};
+
+/**
+ * Fixed per-packet header. Sequence 0 is the manifest; tile-data
+ * packets number 1..packetCount in tile order, so a receiver holding
+ * the manifest can enumerate exactly which sequences it is missing.
+ */
+struct PacketHeader
+{
+    std::uint64_t sessionId = 0;  ///< delivery session (rx rejects others)
+    std::uint32_t streamId = 0;   ///< stream within the session
+    std::uint64_t frameId = 0;    ///< frame within the stream
+    std::uint32_t sequence = 0;   ///< packet within the frame (0 = manifest)
+    PacketType type = PacketType::TileData;
+    std::uint8_t flags = 0;       ///< kFlagRetransmit
+    std::uint32_t tileBegin = 0;  ///< first tile covered (tile order)
+    std::uint32_t tileCount = 0;  ///< tiles covered, contiguous
+    /** BD payload bit offset of tileBegin's record (header-relative,
+     *  i.e. excluding the 8-byte BD stream header). */
+    std::uint64_t payloadBitBegin = 0;
+    std::uint32_t payloadBytes = 0;  ///< payload length after the header
+    /** CRC-32 over the whole datagram with this field zeroed. */
+    std::uint32_t crc = 0;
+};
+
+/** Manifest payload: what the receiver needs to reassemble a frame. */
+struct FrameManifest
+{
+    std::uint32_t width = 0;        ///< frame width, pixels
+    std::uint32_t height = 0;       ///< frame height, pixels
+    std::uint32_t tileSize = 0;     ///< BD tile edge
+    std::uint32_t tileCount = 0;    ///< tiles in the frame's grid
+    std::uint32_t packetCount = 0;  ///< tile-data packets (seq 1..N)
+    std::uint64_t payloadBits = 0;  ///< total BD payload bits
+    std::uint32_t streamBytes = 0;  ///< full BD stream size, bytes
+    std::uint32_t streamCrc = 0;    ///< CRC-32 of the complete stream
+};
+
+/**
+ * Serialize @p header + @p payload into one datagram, computing and
+ * filling the CRC. @p header.payloadBytes is overwritten with
+ * @p payload_bytes.
+ */
+std::vector<std::uint8_t> buildPacket(PacketHeader header,
+                                      const std::uint8_t *payload,
+                                      std::size_t payload_bytes);
+
+/** buildPacket with a serialized FrameManifest as the payload. */
+std::vector<std::uint8_t> buildManifestPacket(PacketHeader header,
+                                              const FrameManifest &m);
+
+/**
+ * Parse and structurally validate a datagram's header: magic, version,
+ * a known type, and a payloadBytes field that exactly matches the
+ * datagram length. Returns false (out untouched on failure paths is
+ * not guaranteed) instead of throwing — corrupt datagrams are routine
+ * input for a receiver, not exceptional.
+ */
+bool parsePacketHeader(const std::uint8_t *data, std::size_t n,
+                       PacketHeader &out);
+
+/** Recompute the datagram CRC (header with crc zeroed + payload). */
+std::uint32_t packetCrc(const std::uint8_t *data, std::size_t n);
+
+/** True when the stored CRC matches the recomputed one. */
+bool verifyPacketCrc(const std::uint8_t *data, std::size_t n);
+
+/** Serialize a manifest into kManifestPayloadBytes at @p out. */
+void serializeManifest(const FrameManifest &m, std::uint8_t *out);
+
+/** Parse a manifest payload; false when @p n is not the exact size. */
+bool parseManifestPayload(const std::uint8_t *payload, std::size_t n,
+                          FrameManifest &out);
+
+} // namespace pce::net
+
+#endif // PCE_NET_WIRE_FORMAT_HH

@@ -377,6 +377,36 @@ EncodeService::submitStereo(StreamHandle handle, const StereoFrame &pair)
 FrameLease
 EncodeService::collect(StreamHandle handle)
 {
+    return collectImpl(handle, nullptr);
+}
+
+FrameLease
+EncodeService::collectFor(StreamHandle handle,
+                          std::chrono::milliseconds timeout)
+{
+    return collectImpl(handle, &timeout);
+}
+
+FrameLease
+EncodeService::tryCollect(StreamHandle handle)
+{
+    if (!handle.valid())
+        throw std::invalid_argument(
+            "EncodeService::tryCollect: invalid stream handle");
+    {
+        StreamState &s = *handle.state_;
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (s.collected == s.submitted)
+            return FrameLease();
+    }
+    const std::chrono::milliseconds zero{0};
+    return collectImpl(handle, &zero);
+}
+
+FrameLease
+EncodeService::collectImpl(StreamHandle handle,
+                           const std::chrono::milliseconds *timeout)
+{
     if (!handle.valid())
         throw std::invalid_argument(
             "EncodeService::collect: invalid stream handle");
@@ -387,9 +417,15 @@ EncodeService::collect(StreamHandle handle)
             "EncodeService::collect: no frame outstanding");
     // A rolled-back submit (shutdown race) can retract the frame we
     // are waiting for, so re-check the outstanding count on wake.
-    s.frameReady.wait(lock, [&] {
+    auto ready = [&] {
         return s.readyCount > 0 || s.collected == s.submitted;
-    });
+    };
+    if (timeout) {
+        if (!s.frameReady.wait_for(lock, *timeout, ready))
+            return FrameLease();  // deadline expired, frame still owed
+    } else {
+        s.frameReady.wait(lock, ready);
+    }
     if (s.readyCount == 0)
         throw std::runtime_error(
             "EncodeService::collect: stream drained by shutdown");

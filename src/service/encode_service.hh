@@ -411,6 +411,31 @@ class EncodeService
      */
     FrameLease collect(StreamHandle handle);
 
+    /**
+     * collect() with a deadline: wait at most @p timeout for the
+     * stream's oldest un-collected frame and return an *invalid*
+     * (default-constructed) FrameLease when the timeout expires first.
+     * The frame stays outstanding — a later collect/collectFor/
+     * tryCollect picks it up in FIFO order, so a result that arrives
+     * late is delayed, never lost. Same exceptions as collect()
+     * (std::logic_error when nothing is outstanding, the rethrown
+     * encode error, FrameQuarantined) when a result *is* ready. This
+     * is the delivery tier's entry point: a per-frame deadline loop
+     * (src/net) must never wedge behind an indefinitely blocking
+     * collect when an encode stalls.
+     */
+    FrameLease collectFor(StreamHandle handle,
+                          std::chrono::milliseconds timeout);
+
+    /**
+     * Non-blocking poll: the oldest encoded frame if one is ready
+     * right now, an invalid lease otherwise — including when nothing
+     * is outstanding at all (unlike collect/collectFor this never
+     * throws std::logic_error, so a poll loop needs no bookkeeping of
+     * its own submissions).
+     */
+    FrameLease tryCollect(StreamHandle handle);
+
     /** Block until everything submitted on the stream is encoded. */
     void drain(StreamHandle handle);
 
@@ -437,6 +462,8 @@ class EncodeService
     void dispatchLoop();
     void submitImpl(StreamHandle handle, const ImageF &frame,
                     const GazeSample *gaze);
+    FrameLease collectImpl(StreamHandle handle,
+                           const std::chrono::milliseconds *timeout);
 
     const ServiceParams params_;
     std::unique_ptr<ThreadPool> pool_;

@@ -341,8 +341,8 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
 
         // Shared fields (docs/PERF.md). Records predating the `bench`
         // discriminator are full_frame_encoder records; known types
-        // are full_frame_encoder, encode_service, gaze_encode, and
-        // fault_campaign.
+        // are full_frame_encoder, encode_service, gaze_encode,
+        // fault_campaign, and net_delivery.
         std::string bench = "full_frame_encoder";
         if (const JsonValue *b = rec.find("bench")) {
             ASSERT_TRUE(b->isString()) << "record " << i;
@@ -420,17 +420,22 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
                   "baseline_encode_mps", "hardened_encode_mps"})
                 expectNumber(rec, key, i);
             // Per-surface coverage / silent-corruption rates for both
-            // configurations; rates are probabilities.
+            // configurations; rates are probabilities. The net_packet
+            // surface appeared with the delivery tier (PR 7): require
+            // its fields only on records that carry them.
             static const char *const surfaces[] = {
                 "tile_scratch", "bd_stream", "png_payload",
                 "queue_slot",   "ecc_map",   "frame_output"};
             static const char *const metrics[] = {
                 "_baseline_coverage", "_hardened_coverage",
                 "_baseline_silent_rate", "_hardened_silent_rate"};
-            for (const char *surface : surfaces)
+            std::vector<std::string> surface_names(
+                surfaces, surfaces + std::size(surfaces));
+            if (rec.find("net_packet_baseline_coverage") != nullptr)
+                surface_names.push_back("net_packet");
+            for (const std::string &surface : surface_names)
                 for (const char *metric : metrics) {
-                    const std::string key =
-                        std::string(surface) + metric;
+                    const std::string key = surface + metric;
                     expectNumber(rec, key.c_str(), i);
                     const JsonValue *v = rec.find(key);
                     ASSERT_NE(v, nullptr) << "record " << i;
@@ -441,10 +446,11 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
             // The point of the record: on every surface the selective
             // hardening defends, silent corruption must drop and
             // detection coverage must rise relative to baseline.
-            for (const char *surface :
-                 {"bd_stream", "queue_slot", "ecc_map",
-                  "frame_output"}) {
-                const std::string s(surface);
+            std::vector<std::string> defended = {
+                "bd_stream", "queue_slot", "ecc_map", "frame_output"};
+            if (rec.find("net_packet_baseline_coverage") != nullptr)
+                defended.push_back("net_packet");
+            for (const std::string &s : defended) {
                 const JsonValue *bs =
                     rec.find(s + "_baseline_silent_rate");
                 const JsonValue *hs =
@@ -455,12 +461,42 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
                     rec.find(s + "_hardened_coverage");
                 ASSERT_TRUE(bs && hs && bc && hc) << "record " << i;
                 EXPECT_LT(hs->number, bs->number)
-                    << "record " << i << " surface " << surface
+                    << "record " << i << " surface " << s
                     << ": hardening did not reduce silent corruption";
                 EXPECT_GT(hc->number, bc->number)
-                    << "record " << i << " surface " << surface
+                    << "record " << i << " surface " << s
                     << ": hardening did not raise detection coverage";
             }
+        } else if (bench == "net_delivery") {
+            expectNumber(rec, "frames_per_loss_point", i);
+            for (const int loss : {0, 10, 25}) {
+                const std::string p = "loss" + std::to_string(loss);
+                for (const char *metric :
+                     {"_delivered_tile_fraction", "_foveal_intact_rate",
+                      "_retransmit_overhead", "_effective_psnr_db"})
+                    expectNumber(rec, (p + metric).c_str(), i);
+                const JsonValue *frac =
+                    rec.find(p + "_delivered_tile_fraction");
+                const JsonValue *intact =
+                    rec.find(p + "_foveal_intact_rate");
+                const JsonValue *retx =
+                    rec.find(p + "_retransmit_overhead");
+                ASSERT_TRUE(frac && intact && retx)
+                    << "record " << i;
+                EXPECT_LE(frac->number, 1.0) << "record " << i;
+                EXPECT_LE(intact->number, 1.0) << "record " << i;
+                EXPECT_LE(retx->number, 1.0) << "record " << i;
+                EXPECT_GE(frac->number, 0.0) << "record " << i;
+                EXPECT_GE(intact->number, 0.0) << "record " << i;
+                EXPECT_GE(retx->number, 0.0) << "record " << i;
+            }
+            // A clean channel must be fully transparent.
+            const JsonValue *clean =
+                rec.find("loss0_delivered_tile_fraction");
+            ASSERT_NE(clean, nullptr) << "record " << i;
+            EXPECT_DOUBLE_EQ(clean->number, 1.0)
+                << "record " << i
+                << ": tiles lost over a clean channel";
         } else {
             ADD_FAILURE() << "record " << i
                           << " has unknown bench type \"" << bench

@@ -29,8 +29,8 @@ smokeConfig()
 TEST(FaultCampaign, EveryTrialAccounted)
 {
     const FaultCampaignReport report = runFaultCampaign(smokeConfig());
-    // 6 surfaces x 2 flip counts x 2 configurations.
-    EXPECT_EQ(report.outcomes.size(), 24u);
+    // 7 surfaces x 2 flip counts x 2 configurations.
+    EXPECT_EQ(report.outcomes.size(), 28u);
     for (const SurfaceOutcome &o : report.outcomes) {
         EXPECT_EQ(o.trials, 12) << faultSurfaceName(o.surface);
         EXPECT_EQ(o.detected + o.silentCorrupt + o.benign + o.crashes,
@@ -45,7 +45,8 @@ TEST(FaultCampaign, HardenedSurfacesHaveNoSilentCorruption)
     const FaultCampaignReport report = runFaultCampaign(smokeConfig());
     for (const FaultSurface s :
          {FaultSurface::BdStream, FaultSurface::QueueSlot,
-          FaultSurface::EccMap, FaultSurface::FrameOutput}) {
+          FaultSurface::EccMap, FaultSurface::FrameOutput,
+          FaultSurface::NetPacket}) {
         const SurfaceOutcome agg = report.aggregate(s, true);
         EXPECT_GT(agg.trials, 0) << faultSurfaceName(s);
         EXPECT_EQ(agg.silentCorrupt, 0)
@@ -72,14 +73,18 @@ TEST(FaultCampaign, HardeningImprovesOnBaseline)
         EXPECT_GT(hard.coverage(), base.coverage())
             << faultSurfaceName(s);
     }
-    // BdStream has a real baseline defense (walk-validation), but the
-    // CRC seal must still not be worse.
-    const SurfaceOutcome base =
-        report.aggregate(FaultSurface::BdStream, false);
-    const SurfaceOutcome hard =
-        report.aggregate(FaultSurface::BdStream, true);
-    EXPECT_LE(hard.silentCorrupt, base.silentCorrupt);
-    EXPECT_GE(hard.coverage(), base.coverage());
+    // BdStream and NetPacket have a real baseline defense (the
+    // decoder's walk-validation, run per packet on the wire path),
+    // but the CRC layer must still not be worse.
+    for (const FaultSurface s :
+         {FaultSurface::BdStream, FaultSurface::NetPacket}) {
+        const SurfaceOutcome base = report.aggregate(s, false);
+        const SurfaceOutcome hard = report.aggregate(s, true);
+        EXPECT_LE(hard.silentCorrupt, base.silentCorrupt)
+            << faultSurfaceName(s);
+        EXPECT_GE(hard.coverage(), base.coverage())
+            << faultSurfaceName(s);
+    }
 }
 
 TEST(FaultCampaign, DeterministicAcrossRuns)

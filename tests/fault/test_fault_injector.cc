@@ -135,6 +135,8 @@ TEST(FaultSurface, NamesAreStable)
     EXPECT_STREQ(faultSurfaceName(FaultSurface::QueueSlot),
                  "queue_slot");
     EXPECT_STREQ(faultSurfaceName(FaultSurface::EccMap), "ecc_map");
+    EXPECT_STREQ(faultSurfaceName(FaultSurface::NetPacket),
+                 "net_packet");
     EXPECT_STREQ(faultSurfaceName(FaultSurface::FrameOutput),
                  "frame_output");
 }

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Delivery-loop acceptance tests (ISSUE 7): over a seeded channel at
+ * 10% loss with foveal-priority scheduling, every delivered frame
+ * must have a fully intact foveal region and zero silently corrupt
+ * tiles — every tile claimed delivered is pixel-exact, every degraded
+ * tile is flagged. Over a clean channel the tier must be fully
+ * transparent (byte-identical, CRC-proven). Congestion must shed
+ * peripheral tiles first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bd/bd_codec.hh"
+#include "common/rng.hh"
+#include "net/delivery.hh"
+#include "perception/display.hh"
+
+namespace pce::net {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 64;
+
+ImageU8
+noisyImage(std::uint64_t seed)
+{
+    ImageU8 img(kW, kH);
+    Rng rng(seed);
+    for (auto &b : img.data())
+        b = static_cast<std::uint8_t>(rng.next());
+    return img;
+}
+
+EccentricityMap
+centeredEcc()
+{
+    DisplayGeometry geom;
+    geom.width = kW;
+    geom.height = kH;
+    geom.horizontalFovDeg = 100.0;
+    geom.fixationX = kW / 2.0;
+    geom.fixationY = kH / 2.0;
+    return EccentricityMap(geom);
+}
+
+SenderPolicy
+testPolicy()
+{
+    SenderPolicy p;
+    p.mtuBytes = 300;
+    p.sessionId = 0xabc;
+    p.streamId = 1;
+    return p;
+}
+
+/** Every tile the report claims delivered must match @p clean. */
+void
+expectNoSilentTiles(const FrameDeliveryReport &rep, const ImageU8 &out,
+                    const ImageU8 &clean)
+{
+    const std::vector<TileRect> tiles = tileGrid(kW, kH, 4);
+    ASSERT_EQ(rep.tileDelivered.size(), tiles.size());
+    std::size_t flagged = 0;
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        if (!rep.tileDelivered[t]) {
+            ++flagged;
+            continue;
+        }
+        const TileRect &r = tiles[t];
+        for (int y = r.y0; y < r.y0 + r.h; ++y)
+            for (int x = r.x0; x < r.x0 + r.w; ++x)
+                for (int c = 0; c < 3; ++c)
+                    ASSERT_EQ(out.channel(x, y, c),
+                              clean.channel(x, y, c))
+                        << "silently corrupt tile " << t;
+    }
+    // Degraded tiles are all accounted for — nothing silent.
+    EXPECT_EQ(flagged, rep.fallbackTiles + rep.filledTiles);
+    EXPECT_EQ(rep.deliveredTiles + flagged, rep.totalTiles);
+}
+
+TEST(Delivery, CleanChannelIsByteTransparent)
+{
+    const EccentricityMap ecc = centeredEcc();
+    LossyChannel channel;  // no impairments
+    FrameReassembler rx([] {
+        ReassemblerParams p;
+        p.sessionId = 0xabc;
+        return p;
+    }());
+
+    for (std::uint64_t f = 0; f < 4; ++f) {
+        const ImageU8 image = noisyImage(f + 1);
+        const std::vector<std::uint8_t> stream =
+            BdCodec(4).encode(image);
+        ImageU8 out;
+        const DeliveryReport rep = deliverFrame(
+            stream, f, &ecc, channel, rx, out, testPolicy());
+        EXPECT_TRUE(rep.frame.complete);
+        EXPECT_TRUE(rep.frame.byteIdentical)
+            << "frame " << f << " not byte-identical at 0% loss";
+        EXPECT_TRUE(rep.fovealIntact);
+        EXPECT_EQ(rep.retransmittedPackets, 0u);
+        EXPECT_EQ(rep.shedPackets, 0u);
+        EXPECT_EQ(out, image);
+    }
+    EXPECT_EQ(rx.rejectedPackets(), 0u);
+}
+
+TEST(Delivery, TenPercentLossKeepsFovealRegionIntactAndNothingSilent)
+{
+    const EccentricityMap ecc = centeredEcc();
+    LossyChannelConfig ch;
+    ch.dropRate = 0.10;
+    ch.duplicateRate = 0.05;
+    ch.corruptRate = 0.05;
+    ch.reorderRate = 0.10;
+    ch.seed = 0x10557;
+    LossyChannel channel(ch);
+    FrameReassembler rx([] {
+        ReassemblerParams p;
+        p.sessionId = 0xabc;
+        return p;
+    }());
+
+    std::size_t retransmissions = 0;
+    for (std::uint64_t f = 0; f < 8; ++f) {
+        const ImageU8 image = noisyImage(f + 100);
+        const std::vector<std::uint8_t> stream =
+            BdCodec(4).encode(image);
+        ImageU8 out;
+        const DeliveryReport rep = deliverFrame(
+            stream, f, &ecc, channel, rx, out, testPolicy());
+        ASSERT_TRUE(rep.frame.manifestReceived) << "frame " << f;
+        EXPECT_GT(rep.fovealTiles, 0u);
+        EXPECT_TRUE(rep.fovealIntact)
+            << "frame " << f << ": foveal region degraded at 10% loss";
+        expectNoSilentTiles(rep.frame, out, image);
+        retransmissions += rep.retransmittedPackets;
+    }
+    // The channel actually bit: the NACK loop had work to do.
+    EXPECT_GT(retransmissions, 0u);
+}
+
+TEST(Delivery, CongestionShedsPeripheryFirst)
+{
+    const EccentricityMap ecc = centeredEcc();
+    LossyChannel channel;  // loss-free: only the budget bites
+    FrameReassembler rx([] {
+        ReassemblerParams p;
+        p.sessionId = 0xabc;
+        return p;
+    }());
+
+    const ImageU8 image = noisyImage(7);
+    const std::vector<std::uint8_t> stream = BdCodec(4).encode(image);
+    SenderPolicy policy = testPolicy();
+    policy.deadlineRounds = 3;
+    policy.budgetBytesPerRound = 4 * policy.mtuBytes;  // ~4 packets
+
+    ImageU8 out;
+    const DeliveryReport rep =
+        deliverFrame(stream, 0, &ecc, channel, rx, out, policy);
+    EXPECT_GT(rep.shedPackets, 0u);
+    EXPECT_GT(rep.shedTiles, 0u);
+    EXPECT_FALSE(rep.frame.complete);
+    // The budget went to the fovea: what was shed is all peripheral.
+    EXPECT_TRUE(rep.fovealIntact)
+        << "congestion shed foveal tiles before peripheral ones";
+    expectNoSilentTiles(rep.frame, out, image);
+}
+
+TEST(Delivery, ReportsAreDeterministicForASeed)
+{
+    auto run = [](std::uint64_t seed) {
+        const EccentricityMap ecc = centeredEcc();
+        LossyChannelConfig ch;
+        ch.dropRate = 0.25;
+        ch.corruptRate = 0.1;
+        ch.reorderRate = 0.2;
+        ch.seed = seed;
+        LossyChannel channel(ch);
+        FrameReassembler rx([] {
+            ReassemblerParams p;
+            p.sessionId = 0xabc;
+            return p;
+        }());
+        const ImageU8 image = noisyImage(42);
+        const std::vector<std::uint8_t> stream =
+            BdCodec(4).encode(image);
+        ImageU8 out;
+        const DeliveryReport rep = deliverFrame(
+            stream, 0, &ecc, channel, rx, out, testPolicy());
+        return std::make_tuple(rep.frame.deliveredTiles,
+                               rep.packetsSent, rep.bytesSent,
+                               rep.retransmittedPackets,
+                               rep.roundsUsed, out);
+    };
+    EXPECT_EQ(run(5), run(5));
+    // A different seed draws a different channel history (statistical
+    // sanity that the seed actually matters).
+    EXPECT_NE(std::get<1>(run(5)), std::get<1>(run(6)));
+}
+
+} // namespace
+} // namespace pce::net

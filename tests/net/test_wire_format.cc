@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Wire-format unit tests: header and manifest serialization must
+ * round-trip bit-exactly, the parse must refuse structural nonsense,
+ * and the per-packet CRC-32 must catch the bit flips the lossy
+ * channel deals in.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "net/wire_format.hh"
+
+namespace pce::net {
+namespace {
+
+PacketHeader
+sampleHeader()
+{
+    PacketHeader h;
+    h.sessionId = 0x0123456789abcdefULL;
+    h.streamId = 42;
+    h.frameId = 7;
+    h.sequence = 3;
+    h.type = PacketType::TileData;
+    h.flags = kFlagRetransmit;
+    h.tileBegin = 16;
+    h.tileCount = 5;
+    h.payloadBitBegin = 12345;
+    return h;
+}
+
+TEST(WireFormat, HeaderRoundTripsThroughBuildAndParse)
+{
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    PacketHeader h = sampleHeader();
+    h.payloadBytes = static_cast<std::uint32_t>(payload.size());
+    const std::vector<std::uint8_t> pkt =
+        buildPacket(h, payload.data(), payload.size());
+    ASSERT_EQ(pkt.size(), kPacketHeaderBytes + payload.size());
+
+    PacketHeader parsed;
+    ASSERT_TRUE(parsePacketHeader(pkt.data(), pkt.size(), parsed));
+    EXPECT_EQ(parsed.sessionId, h.sessionId);
+    EXPECT_EQ(parsed.streamId, h.streamId);
+    EXPECT_EQ(parsed.frameId, h.frameId);
+    EXPECT_EQ(parsed.sequence, h.sequence);
+    EXPECT_EQ(parsed.type, h.type);
+    EXPECT_EQ(parsed.flags, h.flags);
+    EXPECT_EQ(parsed.tileBegin, h.tileBegin);
+    EXPECT_EQ(parsed.tileCount, h.tileCount);
+    EXPECT_EQ(parsed.payloadBitBegin, h.payloadBitBegin);
+    EXPECT_EQ(parsed.payloadBytes, payload.size());
+    EXPECT_TRUE(verifyPacketCrc(pkt.data(), pkt.size()));
+}
+
+TEST(WireFormat, ParseRejectsStructuralNonsense)
+{
+    const std::vector<std::uint8_t> payload = {9, 9};
+    PacketHeader h = sampleHeader();
+    h.payloadBytes = 2;
+    const std::vector<std::uint8_t> good =
+        buildPacket(h, payload.data(), payload.size());
+    PacketHeader out;
+
+    // Too short for a header at all.
+    EXPECT_FALSE(parsePacketHeader(good.data(), 10, out));
+    // Truncated payload: header length field disagrees with size.
+    EXPECT_FALSE(
+        parsePacketHeader(good.data(), good.size() - 1, out));
+    // Bad magic.
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(parsePacketHeader(bad.data(), bad.size(), out));
+    // Unknown version.
+    bad = good;
+    bad[4] = 0x7f;
+    EXPECT_FALSE(parsePacketHeader(bad.data(), bad.size(), out));
+    // Unknown packet type.
+    bad = good;
+    bad[5] = 0x33;
+    EXPECT_FALSE(parsePacketHeader(bad.data(), bad.size(), out));
+}
+
+TEST(WireFormat, CrcCatchesEverySmallFlip)
+{
+    std::vector<std::uint8_t> payload(600);
+    Rng rng(99);
+    for (auto &b : payload)
+        b = static_cast<std::uint8_t>(rng.next());
+    PacketHeader h = sampleHeader();
+    h.payloadBytes = static_cast<std::uint32_t>(payload.size());
+    const std::vector<std::uint8_t> pkt =
+        buildPacket(h, payload.data(), payload.size());
+    ASSERT_TRUE(verifyPacketCrc(pkt.data(), pkt.size()));
+
+    // Every single-bit flip anywhere in the datagram — header bytes
+    // included — must be caught (CRC-32 guarantees 1-3 flips at this
+    // size).
+    for (std::size_t byte = 0; byte < pkt.size(); ++byte) {
+        std::vector<std::uint8_t> flipped = pkt;
+        flipped[byte] ^= 0x10;
+        EXPECT_FALSE(verifyPacketCrc(flipped.data(), flipped.size()))
+            << "flip at byte " << byte << " undetected";
+    }
+    // A sample of triple flips.
+    for (int trial = 0; trial < 64; ++trial) {
+        std::vector<std::uint8_t> flipped = pkt;
+        for (int f = 0; f < 3; ++f) {
+            const std::uint64_t bit =
+                rng.uniformInt(flipped.size() * 8);
+            flipped[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        if (flipped == pkt)
+            continue;  // flips cancelled
+        EXPECT_FALSE(verifyPacketCrc(flipped.data(), flipped.size()));
+    }
+}
+
+TEST(WireFormat, ManifestRoundTrips)
+{
+    FrameManifest m;
+    m.width = 640;
+    m.height = 480;
+    m.tileSize = 4;
+    m.tileCount = 160 * 120;
+    m.packetCount = 57;
+    m.payloadBits = 0x123456789ULL;
+    m.streamBytes = 0x2468ace;
+    m.streamCrc = 0xdeadbeef;
+
+    PacketHeader h;
+    h.sessionId = 1;
+    h.type = PacketType::Manifest;
+    h.sequence = 0;
+    h.payloadBytes = kManifestPayloadBytes;
+    const std::vector<std::uint8_t> pkt = buildManifestPacket(h, m);
+    ASSERT_EQ(pkt.size(), kPacketHeaderBytes + kManifestPayloadBytes);
+    EXPECT_TRUE(verifyPacketCrc(pkt.data(), pkt.size()));
+
+    FrameManifest out;
+    ASSERT_TRUE(parseManifestPayload(pkt.data() + kPacketHeaderBytes,
+                                     kManifestPayloadBytes, out));
+    EXPECT_EQ(out.width, m.width);
+    EXPECT_EQ(out.height, m.height);
+    EXPECT_EQ(out.tileSize, m.tileSize);
+    EXPECT_EQ(out.tileCount, m.tileCount);
+    EXPECT_EQ(out.packetCount, m.packetCount);
+    EXPECT_EQ(out.payloadBits, m.payloadBits);
+    EXPECT_EQ(out.streamBytes, m.streamBytes);
+    EXPECT_EQ(out.streamCrc, m.streamCrc);
+
+    // Wrong payload size is a parse failure, not a partial read.
+    EXPECT_FALSE(parseManifestPayload(pkt.data() + kPacketHeaderBytes,
+                                      kManifestPayloadBytes - 1, out));
+}
+
+} // namespace
+} // namespace pce::net

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Deadline-bounded collection (the delivery tier's service entry
+ * point): collectFor must return an invalid lease when the deadline
+ * expires first and hand the same frame out later (delayed, never
+ * lost); tryCollect must poll without ever throwing; and
+ * DeliverySession must degrade a frame whose encode misses the
+ * deadline instead of wedging.
+ *
+ * The dispatcher is stalled deterministically through the service's
+ * preEncodeFaultHook (a condition variable, not a sleep), so the
+ * timeout-expired and result-arrives-late paths are exercised without
+ * wall-clock races.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "net/delivery.hh"
+#include "service/encode_service.hh"
+
+namespace pce {
+namespace {
+
+using namespace std::chrono_literals;
+
+const AnalyticDiscriminationModel &
+model()
+{
+    static const AnalyticDiscriminationModel m;
+    return m;
+}
+
+EccentricityMap
+centeredMap(int w, int h)
+{
+    DisplayGeometry g;
+    g.width = w;
+    g.height = h;
+    g.horizontalFovDeg = 100.0;
+    g.fixationX = w / 2.0;
+    g.fixationY = h / 2.0;
+    return EccentricityMap(g);
+}
+
+/** A gate the dispatcher blocks on inside preEncodeFaultHook. */
+struct EncodeGate
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return open; });
+    }
+
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            open = true;
+        }
+        cv.notify_all();
+    }
+};
+
+TEST(CollectTimeout, ExpiredDeadlineLeavesFrameOutstanding)
+{
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+    EncodeGate gate;
+    ServiceParams sp;
+    sp.preEncodeFaultHook = [&gate](const std::string &, std::uint64_t,
+                                    ImageF &) { gate.wait(); };
+    EncodeService svc(model(), sp);
+    StreamHandle stream = svc.openStream("s", ecc);
+    const ImageF frame = renderScene(SceneId::Office, {n, n, 0, 0, 0});
+    svc.submit(stream, frame);
+
+    // The dispatcher is parked in the hook: the deadline must expire
+    // and the frame must stay owed.
+    FrameLease lease = svc.collectFor(stream, 30ms);
+    EXPECT_FALSE(lease.valid());
+    lease = svc.tryCollect(stream);
+    EXPECT_FALSE(lease.valid()) << "tryCollect invented a result";
+
+    // Result arrives late: the same frame is handed out by the next
+    // collect — delayed, never lost.
+    gate.release();
+    lease = svc.collect(stream);
+    ASSERT_TRUE(lease.valid());
+    EXPECT_FALSE(lease->bdStream.empty());
+
+    // Nothing outstanding anymore: collectFor keeps collect()'s
+    // contract and throws rather than blocking forever...
+    EXPECT_THROW(svc.collectFor(stream, 1ms), std::logic_error);
+    // ...while tryCollect is the poll-friendly variant and just
+    // reports nothing ready.
+    EXPECT_FALSE(svc.tryCollect(stream).valid());
+}
+
+TEST(CollectTimeout, ReadyResultIsReturnedImmediately)
+{
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+    EncodeService svc(model(), {});
+    StreamHandle stream = svc.openStream("s", ecc);
+    const ImageF frame = renderScene(SceneId::Office, {n, n, 0, 0, 0});
+
+    svc.submit(stream, frame);
+    svc.drain(stream);
+    // Encoded and waiting: a zero timeout must still succeed.
+    FrameLease lease = svc.collectFor(stream, 0ms);
+    ASSERT_TRUE(lease.valid());
+    lease.release();
+
+    svc.submit(stream, frame);
+    svc.drain(stream);
+    lease = svc.tryCollect(stream);
+    ASSERT_TRUE(lease.valid());
+}
+
+TEST(CollectTimeout, DeliverySessionDegradesOnEncodeDeadline)
+{
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+    EncodeGate gate;
+    ServiceParams sp;
+    sp.streamDepth = 2;
+    sp.preEncodeFaultHook = [&gate](const std::string &, std::uint64_t,
+                                    ImageF &) { gate.wait(); };
+    EncodeService svc(model(), sp);
+    StreamHandle stream = svc.openStream("s", ecc);
+
+    net::SenderPolicy policy;
+    policy.sessionId = 0xfeed;
+    policy.streamId = 2;
+    net::LossyChannel channel;  // clean
+    net::DeliverySession session(svc, stream, channel, policy, &ecc);
+
+    const ImageF frame = renderScene(SceneId::Office, {n, n, 0, 0, 0});
+    session.submit(frame);
+
+    // Encode stalled: frame 0 must degrade (whole-frame hold with no
+    // previous frame = untouched output), not wedge the loop.
+    ImageU8 out;
+    net::DeliveryReport rep = session.deliverNext(out, 30ms);
+    EXPECT_TRUE(rep.encodeTimedOut);
+    EXPECT_FALSE(rep.frame.manifestReceived);
+    EXPECT_EQ(session.framesDelivered(), 1u);
+
+    // The late result delivers under the next frame id, intact.
+    gate.release();
+    rep = session.deliverNext(out, 5000ms);
+    EXPECT_FALSE(rep.encodeTimedOut);
+    EXPECT_TRUE(rep.frame.byteIdentical);
+    EXPECT_TRUE(rep.fovealIntact);
+    EXPECT_EQ(session.framesDelivered(), 2u);
+    EXPECT_EQ(out.width(), n);
+}
+
+} // namespace
+} // namespace pce
