@@ -14,12 +14,21 @@
  * the two throughputs is the service overhead, recorded as
  * `service_efficiency`.
  *
+ * The run sweeps dispatcher shard counts (PCE_BENCH_SHARDS, a comma
+ * list, default "1,2,4") and appends one record per shard count with
+ * the shard fields (shard_count, stolen_frames, queue_peak_depth,
+ * shard_occupancy_mean), so the trajectory shows whether the
+ * many-small-streams workload stops serializing behind one
+ * dispatcher. On a single-hardware-thread host the sweep measures
+ * protocol overhead, not core scaling — hw_threads is recorded so a
+ * reader can tell which one a record shows.
+ *
  * Knobs (environment): PCE_BENCH_WIDTH / PCE_BENCH_HEIGHT /
  * PCE_BENCH_THREADS (shared with encoder_runner), PCE_BENCH_STREAMS
  * (concurrent streams, default 4), PCE_BENCH_FRAMES (frames per
  * stream, default 12), PCE_BENCH_REPEATS (replay rounds, best-of,
- * default 3). Output path: argv[1] or PCE_BENCH_OUT, default
- * BENCH_encoder.json.
+ * default 3), PCE_BENCH_SHARDS (shard-count sweep list). Output
+ * path: argv[1] or PCE_BENCH_OUT, default BENCH_encoder.json.
  */
 
 #include <algorithm>
@@ -60,6 +69,11 @@ struct ReplayResult
     double queueP50Ms = 0.0;
     double queueP99Ms = 0.0;
     double queueMaxMs = 0.0;
+    /** Shard telemetry (ServiceReport): cross-shard steals, exact
+     *  aggregate backlog peak, mean dispatcher occupancy. */
+    std::uint64_t stolenFrames = 0;
+    std::size_t queuePeakDepth = 0;
+    double occupancyMean = 0.0;
 };
 
 /**
@@ -69,10 +83,11 @@ struct ReplayResult
  */
 ReplayResult
 replay(const std::vector<std::vector<const ImageF *>> &stream_frames,
-       const EccentricityMap &ecc, int threads)
+       const EccentricityMap &ecc, int threads, std::size_t shards)
 {
     ServiceParams sp;
     sp.threads = threads;
+    sp.shards = shards;
     EncodeService svc(bench::benchModel(), sp);
     const std::size_t n_streams = stream_frames.size();
     std::vector<StreamHandle> handles;
@@ -119,7 +134,28 @@ replay(const std::vector<std::vector<const ImageF *>> &stream_frames,
         r.queueP99Ms = std::max(r.queueP99Ms, st.queueLatencyP99Ms);
         r.queueMaxMs = std::max(r.queueMaxMs, st.queueLatencyMaxMs);
     }
+    r.stolenFrames = rep.stolenFrames;
+    r.queuePeakDepth = rep.queuePeakDepth;
+    for (const ShardStats &sh : rep.shards)
+        r.occupancyMean +=
+            sh.occupancy / static_cast<double>(rep.shards.size());
     return r;
+}
+
+/** Parse a comma-separated shard-count sweep list (e.g. "1,2,4"). */
+std::vector<std::size_t>
+parseShardSweep(const char *env)
+{
+    std::vector<std::size_t> out;
+    std::stringstream ss(env != nullptr ? env : "1,2,4");
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (const long v = std::strtol(tok.c_str(), nullptr, 10);
+            v >= 1)
+            out.push_back(static_cast<std::size_t>(v));
+    if (out.empty())
+        out.push_back(1);
+    return out;
 }
 
 /** The same frames through plain encodeFrameInto, one reused output. */
@@ -153,13 +189,25 @@ singleShotMps(
 int
 main(int argc, char **argv)
 {
-    const int w = bench::benchWidth();
-    const int h = bench::benchHeight();
+    // PCE_BENCH_WORKLOAD=small32 is the many-small-streams shorthand:
+    // 32 concurrent 128x128 streams, the workload that exposed the
+    // single-dispatcher serialization (explicit PCE_BENCH_* knobs
+    // still override it).
+    const char *workload = std::getenv("PCE_BENCH_WORKLOAD");
+    const bool small32 =
+        workload != nullptr && std::string(workload) == "small32";
+    const int w = small32 ? static_cast<int>(envInt("PCE_BENCH_WIDTH",
+                                                    128))
+                          : bench::benchWidth();
+    const int h = small32
+                      ? static_cast<int>(envInt("PCE_BENCH_HEIGHT",
+                                                128))
+                      : bench::benchHeight();
     const int threads = bench::benchThreads();
-    const int n_streams =
-        static_cast<int>(envInt("PCE_BENCH_STREAMS", 4));
-    const int frames_per_stream =
-        static_cast<int>(envInt("PCE_BENCH_FRAMES", 12));
+    const int n_streams = static_cast<int>(
+        envInt("PCE_BENCH_STREAMS", small32 ? 32 : 4));
+    const int frames_per_stream = static_cast<int>(
+        envInt("PCE_BENCH_FRAMES", small32 ? 4 : 12));
     const int repeats =
         static_cast<int>(envInt("PCE_BENCH_REPEATS", 3));
     if (n_streams < 1 || frames_per_stream < 1 || repeats < 1) {
@@ -200,41 +248,8 @@ main(int argc, char **argv)
     const double singleshot_mps =
         singleShotMps(stream_frames, ecc, threads);
 
-    ReplayResult best;
-    for (int r = 0; r < repeats; ++r) {
-        const ReplayResult round =
-            replay(stream_frames, ecc, threads);
-        if (best.wallSeconds == 0.0 ||
-            round.wallSeconds < best.wallSeconds)
-            best = round;
-    }
-    const double aggregate_mps = best.megapixels / best.wallSeconds;
-    const double efficiency =
-        singleshot_mps > 0.0 ? aggregate_mps / singleshot_mps : 0.0;
-
-    std::ostringstream rec;
-    rec << "  {\n"
-        << "    \"bench\": \"encode_service\",\n"
-        << "    \"date\": \"" << bench::isoNowUtc() << "\",\n"
-        << "    \"git_rev\": \"" << PCE_GIT_REV << "\",\n"
-        << "    \"simd_level\": \""
-        << simd::simdLevelName(simd::activeSimdLevel()) << "\",\n"
-        << "    \"width\": " << w << ",\n"
-        << "    \"height\": " << h << ",\n"
-        << "    \"streams\": " << n_streams << ",\n"
-        << "    \"frames_per_stream\": " << frames_per_stream << ",\n"
-        << "    \"repeats\": " << repeats << ",\n"
-        << "    \"hw_threads\": "
-        << std::thread::hardware_concurrency() << ",\n"
-        << "    \"mt_threads\": " << threads << ",\n"
-        << "    \"mt_pool_workers\": " << (threads - 1) << ",\n"
-        << "    \"aggregate_mps\": " << aggregate_mps << ",\n"
-        << "    \"singleshot_mps\": " << singleshot_mps << ",\n"
-        << "    \"service_efficiency\": " << efficiency << ",\n"
-        << "    \"queue_p50_ms\": " << best.queueP50Ms << ",\n"
-        << "    \"queue_p99_ms\": " << best.queueP99Ms << ",\n"
-        << "    \"queue_max_ms\": " << best.queueMaxMs << "\n  }";
-    bench::appendJsonRecord(out_path, rec.str());
+    const std::vector<std::size_t> sweep =
+        parseShardSweep(std::getenv("PCE_BENCH_SHARDS"));
 
     std::cout << "simd level: "
               << simd::simdLevelName(simd::activeSimdLevel())
@@ -242,12 +257,65 @@ main(int argc, char **argv)
               << n_streams << " streams x " << frames_per_stream
               << " frames at " << w << "x" << h << ", " << threads
               << " threads\n"
-              << "single-shot: " << singleshot_mps << " MP/s\n"
-              << "service:     " << aggregate_mps << " MP/s ("
-              << efficiency * 100.0 << "% of single-shot)\n"
-              << "queue latency: p50 " << best.queueP50Ms
-              << " ms, p99 " << best.queueP99Ms << " ms, max "
-              << best.queueMaxMs << " ms\n"
-              << "appended record to " << out_path << "\n";
+              << "single-shot: " << singleshot_mps << " MP/s\n";
+
+    for (const std::size_t shards : sweep) {
+        ReplayResult best;
+        for (int r = 0; r < repeats; ++r) {
+            const ReplayResult round =
+                replay(stream_frames, ecc, threads, shards);
+            if (best.wallSeconds == 0.0 ||
+                round.wallSeconds < best.wallSeconds)
+                best = round;
+        }
+        const double aggregate_mps =
+            best.megapixels / best.wallSeconds;
+        const double efficiency =
+            singleshot_mps > 0.0 ? aggregate_mps / singleshot_mps
+                                 : 0.0;
+
+        std::ostringstream rec;
+        rec << "  {\n"
+            << "    \"bench\": \"encode_service\",\n"
+            << "    \"date\": \"" << bench::isoNowUtc() << "\",\n"
+            << "    \"git_rev\": \"" << PCE_GIT_REV << "\",\n"
+            << "    \"simd_level\": \""
+            << simd::simdLevelName(simd::activeSimdLevel()) << "\",\n"
+            << "    \"width\": " << w << ",\n"
+            << "    \"height\": " << h << ",\n"
+            << "    \"streams\": " << n_streams << ",\n"
+            << "    \"frames_per_stream\": " << frames_per_stream
+            << ",\n"
+            << "    \"repeats\": " << repeats << ",\n"
+            << "    \"hw_threads\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "    \"mt_threads\": " << threads << ",\n"
+            << "    \"mt_pool_workers\": " << (threads - 1) << ",\n"
+            << "    \"shard_count\": " << shards << ",\n"
+            << "    \"stolen_frames\": " << best.stolenFrames << ",\n"
+            << "    \"queue_peak_depth\": " << best.queuePeakDepth
+            << ",\n"
+            << "    \"shard_occupancy_mean\": " << best.occupancyMean
+            << ",\n"
+            << "    \"aggregate_mps\": " << aggregate_mps << ",\n"
+            << "    \"singleshot_mps\": " << singleshot_mps << ",\n"
+            << "    \"service_efficiency\": " << efficiency << ",\n"
+            << "    \"queue_p50_ms\": " << best.queueP50Ms << ",\n"
+            << "    \"queue_p99_ms\": " << best.queueP99Ms << ",\n"
+            << "    \"queue_max_ms\": " << best.queueMaxMs
+            << "\n  }";
+        bench::appendJsonRecord(out_path, rec.str());
+
+        std::cout << "shards " << shards << ": " << aggregate_mps
+                  << " MP/s (" << efficiency * 100.0
+                  << "% of single-shot), stolen " << best.stolenFrames
+                  << ", queue peak " << best.queuePeakDepth
+                  << ", occupancy " << best.occupancyMean << "\n"
+                  << "  queue latency: p50 " << best.queueP50Ms
+                  << " ms, p99 " << best.queueP99Ms << " ms, max "
+                  << best.queueMaxMs << " ms\n";
+    }
+    std::cout << "appended " << sweep.size() << " record(s) to "
+              << out_path << "\n";
     return 0;
 }

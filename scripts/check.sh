@@ -5,12 +5,16 @@
 #
 # Usage: scripts/check.sh [jobs]
 #
-# Builds the tree twice — the default Release config and an
+# Builds the tree three times — the default Release config, an
 # address+undefined sanitizer config (CMake option
-# -DFOVE_SANITIZE=address,undefined) — and runs the full ctest suite in
-# each. Exits non-zero on the first failure. Build directories:
+# -DFOVE_SANITIZE=address,undefined), and a ThreadSanitizer config
+# (-DFOVE_SANITIZE=thread; tsan cannot combine with asan, so it gets
+# its own tree) — running the full ctest suite in the first two and
+# the concurrency-heavy suites in the third. Exits non-zero on the
+# first failure. Build directories:
 #   build/        Release (shared with normal development)
-#   build-san/    sanitizers
+#   build-san/    address,undefined sanitizers
+#   build-tsan/   ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -85,6 +89,31 @@ done
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-san/fault_test_fault_campaign
+
+echo "== Concurrency suites under ThreadSanitizer =="
+# The sharded dispatch refactor (dispatcher-per-shard, cross-shard
+# work stealing, lane-exclusive per-stream state hand-off) lives or
+# dies on happens-before edges that asan/ubsan cannot see. Build a
+# dedicated tsan tree (tsan is incompatible with asan) and run the
+# queue/pool primitives plus every service and net suite that drives
+# concurrent dispatchers, so a data race in the steal protocol fails
+# the run loudly.
+cmake -B build-tsan -S . -DFOVE_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j"$JOBS" --target \
+    common_test_sharded_queue common_test_thread_pool \
+    common_test_bounded_queue \
+    service_test_sharded_service service_test_encode_service \
+    service_test_gaze_service service_test_collect_timeout \
+    service_test_fault_service \
+    net_test_delivery net_test_delivery_sharded
+for suite in common_test_sharded_queue common_test_thread_pool \
+             common_test_bounded_queue \
+             service_test_sharded_service service_test_encode_service \
+             service_test_gaze_service service_test_collect_timeout \
+             service_test_fault_service \
+             net_test_delivery net_test_delivery_sharded; do
+    TSAN_OPTIONS="halt_on_error=1" "./build-tsan/${suite}"
+done
 
 echo "== Bounded fault-campaign smoke (Release) =="
 # A tiny end-to-end fault_runner invocation (seconds, not minutes)

@@ -65,6 +65,9 @@ void
 ThreadPool::dispatch(int participants, const std::function<void(int)> &fn)
 {
     participants = std::clamp(participants, 1, workerCount() + 1);
+    dispatchCalls_.fetch_add(1, std::memory_order_relaxed);
+    participantSum_.fetch_add(static_cast<std::uint64_t>(participants),
+                              std::memory_order_relaxed);
     if (participants == 1) {
         fn(0);
         return;

@@ -21,6 +21,7 @@
 #ifndef PCE_COMMON_THREAD_POOL_HH
 #define PCE_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -71,6 +72,19 @@ class ThreadPool
         std::size_t n, std::size_t grain, int participants,
         const std::function<void(std::size_t, std::size_t, int)> &body);
 
+    /**
+     * Participation accounting: dispatch() calls completed and the
+     * summed participant count across them. Monotonic relaxed
+     * atomics — individually exact, not a mutual snapshot. The sharded
+     * service reports these per shard to show how much parallelism
+     * each shard's encodes actually used (participants/call =
+     * meanParticipants).
+     */
+    std::uint64_t dispatchCalls() const
+    { return dispatchCalls_.load(std::memory_order_relaxed); }
+    std::uint64_t participantSum() const
+    { return participantSum_.load(std::memory_order_relaxed); }
+
   private:
     void workerLoop(int worker_index);
 
@@ -87,6 +101,9 @@ class ThreadPool
     bool stop_ = false;
 
     std::mutex dispatchMutex_;  ///< serializes dispatch() callers
+
+    std::atomic<std::uint64_t> dispatchCalls_{0};
+    std::atomic<std::uint64_t> participantSum_{0};
 };
 
 } // namespace pce

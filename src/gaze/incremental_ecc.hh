@@ -58,6 +58,7 @@
 #ifndef PCE_GAZE_INCREMENTAL_ECC_HH
 #define PCE_GAZE_INCREMENTAL_ECC_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -257,6 +258,23 @@ class GazeTrackedEccentricity
     /** Recoveries performed by verifyAndRecoverState(). */
     std::uint64_t integrityRecoveries() const { return recoveries_; }
 
+    /**
+     * Exclusive-use guard for concurrent owners that *hand the state
+     * off* between threads rather than share it (the sharded encode
+     * service: any dispatcher may encode this stream's next frame
+     * after stealing it, but the queue's lane protocol guarantees at
+     * most one at a time). tryBeginExclusive() claims the state and
+     * returns false if another thread currently holds it — callers
+     * treat that as a protocol violation, since this class is not
+     * thread-safe and two concurrent users mean corrupted gaze state.
+     * The flag carries no data and establishes no ordering of its own;
+     * the hand-off's happens-before comes from whatever synchronizes
+     * the owners (the service's queue mutex).
+     */
+    bool tryBeginExclusive()
+    { return !inUse_.test_and_set(std::memory_order_acquire); }
+    void endExclusive() { inUse_.clear(std::memory_order_release); }
+
   private:
     /** Checksummed snapshot of the sealable state. */
     struct StateSeal
@@ -280,6 +298,7 @@ class GazeTrackedEccentricity
     std::uint64_t deferred_ = 0;
     StateSeal seal_{};
     std::uint64_t recoveries_ = 0;
+    std::atomic_flag inUse_ = ATOMIC_FLAG_INIT;
 };
 
 } // namespace pce

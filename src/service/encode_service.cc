@@ -21,13 +21,20 @@ namespace detail {
 struct StreamState
 {
     std::string name;
+    /** Home shard (shardForName): where submissions are queued. */
+    std::size_t shard = 0;
     const EccentricityMap *ecc = nullptr;
     /**
      * Eye-tracked streams own their eccentricity state (one per
-     * stream: concurrent streams re-fixate independently; the single
-     * dispatcher encodes a stream's frames in submission order, so
-     * per-stream state sees gaze samples in time order). Null for
+     * stream: concurrent streams re-fixate independently). Null for
      * static-fixation streams, where ecc borrows the caller's map.
+     * Under sharded dispatch this state is *per-slot* in the lane
+     * sense: the queue hands out a stream's requests one at a time in
+     * submission order, so whichever dispatcher holds the lane —
+     * home or thief — is the sole toucher, sees gaze samples in time
+     * order, and hands the state to the next holder through the
+     * queue mutex's happens-before edge. The tryBeginExclusive guard
+     * enforces the "sole toucher" half at runtime.
      */
     std::unique_ptr<GazeTrackedEccentricity> gaze;
 
@@ -57,6 +64,8 @@ struct StreamState
     std::uint64_t submitted = 0;
     std::uint64_t encoded = 0;
     std::uint64_t collected = 0;
+    /** Frames of this stream encoded by a non-home dispatcher. */
+    std::uint64_t framesStolen = 0;
 
     // Stats, guarded by mutex.
     double megapixels = 0.0;
@@ -69,7 +78,7 @@ struct StreamState
     std::uint64_t saccadeFrames = 0;
     // Mirrors of the gaze state's counters, copied under this mutex
     // after each encode (the gaze object itself is only touched by
-    // the dispatcher, outside any lock).
+    // the dispatcher holding the stream's lane, outside any lock).
     std::uint64_t refixations = 0;
     std::uint64_t fullRebuilds = 0;
     std::uint64_t deferredGazeUpdates = 0;
@@ -181,31 +190,89 @@ FrameLease::release()
     frame_ = nullptr;
 }
 
+/**
+ * One dispatcher shard: a slice of the thread budget as its own pool,
+ * an encoder bound to that slice, the dispatcher thread that drains
+ * the shard's ring (and steals), and the shard's dispatch counters.
+ * The counters are monotonic relaxed atomics: each is individually
+ * exact; ShardStats documents that the set is not one instant's
+ * snapshot.
+ */
+struct EncodeService::ShardRuntime
+{
+    int participants = 1;
+    std::unique_ptr<ThreadPool> pool;  ///< null when participants == 1
+    std::unique_ptr<PerceptualEncoder> encoder;
+    std::atomic<std::uint64_t> framesEncoded{0};
+    std::atomic<std::uint64_t> framesStolen{0};
+    std::atomic<std::uint64_t> busyNanos{0};
+    std::thread dispatcher;
+};
+
+std::size_t
+EncodeService::shardForName(const std::string &name, std::size_t shards)
+{
+    return shards < 2 ? 0 : std::hash<std::string>{}(name) % shards;
+}
+
+ThreadPool *
+EncodeService::pool(std::size_t shard) const
+{
+    return shards_.at(shard)->pool.get();
+}
+
 EncodeService::EncodeService(const DiscriminationModel &model,
                              const ServiceParams &params)
-    : params_(params), queue_(params.queueCapacity),
+    : params_(params),
+      queue_(params.shards < 1 ? 1 : params.shards,
+             params.shards < 1 || params.queueCapacity < 1
+                 ? 1
+                 : (params.queueCapacity + params.shards - 1) /
+                       params.shards),
       startTime_(Clock::now())
 {
     if (params_.threads < 1)
         throw std::invalid_argument("EncodeService: threads < 1");
+    if (params_.shards < 1)
+        throw std::invalid_argument("EncodeService: shards < 1");
     if (params_.streamDepth < 1)
         throw std::invalid_argument("EncodeService: streamDepth < 1");
     if (params_.queueCapacity < 1)
         throw std::invalid_argument("EncodeService: queueCapacity < 1");
     if (params_.latencyWindow < 1)
         throw std::invalid_argument("EncodeService: latencyWindow < 1");
-    if (params_.threads > 1)
-        pool_ = std::make_unique<ThreadPool>(params_.threads - 1);
 
-    PipelineParams pipeline;
-    pipeline.tileSize = params_.tileSize;
-    pipeline.fovealCutoffDeg = params_.fovealCutoffDeg;
-    pipeline.threads = params_.threads;
-    pipeline.extremaFn = params_.extremaFn;
-    pipeline.pool = pool_.get();
-    encoder_ = std::make_unique<PerceptualEncoder>(model, pipeline);
+    // Split the thread budget across shards as evenly as possible
+    // (earlier shards take the remainder, every shard at least one
+    // participant). Each shard gets its own pool and encoder: a
+    // shared pool would serialize concurrent dispatchers behind
+    // ThreadPool's dispatch lock, re-creating exactly the cross-
+    // stream serialization this refactor removes.
+    const std::size_t n = params_.shards;
+    const int base = params_.threads / static_cast<int>(n);
+    const int extra = params_.threads % static_cast<int>(n);
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto rt = std::make_unique<ShardRuntime>();
+        rt->participants = std::max(
+            1, base + (static_cast<int>(i) < extra ? 1 : 0));
+        if (rt->participants > 1)
+            rt->pool =
+                std::make_unique<ThreadPool>(rt->participants - 1);
 
-    dispatcher_ = std::thread([this] { dispatchLoop(); });
+        PipelineParams pipeline;
+        pipeline.tileSize = params_.tileSize;
+        pipeline.fovealCutoffDeg = params_.fovealCutoffDeg;
+        pipeline.threads = rt->participants;
+        pipeline.extremaFn = params_.extremaFn;
+        pipeline.pool = rt->pool.get();
+        rt->encoder =
+            std::make_unique<PerceptualEncoder>(model, pipeline);
+        shards_.push_back(std::move(rt));
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        shards_[i]->dispatcher =
+            std::thread([this, i] { dispatchLoop(i); });
 }
 
 EncodeService::~EncodeService() { shutdown(); }
@@ -218,6 +285,7 @@ EncodeService::openStream(std::string name, const EccentricityMap &ecc)
             "EncodeService::openStream: service is shut down");
     auto state = std::make_unique<StreamState>();
     state->name = std::move(name);
+    state->shard = shardForName(state->name, params_.shards);
     state->ecc = &ecc;
     initStreamRings(*state, params_);
 
@@ -252,6 +320,7 @@ EncodeService::openGazeStream(std::string name,
         gaze->sealState();
     auto state = std::make_unique<StreamState>();
     state->name = std::move(name);
+    state->shard = shardForName(state->name, params_.shards);
     state->ecc = &gaze->map();
     state->gaze = std::move(gaze);
     initStreamRings(*state, params_);
@@ -334,8 +403,14 @@ EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
     req.stream = &s;
     req.slot = slot;
     req.submitTime = Clock::now();
-    // Global backpressure: blocks while the service queue is full.
-    if (!queue_.push(req)) {
+    // Per-shard backpressure: blocks while the stream's home ring is
+    // full. The stream's address is its lane key — unique for the
+    // stream's lifetime, and streams live as long as the service.
+    // Peak-depth tracking (per shard and aggregate) happens inside
+    // the queue, under its mutex, so the report's backlog watermark
+    // is exact rather than a sampled race.
+    if (!queue_.push(s.shard,
+                     reinterpret_cast<std::uintptr_t>(&s), req)) {
         // Shut down while waiting: roll the submission back so drains
         // and collects never wait for a frame that will not arrive.
         {
@@ -348,17 +423,6 @@ EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
         throw std::runtime_error(
             "EncodeService::submit: service shut down while enqueuing");
     }
-    // Dispatcher-backlog high watermark (relaxed max): the queue depth
-    // observed right after this push, for ServiceReport. The push put
-    // one request in, so the observed depth is at least 1 even when
-    // the dispatcher dequeues it before the size() sample.
-    const std::size_t depth_now =
-        std::max<std::size_t>(queue_.size(), 1);
-    std::size_t peak = queuePeak_.load(std::memory_order_relaxed);
-    while (depth_now > peak &&
-           !queuePeak_.compare_exchange_weak(
-               peak, depth_now, std::memory_order_relaxed))
-    {}
 }
 
 void
@@ -489,6 +553,10 @@ void
 EncodeService::shutdown()
 {
     accepting_.store(false);
+    // close() refuses new pushes and wakes every waiter on every
+    // shard: producers blocked on any ring's backpressure see the
+    // refusal, and each dispatcher drains its remaining (own plus
+    // stealable) requests before observing closed-and-empty.
     queue_.close();
     {
         // Wake producers blocked on per-stream backpressure so they
@@ -506,27 +574,36 @@ EncodeService::shutdown()
         }
     }
     std::lock_guard<std::mutex> lock(streamsMutex_);
-    if (dispatcher_.joinable())
-        dispatcher_.join();  // drains every queued request first
+    for (const auto &rt : shards_)
+        if (rt->dispatcher.joinable())
+            rt->dispatcher.join();  // drains queued requests first
 }
 
 void
-EncodeService::dispatchLoop()
+EncodeService::dispatchLoop(std::size_t shard)
 {
-    // One dispatcher: requests from all streams are serviced FIFO, and
-    // each encode fans out over the shared pool via the pipeline's
-    // dynamic chunk scheduler. Per-stream order is therefore the
-    // submission order, which collect() relies on.
-    while (auto req = queue_.pop()) {
-        StreamState &s = *req->stream;
+    // One dispatcher per shard. popForShard serves this shard's ring
+    // in FIFO order and steals from loaded shards when it runs dry;
+    // the queue's lane exclusivity means that while this loop body
+    // runs, no other dispatcher can hold a request of the same
+    // stream — the slot, the gaze state, and the stats mirrors below
+    // are effectively single-threaded per stream, handed between
+    // dispatchers through the queue mutex. finishLane() at the very
+    // end of the iteration (after the ready-ring publish) is what
+    // releases the stream's next request, so per-stream FIFO holds
+    // through the publish, not just the encode.
+    ShardRuntime &rt = *shards_[shard];
+    while (auto req = queue_.popForShard(shard)) {
+        StreamState &s = *req->value.stream;
         StreamState::Slot &sl =
-            s.slots[static_cast<std::size_t>(req->slot)];
+            s.slots[static_cast<std::size_t>(req->value.slot)];
         const Clock::time_point start = Clock::now();
         bool saccade = false;
         bool verified = false;
         bool corrupt = false;
         bool quarantined = false;
         bool gazeRecovered = false;
+        bool gazeHeld = false;
         try {
             if (params_.preEncodeFaultHook)
                 params_.preEncodeFaultHook(s.name, sl.frameIndex,
@@ -542,6 +619,17 @@ EncodeService::dispatchLoop()
                 throw FrameQuarantined(
                     "EncodeService: input checksum mismatch at "
                     "dispatch (frame quarantined)");
+            if (s.gaze != nullptr) {
+                // Claim the gaze state for this lane hold. A failure
+                // here means two dispatchers hold the same stream —
+                // a steal-protocol bug, surfaced as a frame error
+                // rather than silent state corruption.
+                if (!s.gaze->tryBeginExclusive())
+                    throw std::logic_error(
+                        "EncodeService: gaze state already in use "
+                        "(lane exclusivity violated)");
+                gazeHeld = true;
+            }
             // Gaze streams: the eccentricity state persisted across
             // frames, so verify (and recover) it before it steers
             // this frame's foveal decisions. Recovery rebuilds the
@@ -550,16 +638,17 @@ EncodeService::dispatchLoop()
                 !s.gaze->verifyAndRecoverState())
                 gazeRecovered = true;
             if (sl.hasGaze) {
-                saccade = encoder_->encodeFrameGazeInto(
+                saccade = rt.encoder->encodeFrameGazeInto(
                               sl.input, *s.gaze, sl.gazeSample,
                               sl.frame) == GazePhase::Saccade;
             } else {
-                encoder_->encodeFrameInto(sl.input, *s.ecc, sl.frame);
+                rt.encoder->encodeFrameInto(sl.input, *s.ecc,
+                                            sl.frame);
             }
             if (params_.verifyRoundTrip) {
                 verified = true;
                 try {
-                    corrupt = !encoder_->verifyRoundTrip(sl.frame);
+                    corrupt = !rt.encoder->verifyRoundTrip(sl.frame);
                 } catch (...) {
                     // The stream failed decode validation outright:
                     // corruption, not an encode error.
@@ -577,10 +666,23 @@ EncodeService::dispatchLoop()
         } catch (...) {
             sl.error = std::current_exception();
         }
+        if (gazeHeld)
+            s.gaze->endExclusive();
         const Clock::time_point end = Clock::now();
+        rt.framesEncoded.fetch_add(1, std::memory_order_relaxed);
+        if (req->stolen)
+            rt.framesStolen.fetch_add(1, std::memory_order_relaxed);
+        rt.busyNanos.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    end - start)
+                    .count()),
+            std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lock(s.mutex);
             ++s.encoded;
+            if (req->stolen)
+                ++s.framesStolen;
             if (!sl.error) {
                 s.megapixels +=
                     static_cast<double>(sl.input.pixelCount()) / 1e6;
@@ -607,15 +709,19 @@ EncodeService::dispatchLoop()
                 s.deferredGazeUpdates = s.gaze->deferredUpdates();
             }
             const double wait_ms =
-                secondsBetween(req->submitTime, start) * 1e3;
+                secondsBetween(req->value.submitTime, start) * 1e3;
             s.latencyMs[s.latencyCount % s.latencyMs.size()] = wait_ms;
             ++s.latencyCount;
             s.latencyMaxMs = std::max(s.latencyMaxMs, wait_ms);
             s.readyRing[(s.readyHead + s.readyCount) %
-                        s.readyRing.size()] = req->slot;
+                        s.readyRing.size()] = req->value.slot;
             ++s.readyCount;
         }
         s.frameReady.notify_all();
+        // Only now may the stream's next request be handed out: the
+        // result above is fully published, so the next holder (any
+        // shard) sees a consistent slot ring and gaze state.
+        queue_.finishLane(req->lane);
     }
 }
 
@@ -625,8 +731,42 @@ EncodeService::report() const
     ServiceReport rep;
     rep.wallSeconds = secondsBetween(startTime_, Clock::now());
     rep.queuedRequests = queue_.size();
-    rep.queuePeakDepth = queuePeak_.load(std::memory_order_relaxed);
-    rep.queueCapacity = params_.queueCapacity;
+    rep.queuePeakDepth = queue_.aggregatePeakDepth();
+    rep.queueCapacity = queue_.capacity();
+    rep.shards.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const ShardRuntime &rt = *shards_[i];
+        const auto qc = queue_.counters(i);
+        ShardStats sh;
+        sh.shard = i;
+        sh.framesEncoded =
+            rt.framesEncoded.load(std::memory_order_relaxed);
+        sh.framesStolen =
+            rt.framesStolen.load(std::memory_order_relaxed);
+        sh.framesStolenFrom = qc.stolenFrom;
+        sh.framesQueued = qc.pushes;
+        sh.queueDepth = qc.depth;
+        sh.queuePeakDepth = qc.peakDepth;
+        sh.queueCapacity = queue_.capacityPerShard();
+        sh.busySeconds =
+            static_cast<double>(
+                rt.busyNanos.load(std::memory_order_relaxed)) /
+            1e9;
+        sh.occupancy = rep.wallSeconds > 0.0
+                           ? sh.busySeconds / rep.wallSeconds
+                           : 0.0;
+        sh.participants = rt.participants;
+        if (rt.pool != nullptr) {
+            sh.poolDispatches = rt.pool->dispatchCalls();
+            sh.poolMeanParticipants =
+                sh.poolDispatches > 0
+                    ? static_cast<double>(rt.pool->participantSum()) /
+                          static_cast<double>(sh.poolDispatches)
+                    : 0.0;
+        }
+        rep.stolenFrames += sh.framesStolen;
+        rep.shards.push_back(sh);
+    }
     std::lock_guard<std::mutex> lock(streamsMutex_);
     rep.streams.reserve(streams_.size());
     for (const auto &sp : streams_) {
@@ -638,6 +778,8 @@ EncodeService::report() const
             // dispatcher needs; the sort runs outside it.
             std::lock_guard<std::mutex> slock(s.mutex);
             st.name = s.name;
+            st.shard = s.shard;
+            st.framesStolen = s.framesStolen;
             st.framesSubmitted = s.submitted;
             st.framesEncoded = s.encoded;
             st.framesCollected = s.collected;
@@ -668,6 +810,8 @@ EncodeService::report() const
         st.queueLatencyP50Ms = percentileOf(window, 50.0);
         st.queueLatencyP90Ms = percentileOf(window, 90.0);
         st.queueLatencyP99Ms = percentileOf(window, 99.0);
+        if (st.shard < rep.shards.size())
+            ++rep.shards[st.shard].streamsHomed;
         rep.framesEncoded += st.framesEncoded;
         rep.megapixels += st.megapixels;
         rep.corruptFrames += st.corruptFrames;

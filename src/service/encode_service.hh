@@ -9,12 +9,37 @@
  * a *stream of buffered requests*: clients open a StreamHandle per
  * logical frame source (one eye of a headset, an animation sequence),
  * submit frames asynchronously, and collect encoded results in
- * submission order. One EncodeService multiplexes every stream onto a
- * single persistent ThreadPool — each dequeued frame is encoded with
- * the existing dynamic chunk scheduler across the pool, so concurrent
- * streams share the machine through the same load-balancing path the
- * single-frame encoder already uses, instead of fighting over
- * per-caller pools.
+ * submission order.
+ *
+ * ## Sharded concurrent dispatch
+ *
+ * Dispatch is sharded: the service runs ServiceParams::shards
+ * dispatcher threads, each owning a bounded request ring
+ * (common/sharded_queue.hh), a persistent ThreadPool slice of the
+ * configured `threads` budget, and a PerceptualEncoder bound to that
+ * slice. Streams are hash-assigned to a home shard at open
+ * (shardForName), so unrelated streams ride different rings, different
+ * condvars, and different encoders — two small-frame streams on
+ * different shards encode truly concurrently instead of serializing
+ * behind one dispatcher. An idle shard *steals* whole queued requests
+ * from the most-loaded other shard, so a skewed stream->shard
+ * assignment degrades to shared work, not idle cores.
+ *
+ * What makes stealing safe is the queue's **lane exclusivity**
+ * contract: each stream is one lane, at most one of a lane's requests
+ * is ever handed out at a time, and lanes hand out strictly in push
+ * order. Per-stream state that a concurrent design must treat as
+ * per-slot — the gaze stream's GazeTrackedEccentricity, the
+ * frame-reuse slots, the integrity seals — is touched only by the
+ * dispatcher currently holding the stream's lane, with the hand-off's
+ * happens-before edge provided by the queue mutex (the gaze state
+ * additionally carries a tryBeginExclusive guard that turns any lane
+ * protocol violation into a loud error instead of silent corruption).
+ * In-order hand-out of one-at-a-time lanes means a stream's frames
+ * *finish* in submission order too, whichever shards encoded them:
+ * FIFO collect is preserved by construction, and results stay
+ * byte-identical to direct encodeFrameInto calls for any shard count,
+ * thread count, and steal schedule.
  *
  * ## Ownership and reuse contracts
  *
@@ -40,17 +65,20 @@
  * Two bounds keep memory proportional to configuration, never to
  * offered load: submit() blocks while all of the stream's slots are in
  * flight (per-stream backpressure, bounded by `streamDepth`), and
- * while the service-wide request queue is full (global backpressure,
- * bounded by `queueCapacity`). Producers therefore self-pace to the
- * encode rate.
+ * while the stream's *home shard ring* is full (per-shard
+ * backpressure, bounded by ceil(queueCapacity / shards) per shard —
+ * the queue's per-shard not-full condvar wakes only that shard's
+ * producers, so a backlogged shard never stalls submitters of the
+ * others). Producers therefore self-pace to the encode rate.
  *
  * ## Drain and shutdown
  *
  * drain(stream) blocks until everything submitted on the stream has
  * been encoded. shutdown() (also run by the destructor) refuses new
- * submissions, *finishes* every request already queued, then joins the
- * dispatcher — in-flight work is never dropped, and blocked submitters
- * are woken with an error instead of hanging. Results already encoded
+ * submissions, *finishes* every request already queued on every
+ * shard, then joins all dispatchers — in-flight work is never
+ * dropped, and submitters blocked on any shard's backpressure are
+ * woken with an error instead of hanging. Results already encoded
  * remain collectible after shutdown.
  *
  * Results are byte-identical to calling encodeFrameInto directly for
@@ -71,7 +99,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/bounded_queue.hh"
+#include "common/sharded_queue.hh"
 #include "common/thread_pool.hh"
 #include "core/pipeline.hh"
 #include "gaze/incremental_ecc.hh"
@@ -101,11 +129,25 @@ struct EncodeRequest
 struct ServiceParams
 {
     /**
-     * Parallel participants per encoded frame (1 = serial). The
-     * service owns one persistent ThreadPool of threads-1 workers,
-     * shared by every stream's encodes through PipelineParams::pool.
+     * Total parallel encode participants across the service (1 =
+     * every encode serial). The budget is split across shards as
+     * evenly as possible (earlier shards get the remainder, every
+     * shard at least 1): shard i owns a persistent ThreadPool of
+     * participants_i - 1 workers and encodes its frames with
+     * participants_i parallel slots. With shards == 1 this is exactly
+     * the old single-pool behavior.
      */
     int threads = 1;
+    /**
+     * Dispatcher shards. Each shard runs its own dispatcher thread,
+     * request ring, pool slice, and encoder; streams are hash-homed to
+     * a shard and idle shards steal queued requests from loaded ones
+     * (see the file comment). 1 reproduces the original
+     * single-dispatcher service. More shards buy cross-stream
+     * concurrency on multi-core hosts at the cost of splitting the
+     * `threads` budget per frame.
+     */
+    std::size_t shards = 1;
     /** BD tile edge for every stream (paper default 4). */
     int tileSize = 4;
     /** Foveal bypass cutoff, degrees (paper Sec. 5.1). */
@@ -114,7 +156,11 @@ struct ServiceParams
     ExtremaFn extremaFn;
     /**
      * Service-wide bound on queued (accepted, not yet encoding)
-     * requests; submit() blocks when full.
+     * requests, split across shards: each shard ring holds
+     * ceil(queueCapacity / shards) and submit() blocks while the
+     * stream's *home* ring is full. ServiceReport::queueCapacity is
+     * the effective total (shards * per-shard bound; equal to this
+     * value whenever shards divides it).
      */
     std::size_t queueCapacity = 64;
     /**
@@ -193,10 +239,25 @@ struct GazeStreamParams
     double saccadeVelocityDegPerSec = kSaccadeVelocityDegPerSec;
 };
 
-/** Per-stream service statistics (one entry per ServiceReport). */
+/**
+ * Per-stream service statistics (one entry per ServiceReport).
+ *
+ * Consistency contract: every field of one StreamStats entry is
+ * snapshotted atomically under the owning stream's mutex — the same
+ * lock dispatchers take to publish results — so an entry is always
+ * internally consistent (framesCollected <= framesEncoded <=
+ * framesSubmitted, counters match the frames counted). Entries for
+ * *different* streams are snapshotted one after another, not at one
+ * instant: cross-stream sums can straddle concurrent encodes.
+ */
 struct StreamStats
 {
     std::string name;
+    /** Home shard the stream's submissions are queued to. */
+    std::size_t shard = 0;
+    /** Frames of this stream encoded by a non-home shard's
+     *  dispatcher (stolen work; correctness is unaffected). */
+    std::uint64_t framesStolen = 0;
     std::uint64_t framesSubmitted = 0;
     std::uint64_t framesEncoded = 0;
     std::uint64_t framesCollected = 0;
@@ -238,28 +299,82 @@ struct StreamStats
     std::uint64_t gazeRecoveries = 0;
 };
 
+/**
+ * Per-shard dispatch statistics (ServiceReport::shards).
+ *
+ * Consistency contract: queue fields (depth, peak, steal counters)
+ * are snapshotted together under the queue mutex and are exact;
+ * dispatch fields (framesEncoded, framesStolen, busySeconds, pool
+ * accounting) are monotonic relaxed atomics read individually —
+ * each is exact on its own, but the set is not one instant's
+ * snapshot, so e.g. framesEncoded can be one ahead of busySeconds
+ * mid-encode. After drain()/shutdown() everything is quiescent and
+ * mutually consistent.
+ */
+struct ShardStats
+{
+    std::size_t shard = 0;
+    /** Streams whose home shard this is. */
+    std::size_t streamsHomed = 0;
+    /** Frames this shard's dispatcher encoded (own + stolen). */
+    std::uint64_t framesEncoded = 0;
+    /** ...of which it stole from other shards' rings. */
+    std::uint64_t framesStolen = 0;
+    /** Frames pushed to this ring but encoded by another shard. */
+    std::uint64_t framesStolenFrom = 0;
+    /** Requests pushed to this shard's ring, total. */
+    std::uint64_t framesQueued = 0;
+    /** Requests sitting in this shard's ring right now. */
+    std::size_t queueDepth = 0;
+    /** Deepest this shard's ring has been. */
+    std::size_t queuePeakDepth = 0;
+    /** This shard's ring bound (ceil(queueCapacity / shards)). */
+    std::size_t queueCapacity = 0;
+    /** Wall time this shard's dispatcher spent encoding. */
+    double busySeconds = 0.0;
+    /** busySeconds / report wallSeconds: 1.0 = never idle. The
+     *  serialization tell: with one dispatcher, N busy streams show
+     *  one shard pinned at ~1.0; sharded, occupancy spreads. */
+    double occupancy = 0.0;
+    /** Parallel encode participants this shard's slice runs. */
+    int participants = 1;
+    /** Pool participation accounting (ThreadPool::dispatchCalls /
+     *  participantSum for this shard's pool slice): how much
+     *  parallelism the shard's encodes actually used. */
+    std::uint64_t poolDispatches = 0;
+    double poolMeanParticipants = 0.0;
+};
+
 /** Aggregate service statistics. */
 struct ServiceReport
 {
     std::vector<StreamStats> streams;
+    /** One entry per dispatcher shard, indexed by shard id. */
+    std::vector<ShardStats> shards;
     std::uint64_t framesEncoded = 0;
     double megapixels = 0.0;
     /** Wall seconds since the service was constructed. */
     double wallSeconds = 0.0;
     /** megapixels / wallSeconds across all streams. */
     double aggregateMps = 0.0;
-    /** Requests sitting in the service queue right now. */
+    /** Requests sitting in the service queues right now (all shards). */
     std::size_t queuedRequests = 0;
     /**
-     * Deepest the request queue has ever been (sampled at submit).
-     * The single dispatcher serializes encodes across streams, so a
-     * peak approaching queueCapacity means streams are waiting on each
-     * other — the baseline metric for the concurrent-dispatcher
-     * follow-up (docs/ARCHITECTURE.md, "Service layer").
+     * Deepest the *aggregate* backlog (summed across shard rings) has
+     * ever been — tracked inside the queue mutex at push, so it is
+     * exact and directly comparable to the single-queue peak this
+     * metric baselined before sharding. A peak approaching
+     * queueCapacity means producers outrun the dispatchers; per-shard
+     * peaks in `shards` localize which ring backs up.
      */
     std::size_t queuePeakDepth = 0;
-    /** Configured bound the peak is measured against. */
+    /** Effective total bound the peak is measured against
+     *  (shards * per-shard ring bound). */
     std::size_t queueCapacity = 0;
+    /** Frames encoded by a non-home shard, service-wide: zero means
+     *  the hash assignment balanced on its own; high counts mean
+     *  stealing is what kept shards busy. */
+    std::uint64_t stolenFrames = 0;
     /**
      * Deployment-health aggregates, summed across streams: round-trip
      * verification failures (verifyRoundTrip) and the hardenIntegrity
@@ -450,33 +565,45 @@ class EncodeService
      */
     void shutdown();
 
-    /** Point-in-time statistics (safe to call at any time). */
+    /** Point-in-time statistics (safe to call at any time; see the
+     *  StreamStats/ShardStats consistency contracts). */
     ServiceReport report() const;
 
     const ServiceParams &params() const { return params_; }
 
-    /** The shared worker pool (nullptr when threads == 1). */
-    ThreadPool *pool() const { return pool_.get(); }
+    /**
+     * The home shard a stream named @p name is assigned to under
+     * @p shards dispatcher shards. Exposed so tests and load planners
+     * can reason about (or deliberately collide) stream homing; the
+     * hash is stable for the life of the process, not across builds.
+     */
+    static std::size_t shardForName(const std::string &name,
+                                    std::size_t shards);
+
+    /** Shard @p shard's worker pool (nullptr when that shard's slice
+     *  is a single participant). */
+    ThreadPool *pool(std::size_t shard = 0) const;
 
   private:
-    void dispatchLoop();
+    struct ShardRuntime;  ///< pool slice + encoder + dispatcher (.cc)
+
+    void dispatchLoop(std::size_t shard);
     void submitImpl(StreamHandle handle, const ImageF &frame,
                     const GazeSample *gaze);
     FrameLease collectImpl(StreamHandle handle,
                            const std::chrono::milliseconds *timeout);
 
     const ServiceParams params_;
-    std::unique_ptr<ThreadPool> pool_;
-    std::unique_ptr<PerceptualEncoder> encoder_;
-    BoundedQueue<detail::EncodeRequest> queue_;
+    ShardedStealQueue<detail::EncodeRequest> queue_;
     std::atomic<bool> accepting_{true};
-    std::atomic<std::size_t> queuePeak_{0};
 
     mutable std::mutex streamsMutex_;  ///< guards streams_
     std::vector<std::unique_ptr<detail::StreamState>> streams_;
 
     std::chrono::steady_clock::time_point startTime_;
-    std::thread dispatcher_;  ///< last member: joined before the rest
+    /** Last member: shutdown() joins every dispatcher before the
+     *  queue or stream state can go away. */
+    std::vector<std::unique_ptr<ShardRuntime>> shards_;
 };
 
 } // namespace pce

@@ -399,6 +399,20 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
                   "singleshot_mps", "service_efficiency",
                   "queue_p50_ms", "queue_p99_ms", "queue_max_ms"})
                 expectNumber(rec, key, i);
+            // Sharded-dispatch fields appeared in PR 8; records from
+            // the single-dispatcher era lack them. Any record that
+            // carries shard_count must carry the whole group, and a
+            // sharded run must use at least one shard.
+            if (rec.find("shard_count") != nullptr) {
+                for (const char *key :
+                     {"shard_count", "stolen_frames",
+                      "queue_peak_depth", "shard_occupancy_mean"})
+                    expectNumber(rec, key, i);
+                const JsonValue *sc = rec.find("shard_count");
+                ASSERT_NE(sc, nullptr) << "record " << i;
+                EXPECT_GE(sc->number, 1.0)
+                    << "record " << i << ": shard_count must be >= 1";
+            }
         } else if (bench == "gaze_encode") {
             for (const char *key :
                  {"frames", "refix_incremental_ms", "refix_rebuild_ms",

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hh"
@@ -102,12 +103,21 @@ TEST(ThreadPool, DispatchGivesEachParticipantItsOwnSlot)
 TEST(ThreadPool, CallerExceptionWaitsForWorkersAndPropagates)
 {
     ThreadPool pool(2);
+    // Workers hold their first chunk until the caller has taken one:
+    // with free-running workers a slow caller thread (e.g. under
+    // ThreadSanitizer) can find the range already drained and never
+    // reach its throw.
+    std::atomic<bool> caller_threw{false};
     std::atomic<int> worker_chunks{0};
     EXPECT_THROW(
         pool.parallelFor(300, 1, 3,
                          [&](std::size_t, std::size_t, int slot) {
-                             if (slot == 0)
+                             if (slot == 0) {
+                                 caller_threw.store(true);
                                  throw std::runtime_error("caller");
+                             }
+                             while (!caller_threw.load())
+                                 std::this_thread::yield();
                              worker_chunks.fetch_add(1);
                          }),
         std::runtime_error);

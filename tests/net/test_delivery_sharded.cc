@@ -1,0 +1,181 @@
+/**
+ * @file
+ * DeliverySession over sharded collect: per-frame delivery deadlines
+ * must compose with dispatcher-per-shard encoding. Concurrent
+ * sessions on streams homed to the *same* shard stay byte-identical
+ * at 0% loss (their frames ride the steal protocol), and a session
+ * whose stream is stuck behind a parked dispatcher degrades on its
+ * deadline while a co-homed session keeps delivering via steals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/delivery.hh"
+#include "service/encode_service.hh"
+
+namespace pce {
+namespace {
+
+using namespace std::chrono_literals;
+
+const AnalyticDiscriminationModel &
+model()
+{
+    static const AnalyticDiscriminationModel m;
+    return m;
+}
+
+EccentricityMap
+centeredMap(int w, int h)
+{
+    DisplayGeometry g;
+    g.width = w;
+    g.height = h;
+    g.horizontalFovDeg = 100.0;
+    g.fixationX = w / 2.0;
+    g.fixationY = h / 2.0;
+    return EccentricityMap(g);
+}
+
+std::vector<std::string>
+namesHomedTo(std::size_t shard, std::size_t shards, std::size_t count)
+{
+    std::vector<std::string> out;
+    for (int i = 0; out.size() < count && i < 100000; ++i) {
+        std::string name = "net-" + std::to_string(i);
+        if (EncodeService::shardForName(name, shards) == shard)
+            out.push_back(std::move(name));
+    }
+    EXPECT_EQ(out.size(), count);
+    return out;
+}
+
+TEST(DeliverySharded, CohomedSessionsDeliverByteIdenticalFrames)
+{
+    // Two sessions on streams hash-homed to the same shard of a
+    // 4-shard service: their interleaved encodes exercise cross-shard
+    // stealing, and every frame must still arrive byte-identical over
+    // a clean channel.
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+
+    ServiceParams sp;
+    sp.shards = 4;
+    sp.streamDepth = 2;
+    EncodeService svc(model(), sp);
+    const std::vector<std::string> names = namesHomedTo(0, sp.shards, 2);
+
+    std::vector<net::LossyChannel> channels(2);  // clean
+    std::vector<net::DeliverySession> sessions;
+    sessions.reserve(2);
+    std::vector<StreamHandle> handles;
+    handles.reserve(2);
+    for (int s = 0; s < 2; ++s) {
+        handles.push_back(svc.openStream(names[s], ecc));
+        net::SenderPolicy policy;
+        policy.sessionId = 0xd00d + s;
+        policy.streamId = static_cast<std::uint32_t>(s);
+        sessions.emplace_back(svc, handles.back(), channels[s],
+                              policy, &ecc);
+    }
+
+    constexpr int kFrames = 4;
+    for (int i = 0; i < kFrames; ++i) {
+        // Interleave submissions so both streams are queued on shard
+        // 0 at once before either delivery collects.
+        for (int s = 0; s < 2; ++s)
+            sessions[s].submit(renderScene(
+                SceneId::Office, {n, n, s, 0.1 * i + 0.3 * s, 0}));
+        for (int s = 0; s < 2; ++s) {
+            ImageU8 out;
+            const net::DeliveryReport rep =
+                sessions[s].deliverNext(out, 30000ms);
+            EXPECT_FALSE(rep.encodeTimedOut);
+            EXPECT_TRUE(rep.frame.byteIdentical)
+                << "session " << s << ", frame " << i;
+            EXPECT_TRUE(rep.fovealIntact);
+        }
+    }
+    for (int s = 0; s < 2; ++s)
+        EXPECT_EQ(sessions[s].framesDelivered(),
+                  static_cast<std::uint64_t>(kFrames));
+}
+
+TEST(DeliverySharded, ParkedDispatcherDegradesOneSessionNotItsNeighbor)
+{
+    // Stream A's first encode parks its dispatcher; stream B is homed
+    // to the same shard. A's session must degrade on its encode
+    // deadline (whole-frame hold), while B's — behind A in the same
+    // ring — still delivers intact within a bounded deadline because
+    // another shard steals it. This is the sharded-collect contract
+    // the delivery tier depends on: one stalled stream cannot wedge a
+    // co-homed neighbor's delivery loop.
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+
+    std::mutex gateMutex;
+    std::condition_variable gateCv;
+    bool gateOpen = false;
+
+    ServiceParams sp;
+    sp.shards = 2;
+    sp.streamDepth = 2;
+    const std::vector<std::string> names = namesHomedTo(0, sp.shards, 2);
+    const std::string gatedName = names[0];
+    sp.preEncodeFaultHook = [&](const std::string &name, std::uint64_t,
+                                ImageF &) {
+        if (name != gatedName)
+            return;
+        std::unique_lock<std::mutex> lock(gateMutex);
+        gateCv.wait(lock, [&] { return gateOpen; });
+    };
+    EncodeService svc(model(), sp);
+
+    StreamHandle a = svc.openStream(names[0], ecc);
+    StreamHandle b = svc.openStream(names[1], ecc);
+    net::LossyChannel chA, chB;  // clean
+    net::SenderPolicy polA, polB;
+    polA.sessionId = 0xa;
+    polB.sessionId = 0xb;
+    polB.streamId = 1;
+    net::DeliverySession sesA(svc, a, chA, polA, &ecc);
+    net::DeliverySession sesB(svc, b, chB, polB, &ecc);
+
+    const ImageF frameA =
+        renderScene(SceneId::Office, {n, n, 0, 0.0, 0});
+    const ImageF frameB =
+        renderScene(SceneId::Monkey, {n, n, 0, 0.5, 0});
+    sesA.submit(frameA);  // parks whichever dispatcher takes it
+    sesB.submit(frameB);
+
+    ImageU8 outB;
+    net::DeliveryReport repB = sesB.deliverNext(outB, 30000ms);
+    EXPECT_FALSE(repB.encodeTimedOut)
+        << "co-homed stream starved behind the parked dispatcher";
+    EXPECT_TRUE(repB.frame.byteIdentical);
+
+    ImageU8 outA;
+    net::DeliveryReport repA = sesA.deliverNext(outA, 30ms);
+    EXPECT_TRUE(repA.encodeTimedOut) << "A's encode is parked";
+    EXPECT_FALSE(repA.frame.manifestReceived);
+
+    {
+        std::lock_guard<std::mutex> lock(gateMutex);
+        gateOpen = true;
+    }
+    gateCv.notify_all();
+    repA = sesA.deliverNext(outA, 30000ms);
+    EXPECT_FALSE(repA.encodeTimedOut);
+    EXPECT_TRUE(repA.frame.byteIdentical)
+        << "late frame delivers under the next id, intact";
+}
+
+} // namespace
+} // namespace pce
