@@ -22,6 +22,16 @@
  * byte-identically (manifest CRC-32 proof) — the bench doubles as the
  * end-to-end transparency check.
  *
+ * A second, adaptive sweep runs the step and burst time-varying loss
+ * schedules (net/rate_control.hh) under a persistent RateController
+ * and records, per schedule: `adaptive_<s>_convergence_frames`
+ * (frames after the loss ends until byte-identical delivery returns),
+ * `adaptive_<s>_mean_budget_bytes_per_round`,
+ * `adaptive_<s>_foveal_intact_rate`, and
+ * `adaptive_<s>_delivered_tile_fraction`, gated by the
+ * `adaptive_loss_schedules` field for records predating the
+ * controller.
+ *
  * Knobs (environment): PCE_BENCH_WIDTH / PCE_BENCH_HEIGHT (default
  * 512x512), PCE_BENCH_NET_FRAMES (frames per loss point, default 12),
  * PCE_BENCH_THREADS. Output path: argv[1] or PCE_BENCH_OUT, default
@@ -58,6 +68,104 @@ struct LossPointResult
     double retransmitOverhead = 0.0;
     double effectivePsnrDb = 0.0;
 };
+
+struct ScheduleResult
+{
+    net::LossScheduleId schedule = net::LossScheduleId::Step;
+    int frames = 0;
+    /** Frames after the last lossy frame until full (byte-identical)
+     *  delivery returned; 0 = the very next frame, -1 = never within
+     *  the run. */
+    int convergenceFrames = -1;
+    double meanBudgetBytesPerRound = 0.0;
+    double fovealIntactRate = 0.0;
+    double deliveredTileFraction = 0.0;
+};
+
+/**
+ * Adaptive sweep: one time-varying loss schedule (rate_control.hh)
+ * over @p streams with a persistent RateController. The controller's
+ * floor is provisioned at ~1.1x the clean-channel need, so the
+ * schedule's clean head is transparent and convergence measures how
+ * fast the estimator's derate decays after the loss ends.
+ */
+ScheduleResult
+runSchedule(net::LossScheduleId schedule,
+            const std::vector<std::vector<std::uint8_t>> &streams,
+            const EccentricityMap &ecc, std::size_t max_wire_bytes)
+{
+    const int frames = static_cast<int>(streams.size());
+    net::LossyChannelConfig ch;
+    ch.seed = 0xada97 + static_cast<std::uint64_t>(schedule);
+    net::LossyChannel channel(ch);
+
+    net::SenderPolicy policy;
+    policy.sessionId = 0x5e55;
+    policy.streamId = 2;
+    policy.adaptiveRate = true;
+    policy.rateControl.minBudgetBytesPerRound =
+        max_wire_bytes + max_wire_bytes / 10 +
+        static_cast<std::size_t>(policy.deadlineRounds) * policy.mtuBytes;
+    policy.rateControl.minBudgetBytesPerRound /=
+        static_cast<std::size_t>(policy.deadlineRounds);
+    policy.rateControl.initialBudgetBytesPerRound =
+        policy.rateControl.minBudgetBytesPerRound;
+    policy.rateControl.maxBudgetBytesPerRound = max_wire_bytes;
+    policy.rateControl.additiveIncreaseBytes =
+        std::max<std::size_t>(1200, max_wire_bytes / 64);
+    policy.rateControl.multiplicativeDecrease = 0.9;
+
+    net::ReassemblerParams rp;
+    rp.sessionId = policy.sessionId;
+    net::FrameReassembler rx(rp);
+    net::RateController rate(policy.rateControl);
+
+    ScheduleResult res;
+    res.schedule = schedule;
+    res.frames = frames;
+    std::size_t tiles_total = 0, tiles_delivered = 0;
+    int foveal_intact_frames = 0;
+    double budget_sum = 0.0;
+    int last_lossy = -1;
+    int first_identical_after_loss = -1;
+
+    ImageU8 delivered;
+    for (int f = 0; f < frames; ++f) {
+        const double drop =
+            net::scheduledDropRate(schedule, f, frames);
+        channel.setDropRate(drop);
+        if (drop > 0.0) {
+            last_lossy = f;
+            first_identical_after_loss = -1;
+        }
+        const net::DeliveryReport rep = net::deliverFrame(
+            streams[static_cast<std::size_t>(f)],
+            static_cast<std::uint64_t>(f), &ecc, channel, rx,
+            delivered, policy, &rate);
+        tiles_total += rep.frame.totalTiles;
+        tiles_delivered += rep.frame.deliveredTiles;
+        if (rep.fovealIntact)
+            ++foveal_intact_frames;
+        budget_sum +=
+            static_cast<double>(rep.frame.budgetBytesPerRound);
+        if (drop == 0.0 && last_lossy >= 0 &&
+            first_identical_after_loss < 0 && rep.frame.byteIdentical)
+            first_identical_after_loss = f;
+    }
+    res.convergenceFrames =
+        last_lossy >= 0 && first_identical_after_loss >= 0
+            ? first_identical_after_loss - last_lossy - 1
+            : -1;
+    res.meanBudgetBytesPerRound =
+        frames ? budget_sum / frames : 0.0;
+    res.fovealIntactRate =
+        frames ? static_cast<double>(foveal_intact_frames) / frames
+               : 1.0;
+    res.deliveredTileFraction =
+        tiles_total ? static_cast<double>(tiles_delivered) / tiles_total
+                    : 1.0;
+    return res;
+}
 
 LossPointResult
 runLossPoint(const PerceptualEncoder &enc, const EccentricityMap &ecc,
@@ -160,6 +268,38 @@ main(int argc, char **argv)
     for (const int loss : {0, 10, 25})
         results.push_back(runLossPoint(enc, ecc, loss, frames, w, h));
 
+    // Adaptive rate-control sweep over time-varying schedules. The
+    // content is encoded once and replayed per schedule so the two
+    // runs differ only in channel history.
+    const int adaptive_frames = std::max(24, frames);
+    std::cout << "adaptive sweep: {step, burst} schedules, "
+              << adaptive_frames << " frames each...\n";
+    std::vector<std::vector<std::uint8_t>> streams;
+    std::size_t max_wire = 0;
+    {
+        EncodedFrame encoded;
+        net::PacketizerParams pkp;
+        for (int i = 0; i < adaptive_frames; ++i) {
+            RenderOptions opt;
+            opt.width = w;
+            opt.height = h;
+            opt.time = 20.0 * i / adaptive_frames;
+            enc.encodeFrameInto(renderScene(SceneId::Skyline, opt),
+                                ecc, encoded);
+            streams.push_back(encoded.bdStream);
+            max_wire = std::max(
+                max_wire,
+                net::packetizeFrame(encoded.bdStream,
+                                    static_cast<std::uint64_t>(i),
+                                    &ecc, pkp)
+                    .wireBytes);
+        }
+    }
+    std::vector<ScheduleResult> schedules;
+    for (const net::LossScheduleId id :
+         {net::LossScheduleId::Step, net::LossScheduleId::Burst})
+        schedules.push_back(runSchedule(id, streams, ecc, max_wire));
+
     std::ostringstream rec;
     rec << "  {\n"
         << "    \"bench\": \"net_delivery\",\n"
@@ -186,6 +326,24 @@ main(int argc, char **argv)
             << ",\n    \"" << p
             << "_effective_psnr_db\": " << r.effectivePsnrDb;
     }
+    // Presence gate for the adaptive fields (the schema test skips
+    // them on records predating the rate controller).
+    rec << ",\n    \"adaptive_loss_schedules\": \"";
+    for (std::size_t i = 0; i < schedules.size(); ++i)
+        rec << (i ? "," : "")
+            << net::lossScheduleName(schedules[i].schedule);
+    rec << "\",\n    \"adaptive_frames\": " << adaptive_frames;
+    for (const ScheduleResult &r : schedules) {
+        const std::string p =
+            std::string("adaptive_") + net::lossScheduleName(r.schedule);
+        rec << ",\n    \"" << p
+            << "_convergence_frames\": " << r.convergenceFrames
+            << ",\n    \"" << p << "_mean_budget_bytes_per_round\": "
+            << r.meanBudgetBytesPerRound << ",\n    \"" << p
+            << "_foveal_intact_rate\": " << r.fovealIntactRate
+            << ",\n    \"" << p
+            << "_delivered_tile_fraction\": " << r.deliveredTileFraction;
+    }
     rec << "\n  }";
     bench::appendJsonRecord(out_path, rec.str());
 
@@ -199,6 +357,13 @@ main(int argc, char **argv)
                     r.lossPercent, r.deliveredTileFraction,
                     r.fovealIntactRate, r.retransmitOverhead,
                     r.effectivePsnrDb);
+    std::cout << "sched  converge  mean-budget  foveal-intact  "
+                 "delivered\n";
+    for (const ScheduleResult &r : schedules)
+        std::printf("%-5s  %8d   %10.0f   %12.4f   %8.4f\n",
+                    net::lossScheduleName(r.schedule),
+                    r.convergenceFrames, r.meanBudgetBytesPerRound,
+                    r.fovealIntactRate, r.deliveredTileFraction);
     std::cout << "appended record to " << out_path << "\n";
     return 0;
 }

@@ -31,7 +31,23 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 echo "== Sanitizer build (address,undefined) =="
 cmake -B build-san -S . -DFOVE_SANITIZE=address,undefined > /dev/null
 cmake --build build-san -j"$JOBS"
-ctest --test-dir build-san --output-on-failure -j"$JOBS"
+# The multi-seed soak sweep (ctest label "soak") is excluded here and
+# run bounded below — 16 seeds x 5 loss schedules is Release-cheap but
+# sanitizer-expensive.
+ctest --test-dir build-san --output-on-failure -j"$JOBS" -LE soak
+
+echo "== Adaptive-rate soak sweep under asan/ubsan (bounded) =="
+# The delivery soak harness is the property suite for the adaptive
+# rate controller: per-frame invariants, bit-exact replay, and the
+# adaptive-beats-constant-baseline comparison across seeded loss
+# schedules. The Release ctest pass above already ran it at the full
+# default width (16 seeds); under the sanitizers it is bounded to 4
+# seeds by default. Opt into the full-width sanitized sweep with
+# PCE_SOAK_SEEDS=16 scripts/check.sh.
+PCE_SOAK_SEEDS="${PCE_SOAK_SEEDS:-4}" \
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir build-san --output-on-failure -L soak
 
 echo "== Decode hardening corpus under asan/ubsan =="
 # The malformed-stream corpus (bit flips, truncations, extensions,

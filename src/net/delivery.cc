@@ -1,6 +1,7 @@
 #include "net/delivery.hh"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "image/image.hh"
@@ -25,7 +26,8 @@ DeliveryReport
 deliverFrame(const std::vector<std::uint8_t> &bd_stream,
              std::uint64_t frame_id, const EccentricityMap *ecc,
              LossyChannel &channel, FrameReassembler &receiver,
-             ImageU8 &out, const SenderPolicy &policy)
+             ImageU8 &out, const SenderPolicy &policy,
+             RateController *rate)
 {
     PacketizerParams pp;
     pp.mtuBytes = policy.mtuBytes;
@@ -38,11 +40,32 @@ deliverFrame(const std::vector<std::uint8_t> &bd_stream,
     std::vector<TxState> tx(pf.packets.size());
     const int deadline = std::max(policy.deadlineRounds, 1);
 
+    // Adaptive rate control: the controller supplies the round
+    // budget, and the continuous foveal cutoff decides up front which
+    // sendOrder prefix this frame attempts at all — everything past
+    // the cutoff radius is shed before its first transmission, so
+    // retransmission budget is never wasted on packets that cannot
+    // complete before the deadline anyway.
+    std::size_t round_budget = policy.budgetBytesPerRound;
+    FovealCutoff cut;
+    cut.admittedPackets = pf.packets.size();
+    cut.admittedBytes = pf.wireBytes;
+    cut.cutoffEccDeg = std::numeric_limits<double>::infinity();
+    if (rate != nullptr) {
+        round_budget = rate->budgetBytesPerRound();
+        cut = continuousFovealCutoff(pf, round_budget, deadline,
+                                     rate->estimator().lossRate(),
+                                     rate->params());
+        for (std::size_t i = cut.admittedPackets;
+             i < pf.sendOrder.size(); ++i)
+            tx[pf.sendOrder[i]].gaveUp = true;
+    }
+
     for (int round = 0; round < deadline; ++round) {
         rep.roundsUsed = round + 1;
         // Transmit in foveal-priority order under the round budget:
         // a foveal retransmission outranks a peripheral first send.
-        std::size_t budget = policy.budgetBytesPerRound;
+        std::size_t budget = round_budget;
         for (const std::uint32_t idx : pf.sendOrder) {
             TxState &t = tx[idx];
             if (t.delivered || t.gaveUp || t.eligibleRound > round)
@@ -95,9 +118,34 @@ deliverFrame(const std::vector<std::uint8_t> &bd_stream,
             continue;
         ++rep.shedPackets;
         rep.shedTiles += pf.packets[i].header.tileCount;
+        rep.shedBytes += pf.packets[i].bytes.size();
+        rep.minShedEccDeg =
+            std::min(rep.minShedEccDeg, pf.packets[i].minEccDeg);
     }
 
     rep.frame = receiver.finalizeFrame(policy.streamId, frame_id, out);
+
+    rep.frame.adaptiveRate = rate != nullptr;
+    rep.frame.budgetBytesPerRound = round_budget;
+    rep.frame.cutoffEccDeg = cut.cutoffEccDeg;
+    rep.frame.shedBytes = rep.shedBytes;
+    if (rate != nullptr) {
+        // Fold this frame back into the controller so the *next*
+        // frame adapts. Admitted-but-undelivered packets count as
+        // losses the NACK loop never recovered.
+        DeliveryFeedback fb;
+        fb.packetsSent = rep.packetsSent;
+        fb.retransmittedPackets = rep.retransmittedPackets;
+        fb.admittedPackets = cut.admittedPackets;
+        for (std::size_t i = 0; i < pf.sendOrder.size() &&
+                                i < cut.admittedPackets; ++i)
+            if (!tx[pf.sendOrder[i]].delivered)
+                ++fb.undeliveredAdmitted;
+        fb.roundsUsed = rep.roundsUsed;
+        rate->onFrame(fb);
+        rep.frame.estimatedLossRate = rate->estimator().lossRate();
+        rep.frame.estimatedRttRounds = rate->estimator().rttRounds();
+    }
 
     // Foveal accounting lives here, not in the receiver: the receiver
     // never sees an eccentricity map, only the delivery mask.
@@ -131,7 +179,10 @@ DeliverySession::DeliverySession(EncodeService &service,
           rp.sessionId = policy.sessionId;
           return rp;
       }())
-{}
+{
+    if (policy_.adaptiveRate)
+        rate_.emplace(policy_.rateControl);
+}
 
 DeliveryReport
 DeliverySession::deliverNext(ImageU8 &out,
@@ -146,10 +197,27 @@ DeliverySession::deliverNext(ImageU8 &out,
         rep.encodeTimedOut = true;
         rep.frame = receiver_.finalizeFrame(policy_.streamId,
                                             nextFrame_++, out);
+        if (rate_)
+            rate_->onIdleFrame();  // stale channel knowledge decays
         return rep;
     }
-    return deliverFrame(lease->bdStream, nextFrame_++, ecc_, channel_,
-                        receiver_, out, policy_);
+    DeliveryReport rep =
+        deliverFrame(lease->bdStream, nextFrame_++, ecc_, channel_,
+                     receiver_, out, policy_,
+                     rate_ ? &*rate_ : nullptr);
+    // Fold the delivery outcome into the stream's service-side stats
+    // so EncodeService::report() covers the full pipeline.
+    DeliverySample sample;
+    sample.adaptiveRate = rep.frame.adaptiveRate;
+    sample.budgetBytesPerRound = rep.frame.budgetBytesPerRound;
+    sample.estimatedLossRate = rep.frame.estimatedLossRate;
+    sample.cutoffEccDeg = rep.frame.cutoffEccDeg;
+    sample.bytesSent = rep.bytesSent;
+    sample.shedBytes = rep.shedBytes;
+    sample.fovealIntact = rep.fovealIntact;
+    sample.byteIdentical = rep.frame.byteIdentical;
+    service_.recordDelivery(handle_, sample);
+    return rep;
 }
 
 } // namespace pce::net

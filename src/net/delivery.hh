@@ -40,8 +40,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <optional>
+
 #include "net/lossy_channel.hh"
 #include "net/packetizer.hh"
+#include "net/rate_control.hh"
 #include "net/reassembler.hh"
 #include "service/encode_service.hh"
 
@@ -72,6 +75,16 @@ struct SenderPolicy
     int maxRetransmitAttempts = 4;
     std::uint64_t sessionId = 0;
     std::uint32_t streamId = 0;
+    /**
+     * Adaptive rate control (net/rate_control.hh): DeliverySession
+     * owns a persistent RateController tuned by `rateControl`, the
+     * per-round budget is derived from delivery feedback instead of
+     * `budgetBytesPerRound`, and shedding becomes the continuous
+     * foveal cutoff. Free-standing deliverFrame callers opt in by
+     * passing their own controller.
+     */
+    bool adaptiveRate = false;
+    RateControlParams rateControl;
 };
 
 /** Everything one frame's delivery did, sender and receiver side. */
@@ -89,6 +102,20 @@ struct DeliveryReport
     std::size_t shedPackets = 0;
     /** Tiles those shed packets carried. */
     std::size_t shedTiles = 0;
+    /** Wire bytes those shed packets would have cost. */
+    std::size_t shedBytes = 0;
+    /**
+     * Smallest tile eccentricity among shed packets, degrees;
+     * infinity when nothing was shed. Planned shedding starts at
+     * frame.cutoffEccDeg and moves outward; when the loss estimate
+     * underruns the channel, admitted packets can additionally
+     * starve on retransmission pressure and shed *inside* the
+     * cutoff. The invariants the soak harness holds this to: the
+     * foveal region is never shed (foveal-first transmit order
+     * spends the budget there first), and on frames without
+     * retransmission pressure nothing inside the cutoff is shed.
+     */
+    double minShedEccDeg = std::numeric_limits<double>::infinity();
     /** NACK rounds the delivery used (<= deadlineRounds). */
     int roundsUsed = 0;
     /** Tiles within fovealCutoffDeg (0 without an eccentricity map). */
@@ -112,13 +139,21 @@ struct DeliveryReport
  * leave the degraded-or-perfect result in @p out. @p ecc (borrowed,
  * may be null) drives both the send priority and the foveal
  * accounting; its dimensions must match the encoded frame's.
+ *
+ * @p rate (borrowed, may be null) switches the frame to adaptive
+ * rate control: the round budget comes from the controller, packets
+ * beyond the continuous foveal cutoff are shed before transmission,
+ * and the frame's feedback is folded back into the controller so the
+ * next frame adapts. The controller's fields of the returned
+ * report's `frame` record exactly what the frame ran under.
  */
 DeliveryReport deliverFrame(const std::vector<std::uint8_t> &bd_stream,
                             std::uint64_t frame_id,
                             const EccentricityMap *ecc,
                             LossyChannel &channel,
                             FrameReassembler &receiver, ImageU8 &out,
-                            const SenderPolicy &policy = {});
+                            const SenderPolicy &policy = {},
+                            RateController *rate = nullptr);
 
 /**
  * Per-stream delivery loop over an EncodeService stream: collect each
@@ -160,6 +195,10 @@ class DeliverySession
     const FrameReassembler &receiver() const { return receiver_; }
     /** Frame ids consumed so far (delivered or timed out). */
     std::uint64_t framesDelivered() const { return nextFrame_; }
+    /** The session's persistent controller (null without
+     *  SenderPolicy::adaptiveRate). */
+    const RateController *rateController() const
+    { return rate_ ? &*rate_ : nullptr; }
 
   private:
     EncodeService &service_;
@@ -168,6 +207,8 @@ class DeliverySession
     SenderPolicy policy_;
     const EccentricityMap *ecc_;
     FrameReassembler receiver_;
+    /** Persistent per-session AIMD state (adaptiveRate only). */
+    std::optional<RateController> rate_;
     std::uint64_t nextFrame_ = 0;
 };
 

@@ -59,6 +59,16 @@ class LossyChannel
     /** Rounds elapsed (ready() calls). */
     int round() const { return round_; }
 
+    /**
+     * Retune the drop probability mid-stream (time-varying loss
+     * schedules: rate_control.hh's scheduledDropRate). Only the
+     * config changes — the RNG stream is untouched, so a schedule
+     * replayed over the same seed draws the same random sequence and
+     * the whole history stays deterministic.
+     */
+    void setDropRate(double rate) { config_.dropRate = rate; }
+    const LossyChannelConfig &config() const { return config_; }
+
     // Impairment accounting (sent counts offered datagrams, the rest
     // count applied impairments).
     std::size_t packetsSent() const { return sent_; }

@@ -1,0 +1,217 @@
+#include "net/rate_control.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pce::net {
+
+namespace {
+
+void
+validateParams(const RateControlParams &p)
+{
+    if (p.minBudgetBytesPerRound == 0)
+        throw std::invalid_argument(
+            "RateControlParams: minBudgetBytesPerRound must be > 0");
+    if (p.maxBudgetBytesPerRound < p.minBudgetBytesPerRound)
+        throw std::invalid_argument(
+            "RateControlParams: maxBudgetBytesPerRound < "
+            "minBudgetBytesPerRound");
+    if (!(p.multiplicativeDecrease > 0.0) ||
+        !(p.multiplicativeDecrease < 1.0))
+        throw std::invalid_argument(
+            "RateControlParams: multiplicativeDecrease must be in "
+            "(0, 1)");
+    if (!(p.lossAlpha > 0.0) || p.lossAlpha > 1.0 ||
+        !(p.rttAlpha > 0.0) || p.rttAlpha > 1.0)
+        throw std::invalid_argument(
+            "RateControlParams: EWMA alphas must be in (0, 1]");
+    if (p.idleResetFrames < 1)
+        throw std::invalid_argument(
+            "RateControlParams: idleResetFrames must be >= 1");
+    if (!(p.minCapacityDerate > 0.0) || p.minCapacityDerate > 1.0)
+        throw std::invalid_argument(
+            "RateControlParams: minCapacityDerate must be in (0, 1]");
+}
+
+/** Per-frame loss sample: losses the NACK loop observed (every
+ *  retransmission answers a loss) plus the losses it never recovered,
+ *  over everything put on the wire. */
+double
+lossSampleOf(const DeliveryFeedback &fb)
+{
+    if (fb.packetsSent == 0)
+        return 0.0;
+    const double losses =
+        static_cast<double>(fb.retransmittedPackets +
+                            fb.undeliveredAdmitted);
+    return std::min(1.0, losses / static_cast<double>(fb.packetsSent));
+}
+
+} // namespace
+
+RateEstimator::RateEstimator(const RateControlParams &params)
+    : params_(params)
+{
+    validateParams(params_);
+}
+
+void
+RateEstimator::onFrame(const DeliveryFeedback &feedback)
+{
+    idleStreak_ = 0;
+    const double loss = lossSampleOf(feedback);
+    const double rtt =
+        static_cast<double>(std::max(feedback.roundsUsed, 1));
+    if (!warm_) {
+        // First sample since reset: adopt it outright instead of
+        // blending with the cold prior (faster convergence, and the
+        // EWMA convergence tests get an exact geometric series).
+        lossRate_ = loss;
+        rttRounds_ = rtt;
+        warm_ = true;
+        return;
+    }
+    lossRate_ += params_.lossAlpha * (loss - lossRate_);
+    rttRounds_ += params_.rttAlpha * (rtt - rttRounds_);
+}
+
+void
+RateEstimator::onIdleFrame()
+{
+    if (++idleStreak_ >= params_.idleResetFrames)
+        reset();
+}
+
+void
+RateEstimator::reset()
+{
+    lossRate_ = 0.0;
+    rttRounds_ = 1.0;
+    warm_ = false;
+    idleStreak_ = 0;
+}
+
+RateController::RateController(const RateControlParams &params)
+    : params_(params), estimator_(params)
+{
+    initialBudget_ = params_.initialBudgetBytesPerRound == 0
+                         ? params_.minBudgetBytesPerRound
+                         : std::clamp(params_.initialBudgetBytesPerRound,
+                                      params_.minBudgetBytesPerRound,
+                                      params_.maxBudgetBytesPerRound);
+    budget_ = initialBudget_;
+}
+
+void
+RateController::onFrame(const DeliveryFeedback &feedback)
+{
+    estimator_.onFrame(feedback);
+    const bool lossy =
+        lossSampleOf(feedback) > params_.cleanLossThreshold;
+    if (lossy) {
+        const double shrunk = static_cast<double>(budget_) *
+                              params_.multiplicativeDecrease;
+        budget_ = std::max(params_.minBudgetBytesPerRound,
+                           static_cast<std::size_t>(shrunk));
+    } else {
+        budget_ = std::min(params_.maxBudgetBytesPerRound,
+                           budget_ + params_.additiveIncreaseBytes);
+    }
+}
+
+void
+RateController::onIdleFrame()
+{
+    const bool was_warm = estimator_.warm();
+    estimator_.onIdleFrame();
+    if (was_warm && !estimator_.warm())
+        budget_ = initialBudget_;  // channel knowledge expired
+}
+
+void
+RateController::reset()
+{
+    estimator_.reset();
+    budget_ = initialBudget_;
+}
+
+FovealCutoff
+continuousFovealCutoff(const PacketizedFrame &frame,
+                       std::size_t budget_bytes_per_round,
+                       int deadline_rounds,
+                       double estimated_loss_rate,
+                       const RateControlParams &params)
+{
+    const double derate =
+        std::max(params.minCapacityDerate,
+                 1.0 - std::clamp(estimated_loss_rate, 0.0, 1.0));
+    const double rounds =
+        static_cast<double>(std::max(deadline_rounds, 1));
+    const double capacity =
+        static_cast<double>(budget_bytes_per_round) * rounds * derate;
+
+    FovealCutoff cut;
+    double last_admitted_ecc = 0.0;
+    for (std::size_t i = 0; i < frame.sendOrder.size(); ++i) {
+        const Packet &pkt = frame.packets[frame.sendOrder[i]];
+        const std::size_t bytes = pkt.bytes.size();
+        // The manifest (i == 0) and the innermost data packet are
+        // always admitted: a frame that ships nothing reassembles
+        // nothing, which no budget is small enough to want.
+        const bool floor_admit = i < 2;
+        if (!floor_admit &&
+            static_cast<double>(cut.admittedBytes + bytes) > capacity)
+            break;
+        ++cut.admittedPackets;
+        cut.admittedBytes += bytes;
+        last_admitted_ecc = std::max(last_admitted_ecc, pkt.minEccDeg);
+    }
+    cut.cutoffEccDeg =
+        cut.admittedPackets == frame.sendOrder.size()
+            ? std::numeric_limits<double>::infinity()
+            : last_admitted_ecc;
+    return cut;
+}
+
+const char *
+lossScheduleName(LossScheduleId id)
+{
+    switch (id) {
+    case LossScheduleId::Clean: return "clean";
+    case LossScheduleId::Constant10: return "c10";
+    case LossScheduleId::Constant25: return "c25";
+    case LossScheduleId::Step: return "step";
+    case LossScheduleId::Burst: return "burst";
+    }
+    return "unknown";
+}
+
+double
+scheduledDropRate(LossScheduleId id, int frame, int total_frames)
+{
+    const int n = std::max(total_frames, 1);
+    const int f = std::clamp(frame, 0, n - 1);
+    switch (id) {
+    case LossScheduleId::Clean:
+        return 0.0;
+    case LossScheduleId::Constant10:
+        return 0.10;
+    case LossScheduleId::Constant25:
+        return 0.25;
+    case LossScheduleId::Step:
+        // Clean head, a 25% middle third, clean tail: the recovery
+        // benchmark (how fast the controller re-opens after the step
+        // ends).
+        return (f >= n / 3 && f < 2 * n / 3) ? 0.25 : 0.0;
+    case LossScheduleId::Burst:
+        // Two-frame 50% bursts every 8 frames, first burst at frame
+        // 4: repeated shock-and-recover cycles.
+        return ((f + 4) % 8) < 2 ? 0.50 : 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace pce::net

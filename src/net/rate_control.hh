@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Adaptive rate control for the delivery tier: per-session channel
+ * estimation, an AIMD congestion budget, and a continuous foveal
+ * cutoff.
+ *
+ * PR 7 shipped deliverFrame with a *constant* congestion budget
+ * (SenderPolicy::budgetBytesPerRound) and an all-or-nothing shed
+ * policy: packets that never fit before the deadline were dropped,
+ * wherever the foveal-priority tail happened to land. This module
+ * derives the budget from delivery feedback instead, and turns the
+ * shed decision into an explicit, continuous eccentricity radius:
+ *
+ *  - RateEstimator keeps EWMA estimates of the channel's loss rate
+ *    (retransmissions + never-delivered packets over transmissions)
+ *    and the delivery RTT in rounds (roundsUsed per frame), fed by
+ *    each frame's DeliveryFeedback. An idle gap (encode deadline
+ *    misses, paused stream) of idleResetFrames resets the estimator:
+ *    stale channel knowledge is worse than none.
+ *
+ *  - RateController is the AIMD law on top: a frame with loss
+ *    evidence multiplies the budget by multiplicativeDecrease, a
+ *    clean frame adds additiveIncreaseBytes, and the result is always
+ *    clamped to [minBudgetBytesPerRound, maxBudgetBytesPerRound].
+ *    The floor is the statically provisioned budget a constant-policy
+ *    deployment would run: adaptation can only spend *more* than the
+ *    conservative configuration, never less, which is what makes the
+ *    adaptive controller dominate the constant baseline.
+ *
+ *  - continuousFovealCutoff converts the budget into the largest
+ *    eccentricity radius whose packets fit the frame's deliverable
+ *    capacity. Capacity is budget x deadline rounds, derated by the
+ *    estimated loss rate (lost transmissions consume budget too);
+ *    packets are admitted along the packetizer's foveal-first
+ *    sendOrder until capacity runs out, so the cutoff moves smoothly
+ *    with channel quality instead of shedding a fixed periphery. The
+ *    manifest and the innermost data packet are always admitted.
+ *
+ * Everything here is pure arithmetic on feedback counters — no
+ * clocks, no randomness — so the same seeds and loss schedule replay
+ * bit-identical budgets, cutoffs, and sheds (the property the soak
+ * harness in tests/net/test_delivery_soak.cc asserts).
+ */
+
+#ifndef PCE_NET_RATE_CONTROL_HH
+#define PCE_NET_RATE_CONTROL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packetizer.hh"
+
+namespace pce::net {
+
+/** AIMD + estimator tuning. Defaults suit a 1200-byte-MTU stream. */
+struct RateControlParams
+{
+    /**
+     * Budget floor, bytes per round — the statically provisioned
+     * constant budget the controller may never undercut. Adaptation
+     * only ever *adds* capacity on top of this.
+     */
+    std::size_t minBudgetBytesPerRound = 2 * 1200;
+    /** Budget ceiling, bytes per round (additive increase clamps
+     *  here; also bounds the cutoff capacity model). */
+    std::size_t maxBudgetBytesPerRound = 256 * 1024;
+    /** Starting budget; clamped into [min, max] at construction.
+     *  0 = start at the floor. */
+    std::size_t initialBudgetBytesPerRound = 0;
+    /** Additive increase per clean (loss-free) frame, bytes. */
+    std::size_t additiveIncreaseBytes = 1200;
+    /** Multiplicative decrease applied once per frame with loss
+     *  evidence; must be in (0, 1). */
+    double multiplicativeDecrease = 0.7;
+    /** EWMA weight of the newest per-frame loss sample, in (0, 1]. */
+    double lossAlpha = 0.25;
+    /** EWMA weight of the newest per-frame RTT sample, in (0, 1]. */
+    double rttAlpha = 0.25;
+    /** Loss-rate estimate at or below this counts as a clean frame
+     *  for the AIMD law even when the frame saw one retransmit. */
+    double cleanLossThreshold = 0.0;
+    /** Consecutive idle frames (no delivery feedback) after which the
+     *  estimator forgets the channel and the budget re-anchors at the
+     *  initial value. */
+    int idleResetFrames = 8;
+    /** Floor on the capacity derate factor (1 - estimated loss):
+     *  guards the cutoff against a transient 100%-loss estimate
+     *  admitting nothing at all. */
+    double minCapacityDerate = 0.25;
+};
+
+/** One frame's delivery feedback, distilled from a DeliveryReport. */
+struct DeliveryFeedback
+{
+    /** Datagrams put on the wire (retransmissions included). */
+    std::size_t packetsSent = 0;
+    /** Of those, NACK-driven retransmissions. */
+    std::size_t retransmittedPackets = 0;
+    /** Packets the cutoff admitted for this frame. */
+    std::size_t admittedPackets = 0;
+    /** Admitted packets that never made it (gave up / deadline). */
+    std::size_t undeliveredAdmitted = 0;
+    /** NACK rounds the frame's delivery used. */
+    int roundsUsed = 0;
+};
+
+/**
+ * EWMA estimator over per-frame delivery feedback. Cold (unwarmed)
+ * estimates read as a clean channel: loss 0, RTT 1 round.
+ */
+class RateEstimator
+{
+  public:
+    explicit RateEstimator(const RateControlParams &params = {});
+
+    /** Fold one frame's feedback into the estimates. */
+    void onFrame(const DeliveryFeedback &feedback);
+    /**
+     * One frame elapsed with no delivery feedback (encode deadline
+     * miss, paused sender). After idleResetFrames in a row the
+     * estimator resets — see reset().
+     */
+    void onIdleFrame();
+    /** Forget the channel: loss 0, RTT 1, cold. */
+    void reset();
+
+    /** Estimated packet-loss rate in [0, 1]. */
+    double lossRate() const { return lossRate_; }
+    /** Estimated delivery RTT, in NACK rounds (>= 1). */
+    double rttRounds() const { return rttRounds_; }
+    /** At least one feedback frame since the last reset. */
+    bool warm() const { return warm_; }
+
+  private:
+    RateControlParams params_;
+    double lossRate_ = 0.0;
+    double rttRounds_ = 1.0;
+    bool warm_ = false;
+    int idleStreak_ = 0;
+};
+
+/**
+ * AIMD congestion controller: RateEstimator plus the budget law (see
+ * the file comment). One instance per delivery session — the state
+ * that persists across frames.
+ */
+class RateController
+{
+  public:
+    /** Throws std::invalid_argument on nonsense parameters (min >
+     *  max, decrease outside (0,1), alphas outside (0,1]). */
+    explicit RateController(const RateControlParams &params = {});
+
+    /** Budget the next frame should spend, bytes per round. */
+    std::size_t budgetBytesPerRound() const { return budget_; }
+    const RateEstimator &estimator() const { return estimator_; }
+    const RateControlParams &params() const { return params_; }
+
+    /** Fold one delivered frame's feedback: estimator update, then
+     *  the AIMD step. */
+    void onFrame(const DeliveryFeedback &feedback);
+    /** One frame with no delivery (see RateEstimator::onIdleFrame);
+     *  an estimator reset re-anchors the budget at its initial
+     *  value. */
+    void onIdleFrame();
+    /** Estimator reset + budget back to the initial value. */
+    void reset();
+
+  private:
+    RateControlParams params_;
+    RateEstimator estimator_;
+    std::size_t initialBudget_ = 0;
+    std::size_t budget_ = 0;
+};
+
+/** What continuousFovealCutoff admitted for one frame. */
+struct FovealCutoff
+{
+    /** Longest sendOrder prefix the capacity admits (manifest
+     *  included; >= 2 whenever the frame has data packets). */
+    std::size_t admittedPackets = 0;
+    /** Wire bytes of the admitted prefix (single transmission). */
+    std::size_t admittedBytes = 0;
+    /**
+     * The continuous shed radius: the largest tile eccentricity
+     * (degrees) the budget admits. Infinity when every packet is
+     * admitted — nothing is shed.
+     */
+    double cutoffEccDeg = 0.0;
+};
+
+/**
+ * Compute the admitted sendOrder prefix for one packetized frame
+ * under @p budget_bytes_per_round with @p deadline_rounds to spend it
+ * in, derating capacity by @p estimated_loss_rate (clamped by
+ * @p params.minCapacityDerate). Monotone: a larger budget never
+ * admits fewer packets or a smaller radius.
+ */
+FovealCutoff continuousFovealCutoff(const PacketizedFrame &frame,
+                                    std::size_t budget_bytes_per_round,
+                                    int deadline_rounds,
+                                    double estimated_loss_rate,
+                                    const RateControlParams &params = {});
+
+/**
+ * Deterministic time-varying loss schedules, shared by the soak
+ * harness (tests/net/test_delivery_soak.cc) and the bench sweep
+ * (bench/net_runner.cc) so both exercise the identical channel
+ * histories.
+ */
+enum class LossScheduleId : std::uint8_t
+{
+    Clean,       ///< 0% every frame
+    Constant10,  ///< 10% every frame
+    Constant25,  ///< 25% every frame
+    Step,        ///< 0% -> 25% (middle third) -> 0%
+    Burst,       ///< 0% with periodic 2-frame 50% bursts
+};
+
+/** Stable record/logging id ("clean", "c10", "c25", "step",
+ *  "burst"). */
+const char *lossScheduleName(LossScheduleId id);
+
+/** Drop rate the schedule prescribes for @p frame of
+ *  @p total_frames. Pure function: same inputs, same rate. */
+double scheduledDropRate(LossScheduleId id, int frame,
+                         int total_frames);
+
+} // namespace pce::net
+
+#endif // PCE_NET_RATE_CONTROL_HH

@@ -86,6 +86,16 @@ struct StreamState
     std::uint64_t faultsDetected = 0;
     std::uint64_t framesQuarantined = 0;
     std::uint64_t gazeRecoveries = 0;
+    // Delivery-tier counters (recordDelivery; see StreamStats).
+    std::uint64_t framesDelivered = 0;
+    std::uint64_t framesAdaptive = 0;
+    std::uint64_t framesFovealIntact = 0;
+    std::uint64_t framesByteIdentical = 0;
+    std::uint64_t deliveryBytesSent = 0;
+    std::uint64_t deliveryShedBytes = 0;
+    double budgetBytesSum = 0.0;  ///< running sum for the mean
+    double lastEstimatedLossRate = 0.0;
+    double lastCutoffEccDeg = 0.0;
 };
 
 } // namespace detail
@@ -725,6 +735,33 @@ EncodeService::dispatchLoop(std::size_t shard)
     }
 }
 
+void
+EncodeService::recordDelivery(StreamHandle handle,
+                              const DeliverySample &sample)
+{
+    if (!handle.valid())
+        throw std::invalid_argument(
+            "EncodeService::recordDelivery: invalid stream handle");
+    StreamState &s = *handle.state_;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.framesDelivered;
+    if (sample.adaptiveRate)
+        ++s.framesAdaptive;
+    if (sample.fovealIntact)
+        ++s.framesFovealIntact;
+    if (sample.byteIdentical)
+        ++s.framesByteIdentical;
+    s.deliveryBytesSent += sample.bytesSent;
+    s.deliveryShedBytes += sample.shedBytes;
+    // The budget mean only covers adaptive frames: a non-adaptive
+    // policy's SIZE_MAX "uncongested" sentinel is not a budget.
+    if (sample.adaptiveRate)
+        s.budgetBytesSum +=
+            static_cast<double>(sample.budgetBytesPerRound);
+    s.lastEstimatedLossRate = sample.estimatedLossRate;
+    s.lastCutoffEccDeg = sample.cutoffEccDeg;
+}
+
 ServiceReport
 EncodeService::report() const
 {
@@ -795,6 +832,19 @@ EncodeService::report() const
             st.faultsDetected = s.faultsDetected;
             st.framesQuarantined = s.framesQuarantined;
             st.gazeRecoveries = s.gazeRecoveries;
+            st.framesDelivered = s.framesDelivered;
+            st.framesAdaptive = s.framesAdaptive;
+            st.framesFovealIntact = s.framesFovealIntact;
+            st.framesByteIdentical = s.framesByteIdentical;
+            st.deliveryBytesSent = s.deliveryBytesSent;
+            st.deliveryShedBytes = s.deliveryShedBytes;
+            st.meanBudgetBytesPerRound =
+                s.framesAdaptive > 0
+                    ? s.budgetBytesSum /
+                          static_cast<double>(s.framesAdaptive)
+                    : 0.0;
+            st.lastEstimatedLossRate = s.lastEstimatedLossRate;
+            st.lastCutoffEccDeg = s.lastCutoffEccDeg;
             st.latencySamples =
                 std::min(s.latencyCount, s.latencyMs.size());
             window.assign(
@@ -818,6 +868,10 @@ EncodeService::report() const
         rep.faultsDetected += st.faultsDetected;
         rep.framesQuarantined += st.framesQuarantined;
         rep.gazeRecoveries += st.gazeRecoveries;
+        rep.framesDelivered += st.framesDelivered;
+        rep.framesFovealIntact += st.framesFovealIntact;
+        rep.deliveryBytesSent += st.deliveryBytesSent;
+        rep.deliveryShedBytes += st.deliveryShedBytes;
         rep.streams.push_back(std::move(st));
     }
     rep.aggregateMps = rep.wallSeconds > 0.0

@@ -240,6 +240,32 @@ struct GazeStreamParams
 };
 
 /**
+ * One delivered frame's outcome, reported back into the stream's
+ * stats by the delivery tier (DeliverySession in net/delivery.hh via
+ * EncodeService::recordDelivery). Plain types only — the service
+ * layer stays independent of src/net.
+ */
+struct DeliverySample
+{
+    /** The frame ran under an adaptive (RateController) budget. */
+    bool adaptiveRate = false;
+    /** Congestion budget the frame's rounds spent, bytes per round. */
+    std::size_t budgetBytesPerRound = 0;
+    /** Controller's loss-rate estimate after the frame (0 when not
+     *  adaptive). */
+    double estimatedLossRate = 0.0;
+    /** Continuous foveal shed radius, degrees (infinity = no shed). */
+    double cutoffEccDeg = 0.0;
+    /** Wire bytes the delivery spent / shed before transmission. */
+    std::size_t bytesSent = 0;
+    std::size_t shedBytes = 0;
+    /** Foveal region arrived intact from the wire. */
+    bool fovealIntact = false;
+    /** Frame proven byte-identical end to end (manifest CRC). */
+    bool byteIdentical = false;
+};
+
+/**
  * Per-stream service statistics (one entry per ServiceReport).
  *
  * Consistency contract: every field of one StreamStats entry is
@@ -297,6 +323,27 @@ struct StreamStats
     std::uint64_t faultsDetected = 0;
     std::uint64_t framesQuarantined = 0;
     std::uint64_t gazeRecoveries = 0;
+    /**
+     * Delivery-tier counters, fed by recordDelivery (the net tier's
+     * DeliverySession reports each delivered frame back). Zero until
+     * a delivery session runs on the stream.
+     */
+    std::uint64_t framesDelivered = 0;
+    /** Of those, frames delivered under an adaptive rate budget. */
+    std::uint64_t framesAdaptive = 0;
+    /** Frames whose foveal region arrived intact from the wire. */
+    std::uint64_t framesFovealIntact = 0;
+    /** Frames proven byte-identical end to end (manifest CRC). */
+    std::uint64_t framesByteIdentical = 0;
+    /** Wire bytes sent / shed across the stream's deliveries. */
+    std::uint64_t deliveryBytesSent = 0;
+    std::uint64_t deliveryShedBytes = 0;
+    /** Mean adaptive budget (bytes/round) over adaptive frames; 0
+     *  when none ran (a constant policy's budget is not averaged). */
+    double meanBudgetBytesPerRound = 0.0;
+    /** Latest controller loss estimate / cutoff radius reported. */
+    double lastEstimatedLossRate = 0.0;
+    double lastCutoffEccDeg = 0.0;
 };
 
 /**
@@ -385,6 +432,12 @@ struct ServiceReport
     std::uint64_t faultsDetected = 0;
     std::uint64_t framesQuarantined = 0;
     std::uint64_t gazeRecoveries = 0;
+    /** Delivery-tier aggregates, summed across streams (zero until a
+     *  delivery session reports; see StreamStats). */
+    std::uint64_t framesDelivered = 0;
+    std::uint64_t framesFovealIntact = 0;
+    std::uint64_t deliveryBytesSent = 0;
+    std::uint64_t deliveryShedBytes = 0;
 };
 
 /**
@@ -564,6 +617,15 @@ class EncodeService
      * by the destructor.
      */
     void shutdown();
+
+    /**
+     * Fold one delivered frame's outcome into the stream's stats (the
+     * delivery tier calls this once per deliverFrame; see
+     * DeliverySample). Thread-safe per the stream's mutex; callable
+     * after shutdown() — stats outlive the dispatchers.
+     */
+    void recordDelivery(StreamHandle handle,
+                        const DeliverySample &sample);
 
     /** Point-in-time statistics (safe to call at any time; see the
      *  StreamStats/ShardStats consistency contracts). */

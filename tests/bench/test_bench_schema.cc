@@ -511,6 +511,61 @@ TEST(BenchSchema, TrajectoryFileParsesAndConforms)
             EXPECT_DOUBLE_EQ(clean->number, 1.0)
                 << "record " << i
                 << ": tiles lost over a clean channel";
+            // Adaptive rate-control sweep fields (ISSUE 9), gated by
+            // adaptive_loss_schedules for records predating the
+            // controller. The gate names the schedules the record
+            // carries ("step,burst"); each contributes a full metric
+            // group.
+            if (const JsonValue *gate =
+                    rec.find("adaptive_loss_schedules")) {
+                ASSERT_TRUE(gate->isString()) << "record " << i;
+                expectNumber(rec, "adaptive_frames", i);
+                std::stringstream names(gate->string);
+                std::string sched;
+                int schedules_seen = 0;
+                while (std::getline(names, sched, ',')) {
+                    ++schedules_seen;
+                    const std::string p = "adaptive_" + sched;
+                    for (const char *metric :
+                         {"_mean_budget_bytes_per_round",
+                          "_foveal_intact_rate",
+                          "_delivered_tile_fraction"})
+                        expectNumber(rec, (p + metric).c_str(), i);
+                    const JsonValue *budget =
+                        rec.find(p + "_mean_budget_bytes_per_round");
+                    const JsonValue *intact =
+                        rec.find(p + "_foveal_intact_rate");
+                    const JsonValue *frac =
+                        rec.find(p + "_delivered_tile_fraction");
+                    ASSERT_TRUE(budget && intact && frac)
+                        << "record " << i << " schedule " << sched;
+                    EXPECT_GT(budget->number, 0.0)
+                        << "record " << i << " schedule " << sched;
+                    EXPECT_LE(intact->number, 1.0)
+                        << "record " << i << " schedule " << sched;
+                    EXPECT_LE(frac->number, 1.0)
+                        << "record " << i << " schedule " << sched;
+                    // Convergence: frames until byte-identical
+                    // delivery returned after the loss ended; -1 =
+                    // never within the run, anything else bounded by
+                    // the run length.
+                    const JsonValue *conv =
+                        rec.find(p + "_convergence_frames");
+                    const JsonValue *total =
+                        rec.find("adaptive_frames");
+                    ASSERT_TRUE(conv && conv->isNumber())
+                        << "record " << i << " schedule " << sched
+                        << " missing convergence frames";
+                    ASSERT_TRUE(total != nullptr) << "record " << i;
+                    EXPECT_GE(conv->number, -1.0)
+                        << "record " << i << " schedule " << sched;
+                    EXPECT_LE(conv->number, total->number)
+                        << "record " << i << " schedule " << sched;
+                }
+                EXPECT_GE(schedules_seen, 2)
+                    << "record " << i
+                    << ": adaptive sweep must cover step and burst";
+            }
         } else {
             ADD_FAILURE() << "record " << i
                           << " has unknown bench type \"" << bench

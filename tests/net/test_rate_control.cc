@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the adaptive rate-control primitives (ISSUE 9):
+ * EWMA estimator convergence and idle reset, the AIMD budget law
+ * (additive increase on clean frames, multiplicative decrease on
+ * loss, clamped to [min, max]), and monotonicity of the continuous
+ * foveal cutoff in the budget. Everything here is pure arithmetic —
+ * no channel, no threads — so the expectations are exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "bd/bd_codec.hh"
+#include "common/rng.hh"
+#include "net/rate_control.hh"
+#include "perception/display.hh"
+
+namespace pce::net {
+namespace {
+
+/** Feedback for a frame that lost @p lost of @p sent transmissions. */
+DeliveryFeedback
+frameWithLoss(std::size_t sent, std::size_t lost, int rounds = 2)
+{
+    DeliveryFeedback fb;
+    fb.packetsSent = sent;
+    fb.retransmittedPackets = lost;
+    fb.admittedPackets = sent;
+    fb.roundsUsed = rounds;
+    return fb;
+}
+
+TEST(RateEstimator, ConvergesToKnownLossRate)
+{
+    RateControlParams p;
+    p.lossAlpha = 0.25;
+    RateEstimator est(p);
+    EXPECT_FALSE(est.warm());
+    EXPECT_DOUBLE_EQ(est.lossRate(), 0.0);
+
+    // Constant 20% loss samples: the first is adopted outright, every
+    // later one leaves the estimate unchanged — already converged.
+    for (int f = 0; f < 32; ++f)
+        est.onFrame(frameWithLoss(100, 20));
+    EXPECT_TRUE(est.warm());
+    EXPECT_NEAR(est.lossRate(), 0.20, 1e-12);
+
+    // A regime change converges geometrically: the residual shrinks
+    // by (1 - alpha) per frame, so after n frames the estimate is
+    // target + (start - target) * (1 - alpha)^n exactly.
+    const double start = est.lossRate();
+    const int n = 16;
+    for (int f = 0; f < n; ++f)
+        est.onFrame(frameWithLoss(100, 0));
+    const double expected = start * std::pow(1.0 - p.lossAlpha, n);
+    EXPECT_NEAR(est.lossRate(), expected, 1e-12);
+    EXPECT_LT(est.lossRate(), 0.01);
+}
+
+TEST(RateEstimator, TracksRttInRounds)
+{
+    RateEstimator est;
+    est.onFrame(frameWithLoss(10, 0, 4));
+    EXPECT_DOUBLE_EQ(est.rttRounds(), 4.0);  // first sample adopted
+    for (int f = 0; f < 64; ++f)
+        est.onFrame(frameWithLoss(10, 0, 2));
+    EXPECT_NEAR(est.rttRounds(), 2.0, 1e-6);
+}
+
+TEST(RateEstimator, IdleStreakResetsTheEstimator)
+{
+    RateControlParams p;
+    p.idleResetFrames = 3;
+    RateEstimator est(p);
+    for (int f = 0; f < 8; ++f)
+        est.onFrame(frameWithLoss(100, 50));
+    EXPECT_NEAR(est.lossRate(), 0.50, 1e-12);
+
+    // Two idle frames are forgiven; delivery feedback clears the
+    // streak, so another two still do not reset.
+    est.onIdleFrame();
+    est.onIdleFrame();
+    EXPECT_TRUE(est.warm());
+    est.onFrame(frameWithLoss(100, 50));
+    est.onIdleFrame();
+    est.onIdleFrame();
+    EXPECT_TRUE(est.warm());
+
+    // The third consecutive idle frame crosses the threshold: the
+    // channel knowledge expires and the estimator reads cold-clean.
+    est.onIdleFrame();
+    EXPECT_FALSE(est.warm());
+    EXPECT_DOUBLE_EQ(est.lossRate(), 0.0);
+    EXPECT_DOUBLE_EQ(est.rttRounds(), 1.0);
+}
+
+TEST(RateController, AdditiveIncreaseOnCleanFrames)
+{
+    RateControlParams p;
+    p.minBudgetBytesPerRound = 2400;
+    p.additiveIncreaseBytes = 1200;
+    p.maxBudgetBytesPerRound = 2400 + 10 * 1200;
+    RateController ctl(p);
+    EXPECT_EQ(ctl.budgetBytesPerRound(), 2400u);
+
+    // Exactly +additiveIncreaseBytes per clean frame...
+    for (int f = 1; f <= 10; ++f) {
+        ctl.onFrame(frameWithLoss(50, 0));
+        EXPECT_EQ(ctl.budgetBytesPerRound(),
+                  2400u + static_cast<std::size_t>(f) * 1200u);
+    }
+    // ...then clamped at the ceiling, however many clean frames pass.
+    for (int f = 0; f < 20; ++f)
+        ctl.onFrame(frameWithLoss(50, 0));
+    EXPECT_EQ(ctl.budgetBytesPerRound(), p.maxBudgetBytesPerRound);
+}
+
+TEST(RateController, MultiplicativeDecreaseOnLossClampsAtFloor)
+{
+    RateControlParams p;
+    p.minBudgetBytesPerRound = 2400;
+    p.initialBudgetBytesPerRound = 64 * 1024;
+    p.multiplicativeDecrease = 0.5;
+    RateController ctl(p);
+    EXPECT_EQ(ctl.budgetBytesPerRound(), 64u * 1024u);
+
+    ctl.onFrame(frameWithLoss(100, 10));
+    EXPECT_EQ(ctl.budgetBytesPerRound(), 32u * 1024u);
+    ctl.onFrame(frameWithLoss(100, 10));
+    EXPECT_EQ(ctl.budgetBytesPerRound(), 16u * 1024u);
+
+    // However sustained the loss, the budget never undercuts the
+    // statically provisioned floor — adaptation only ever adds.
+    for (int f = 0; f < 32; ++f)
+        ctl.onFrame(frameWithLoss(100, 50));
+    EXPECT_EQ(ctl.budgetBytesPerRound(), p.minBudgetBytesPerRound);
+}
+
+TEST(RateController, IdleResetReanchorsTheBudget)
+{
+    RateControlParams p;
+    p.minBudgetBytesPerRound = 2400;
+    p.idleResetFrames = 2;
+    RateController ctl(p);
+    for (int f = 0; f < 8; ++f)
+        ctl.onFrame(frameWithLoss(50, 0));
+    const std::size_t grown = ctl.budgetBytesPerRound();
+    EXPECT_GT(grown, p.minBudgetBytesPerRound);
+
+    ctl.onIdleFrame();
+    EXPECT_EQ(ctl.budgetBytesPerRound(), grown);  // streak too short
+    ctl.onIdleFrame();
+    EXPECT_EQ(ctl.budgetBytesPerRound(), p.minBudgetBytesPerRound);
+    EXPECT_FALSE(ctl.estimator().warm());
+}
+
+TEST(RateController, RejectsNonsenseParameters)
+{
+    RateControlParams p;
+    p.minBudgetBytesPerRound = 0;
+    EXPECT_THROW(RateController{p}, std::invalid_argument);
+
+    p = {};
+    p.maxBudgetBytesPerRound = p.minBudgetBytesPerRound - 1;
+    EXPECT_THROW(RateController{p}, std::invalid_argument);
+
+    p = {};
+    p.multiplicativeDecrease = 1.0;
+    EXPECT_THROW(RateController{p}, std::invalid_argument);
+
+    p = {};
+    p.lossAlpha = 0.0;
+    EXPECT_THROW(RateController{p}, std::invalid_argument);
+}
+
+/** A packetized 64x64 frame with a centered fixation. */
+PacketizedFrame
+packetizedTestFrame()
+{
+    ImageU8 img(64, 64);
+    Rng rng(99);
+    for (auto &b : img.data())
+        b = static_cast<std::uint8_t>(rng.next());
+    DisplayGeometry geom;
+    geom.width = 64;
+    geom.height = 64;
+    geom.horizontalFovDeg = 100.0;
+    geom.fixationX = 32.0;
+    geom.fixationY = 32.0;
+    const EccentricityMap ecc(geom);
+    PacketizerParams pp;
+    pp.mtuBytes = 300;
+    return packetizeFrame(BdCodec(4).encode(img), 0, &ecc, pp);
+}
+
+TEST(ContinuousFovealCutoff, MonotoneInBudget)
+{
+    const PacketizedFrame pf = packetizedTestFrame();
+    ASSERT_GT(pf.packets.size(), 4u);
+
+    std::size_t prev_packets = 0;
+    double prev_ecc = -1.0;
+    bool saw_partial = false;
+    for (std::size_t budget = 64; budget <= 64 * 1024; budget *= 2) {
+        const FovealCutoff cut =
+            continuousFovealCutoff(pf, budget, 4, 0.0);
+        // Never fewer packets or a smaller radius than a smaller
+        // budget admitted.
+        EXPECT_GE(cut.admittedPackets, prev_packets);
+        if (std::isfinite(cut.cutoffEccDeg))
+            EXPECT_GE(cut.cutoffEccDeg, prev_ecc);
+        // The floor: manifest plus the innermost data packet always
+        // ship, no matter how small the budget.
+        EXPECT_GE(cut.admittedPackets, 2u);
+        if (cut.admittedPackets < pf.packets.size())
+            saw_partial = true;
+        prev_packets = cut.admittedPackets;
+        if (std::isfinite(cut.cutoffEccDeg))
+            prev_ecc = cut.cutoffEccDeg;
+    }
+    // The sweep actually exercised a partial admission and ended with
+    // everything admitted (infinite radius).
+    EXPECT_TRUE(saw_partial);
+    EXPECT_EQ(prev_packets, pf.packets.size());
+    const FovealCutoff full =
+        continuousFovealCutoff(pf, 64 * 1024, 4, 0.0);
+    EXPECT_TRUE(std::isinf(full.cutoffEccDeg));
+}
+
+TEST(ContinuousFovealCutoff, LossEstimateDeratesCapacity)
+{
+    const PacketizedFrame pf = packetizedTestFrame();
+    // Pick a budget that admits a strict subset at zero loss.
+    std::size_t budget = 0;
+    FovealCutoff clean;
+    for (budget = 256;; budget += 256) {
+        clean = continuousFovealCutoff(pf, budget, 2, 0.0);
+        if (clean.admittedPackets > 2 &&
+            clean.admittedPackets < pf.packets.size() - 2)
+            break;
+        ASSERT_LT(budget, std::size_t{1} << 20);
+    }
+    // A lossy estimate of the same channel admits no more (usually
+    // strictly fewer) packets: the capacity is derated.
+    const FovealCutoff lossy =
+        continuousFovealCutoff(pf, budget, 2, 0.5);
+    EXPECT_LE(lossy.admittedPackets, clean.admittedPackets);
+    // The derate floor keeps even a 100%-loss estimate shipping the
+    // foveal floor.
+    const FovealCutoff worst =
+        continuousFovealCutoff(pf, budget, 2, 1.0);
+    EXPECT_GE(worst.admittedPackets, 2u);
+}
+
+TEST(LossSchedules, AreDeterministicAndShaped)
+{
+    // Pure functions: same inputs, same rate.
+    for (int f = 0; f < 48; ++f)
+        EXPECT_EQ(scheduledDropRate(LossScheduleId::Step, f, 48),
+                  scheduledDropRate(LossScheduleId::Step, f, 48));
+
+    // Step: clean head, 25% middle third, clean tail.
+    EXPECT_DOUBLE_EQ(scheduledDropRate(LossScheduleId::Step, 0, 48),
+                     0.0);
+    EXPECT_DOUBLE_EQ(scheduledDropRate(LossScheduleId::Step, 24, 48),
+                     0.25);
+    EXPECT_DOUBLE_EQ(scheduledDropRate(LossScheduleId::Step, 47, 48),
+                     0.0);
+
+    // Burst: recurring two-frame 50% shocks, clean otherwise.
+    int burst_frames = 0;
+    for (int f = 0; f < 48; ++f) {
+        const double r =
+            scheduledDropRate(LossScheduleId::Burst, f, 48);
+        EXPECT_TRUE(r == 0.0 || r == 0.50);
+        if (r > 0.0)
+            ++burst_frames;
+    }
+    EXPECT_EQ(burst_frames, 12);
+
+    EXPECT_STREQ(lossScheduleName(LossScheduleId::Clean), "clean");
+    EXPECT_STREQ(lossScheduleName(LossScheduleId::Step), "step");
+}
+
+} // namespace
+} // namespace pce::net

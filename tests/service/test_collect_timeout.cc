@@ -18,6 +18,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include "net/delivery.hh"
 #include "service/encode_service.hh"
@@ -123,6 +125,119 @@ TEST(CollectTimeout, ReadyResultIsReturnedImmediately)
     svc.drain(stream);
     lease = svc.tryCollect(stream);
     ASSERT_TRUE(lease.valid());
+}
+
+TEST(CollectTimeout, ZeroTimeoutIsAPureNonBlockingProbe)
+{
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+    EncodeGate gate;
+    ServiceParams sp;
+    sp.preEncodeFaultHook = [&gate](const std::string &, std::uint64_t,
+                                    ImageF &) { gate.wait(); };
+    EncodeService svc(model(), sp);
+    StreamHandle stream = svc.openStream("s", ecc);
+    svc.submit(stream,
+               renderScene(SceneId::Office, {n, n, 0, 0, 0}));
+
+    // Outstanding but not ready: timeout=0 must return an invalid
+    // lease immediately — degenerate deadline, not a block and not a
+    // throw (something *is* outstanding).
+    const auto before = std::chrono::steady_clock::now();
+    FrameLease lease = svc.collectFor(stream, 0ms);
+    const auto waited =
+        std::chrono::steady_clock::now() - before;
+    EXPECT_FALSE(lease.valid());
+    EXPECT_LT(waited, 5s) << "timeout=0 blocked on the encoder";
+
+    // The probe must not have consumed or duplicated the frame.
+    gate.release();
+    lease = svc.collectFor(stream, 5000ms);
+    ASSERT_TRUE(lease.valid());
+    lease.release();
+    EXPECT_FALSE(svc.tryCollect(stream).valid());
+}
+
+TEST(CollectTimeout, DeadlineBoundaryNeverLosesOrDuplicatesTheFrame)
+{
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+    EncodeGate gate;
+    ServiceParams sp;
+    sp.preEncodeFaultHook = [&gate](const std::string &, std::uint64_t,
+                                    ImageF &) { gate.wait(); };
+    EncodeService svc(model(), sp);
+    StreamHandle stream = svc.openStream("s", ecc);
+    svc.submit(stream,
+               renderScene(SceneId::Office, {n, n, 0, 0, 0}));
+
+    // Release the gate while a short-deadline collectFor loop is in
+    // flight: the result lands somewhere right around a deadline
+    // boundary. Whichever side of the boundary each call falls on,
+    // the frame must surface exactly once across the loop.
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(20ms);
+        gate.release();
+    });
+    int collected = 0;
+    for (int attempt = 0; attempt < 1000 && collected == 0;
+         ++attempt) {
+        FrameLease lease = svc.collectFor(stream, 10ms);
+        if (lease.valid()) {
+            ++collected;
+            EXPECT_FALSE(lease->bdStream.empty());
+        }
+    }
+    releaser.join();
+    EXPECT_EQ(collected, 1) << "frame lost across deadline retries";
+    // And never duplicated: the stream is drained now.
+    EXPECT_FALSE(svc.tryCollect(stream).valid());
+    EXPECT_THROW(svc.collectFor(stream, 0ms), std::logic_error);
+}
+
+TEST(CollectTimeout, TryCollectPollingPreservesSubmissionFifo)
+{
+    const int n = 32;
+    const EccentricityMap ecc = centeredMap(n, n);
+    const SceneId scenes[] = {SceneId::Office, SceneId::Skyline,
+                              SceneId::Monkey};
+
+    // Reference streams: each scene encoded alone, in order, so the
+    // polled results below can be matched byte-for-byte.
+    std::vector<std::vector<std::uint8_t>> expected;
+    {
+        EncodeService ref(model(), {});
+        StreamHandle stream = ref.openStream("ref", ecc);
+        for (const SceneId id : scenes) {
+            ref.submit(stream, renderScene(id, {n, n, 0, 0, 0}));
+            FrameLease lease = ref.collect(stream);
+            expected.push_back(lease->bdStream);
+        }
+    }
+    ASSERT_NE(expected[0], expected[1]);
+    ASSERT_NE(expected[1], expected[2]);
+
+    ServiceParams sp;
+    sp.streamDepth = 4;
+    EncodeService svc(model(), sp);
+    StreamHandle stream = svc.openStream("s", ecc);
+    for (const SceneId id : scenes)
+        svc.submit(stream, renderScene(id, {n, n, 0, 0, 0}));
+
+    // Pure polling, no blocking collect: results must come back in
+    // submission order however many empty polls interleave.
+    std::vector<std::vector<std::uint8_t>> polled;
+    while (polled.size() < 3) {
+        FrameLease lease = svc.tryCollect(stream);
+        if (!lease.valid()) {
+            std::this_thread::yield();
+            continue;
+        }
+        polled.push_back(lease->bdStream);
+    }
+    EXPECT_EQ(polled, expected)
+        << "tryCollect polling reordered the per-stream FIFO";
+    EXPECT_FALSE(svc.tryCollect(stream).valid());
 }
 
 TEST(CollectTimeout, DeliverySessionDegradesOnEncodeDeadline)
