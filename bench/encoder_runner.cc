@@ -33,6 +33,7 @@
 #include "bench_common.hh"
 #include "common/env.hh"
 #include "core/pipeline.hh"
+#include "obs/trace.hh"
 #include "simd/tile_kernels.hh"
 
 #ifdef PCE_HAVE_GIT_REV_HEADER
@@ -163,6 +164,24 @@ main(int argc, char **argv)
         threads > 1 ? measure(frame, ecc, threads, repeats) : single;
     const int mt_threads = threads > 1 ? threads : 1;
 
+    // Trace overhead: the same single-thread loop with tracing off vs
+    // on, measured back to back so the pair shares thermal and cache
+    // conditions. The off run is the shipping default (every span is
+    // one relaxed load); the on run pays clock reads + ring stores.
+    pce::obs::setTraceEnabled(false);
+    const Measurement trace_off = measure(frame, ecc, 1, repeats);
+    pce::obs::Tracer::instance().reset();
+    pce::obs::setTraceEnabled(true);
+    const Measurement trace_on = measure(frame, ecc, 1, repeats);
+    pce::obs::setTraceEnabled(false);
+    const std::uint64_t trace_events =
+        pce::obs::Tracer::instance().recordedEvents();
+    pce::obs::Tracer::instance().reset();
+    const double trace_ratio =
+        trace_off.encodeMps > 0.0
+            ? trace_on.encodeMps / trace_off.encodeMps
+            : 0.0;
+
     std::ostringstream rec;
     rec << "  {\n"
         << "    \"bench\": \"full_frame_encoder\",\n"
@@ -205,7 +224,13 @@ main(int argc, char **argv)
         << (kBaselineDecodeMps > 0.0
                 ? single.decodeMps / kBaselineDecodeMps
                 : 0.0)
-        << "\n  }";
+        << ",\n"
+        << "    \"trace_off_encode_mps_1t\": " << trace_off.encodeMps
+        << ",\n"
+        << "    \"trace_on_encode_mps_1t\": " << trace_on.encodeMps
+        << ",\n"
+        << "    \"trace_on_vs_off\": " << trace_ratio << ",\n"
+        << "    \"trace_events\": " << trace_events << "\n  }";
     pce::bench::appendJsonRecord(out_path, rec.str());
 
     std::cout << "simd level: "
@@ -221,6 +246,9 @@ main(int argc, char **argv)
               << "t: " << multi.encodeMps << " MP/s\n"
               << "decodeInto  " << mt_threads
               << "t: " << multi.decodeMps << " MP/s\n"
+              << "encodeFrame 1t trace off/on: " << trace_off.encodeMps
+              << " / " << trace_on.encodeMps << " MP/s (ratio "
+              << trace_ratio << ", " << trace_events << " events)\n"
               << "appended record to " << out_path << "\n";
     return 0;
 }

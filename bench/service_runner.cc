@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "obs/trace.hh"
 #include "service/encode_service.hh"
 #include "simd/tile_kernels.hh"
 
@@ -251,13 +252,44 @@ main(int argc, char **argv)
     const std::vector<std::size_t> sweep =
         parseShardSweep(std::getenv("PCE_BENCH_SHARDS"));
 
+    // Trace overhead: one replay round with tracing off and one with
+    // it on, back to back at the sweep's first shard count. The off
+    // number is what the shipping default pays (a relaxed load per
+    // span site); the on number adds clock reads and ring stores on
+    // the dispatcher and every pool worker.
+    obs::setTraceEnabled(false);
+    const ReplayResult trace_off =
+        replay(stream_frames, ecc, threads, sweep.front());
+    obs::Tracer::instance().reset();
+    obs::setTraceEnabled(true);
+    const ReplayResult trace_on =
+        replay(stream_frames, ecc, threads, sweep.front());
+    obs::setTraceEnabled(false);
+    const std::uint64_t trace_events =
+        obs::Tracer::instance().recordedEvents();
+    obs::Tracer::instance().reset();
+    const double trace_off_mps =
+        trace_off.wallSeconds > 0.0
+            ? trace_off.megapixels / trace_off.wallSeconds
+            : 0.0;
+    const double trace_on_mps =
+        trace_on.wallSeconds > 0.0
+            ? trace_on.megapixels / trace_on.wallSeconds
+            : 0.0;
+    const double trace_ratio =
+        trace_off_mps > 0.0 ? trace_on_mps / trace_off_mps : 0.0;
+
     std::cout << "simd level: "
               << simd::simdLevelName(simd::activeSimdLevel())
               << " (git " << PCE_GIT_REV << ")\n"
               << n_streams << " streams x " << frames_per_stream
               << " frames at " << w << "x" << h << ", " << threads
               << " threads\n"
-              << "single-shot: " << singleshot_mps << " MP/s\n";
+              << "single-shot: " << singleshot_mps << " MP/s\n"
+              << "trace off/on (shards " << sweep.front()
+              << "): " << trace_off_mps << " / " << trace_on_mps
+              << " MP/s (ratio " << trace_ratio << ", "
+              << trace_events << " events)\n";
 
     for (const std::size_t shards : sweep) {
         ReplayResult best;
@@ -302,7 +334,13 @@ main(int argc, char **argv)
             << "    \"service_efficiency\": " << efficiency << ",\n"
             << "    \"queue_p50_ms\": " << best.queueP50Ms << ",\n"
             << "    \"queue_p99_ms\": " << best.queueP99Ms << ",\n"
-            << "    \"queue_max_ms\": " << best.queueMaxMs
+            << "    \"queue_max_ms\": " << best.queueMaxMs << ",\n"
+            << "    \"trace_off_aggregate_mps\": " << trace_off_mps
+            << ",\n"
+            << "    \"trace_on_aggregate_mps\": " << trace_on_mps
+            << ",\n"
+            << "    \"trace_on_vs_off\": " << trace_ratio << ",\n"
+            << "    \"trace_events\": " << trace_events
             << "\n  }";
         bench::appendJsonRecord(out_path, rec.str());
 

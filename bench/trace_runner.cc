@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Trace capture runner: replays a seeded multi-stream gaze workload
+ * through a sharded EncodeService and a seeded lossy delivery channel
+ * with tracing ON, then saves the merged timeline as Chrome
+ * trace-event JSON — the file loads directly in Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing.
+ *
+ * This is the observability counterpart of service_runner: instead of
+ * appending throughput numbers it produces the artifact a human reads
+ * when a latency number looks wrong. The workload mirrors the
+ * deterministic e2e trace test (tests/obs/test_frame_trace.cc): two
+ * gaze streams with one scripted saccade each, 2 dispatcher shards,
+ * round-trip verification + integrity sealing, 25% packet drop with
+ * fixed channel seeds, so consecutive runs produce the same event
+ * counts.
+ *
+ * Output path: argv[1] or PCE_TRACE_OUT, default trace.json in the
+ * working directory. Knobs: PCE_BENCH_WIDTH (square frame edge,
+ * default 128), PCE_BENCH_FRAMES (frames per stream, default 8).
+ * Also prints per-span-name count and total self-time so the hot
+ * names are visible without opening the UI.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "net/delivery.hh"
+#include "obs/trace.hh"
+#include "obs/trace_export.hh"
+#include "service/encode_service.hh"
+
+namespace {
+
+using namespace pce;
+using namespace std::chrono_literals;
+
+DisplayGeometry
+geometry(int w, int h)
+{
+    DisplayGeometry g;
+    g.width = w;
+    g.height = h;
+    g.horizontalFovDeg = 100.0;
+    g.fixationX = w / 2.0;
+    g.fixationY = h / 2.0;
+    return g;
+}
+
+struct Workload
+{
+    std::vector<ImageF> frames;
+    std::vector<GazeSample> gaze;
+};
+
+/** Seeded clip + scanpath with one saccade-speed jump at frame 3. */
+Workload
+workload(SceneId scene, int n, int frame_count, double phase)
+{
+    Workload w;
+    double t = 0.0;
+    for (int i = 0; i < frame_count; ++i) {
+        w.frames.push_back(
+            renderScene(scene, {n, n, 0, 0.2 * i + phase, 0}));
+        t += (i == 3) ? 0.004 : 1.0;
+        const double x = n / 2.0 + (i % 4) + (i == 3 ? n / 3.0 : 0.0);
+        const double y = n / 2.0 + ((i * 2) % 5);
+        w.gaze.push_back({t, x, y});
+    }
+    return w;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int n =
+        static_cast<int>(pce::envInt("PCE_BENCH_WIDTH", 128));
+    const int frames =
+        static_cast<int>(pce::envInt("PCE_BENCH_FRAMES", 8));
+    std::string out_path = "trace.json";
+    if (argc > 1)
+        out_path = argv[1];
+    else if (const char *env = std::getenv("PCE_TRACE_OUT"))
+        out_path = env;
+
+    const DisplayGeometry geom = geometry(n, n);
+    const EccentricityMap ecc(geom);
+    const Workload wa = workload(SceneId::Office, n, frames, 0.0);
+    const Workload wb = workload(SceneId::Thai, n, frames, 0.7);
+
+    obs::setTraceEnabled(false);
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().nameThread("producer");
+
+    ServiceParams sp;
+    sp.shards = 2;
+    sp.verifyRoundTrip = true;
+    sp.hardenIntegrity = true;
+    EncodeService svc(bench::benchModel(), sp);
+    const StreamHandle ha = svc.openGazeStream("trace-a", geom);
+    const StreamHandle hb = svc.openGazeStream("trace-b", geom);
+
+    net::LossyChannelConfig cc;
+    cc.dropRate = 0.25;
+    cc.seed = 0xace0fba5e;
+    net::LossyChannel cha(cc);
+    cc.seed = 0xdecafbad;
+    net::LossyChannel chb(cc);
+
+    net::SenderPolicy pa;
+    pa.sessionId = 0xa;
+    pa.streamId = svc.streamTraceId(ha);
+    net::SenderPolicy pb;
+    pb.sessionId = 0xb;
+    pb.streamId = svc.streamTraceId(hb);
+    net::DeliverySession sa(svc, ha, cha, pa, &ecc);
+    net::DeliverySession sb(svc, hb, chb, pb, &ecc);
+
+    obs::setTraceEnabled(true);
+    for (int i = 0; i < frames; ++i) {
+        svc.submit(ha, wa.frames[i], wa.gaze[i]);
+        svc.submit(hb, wb.frames[i], wb.gaze[i]);
+        for (net::DeliverySession *s : {&sa, &sb}) {
+            ImageU8 out;
+            const net::DeliveryReport rep = s->deliverNext(out, 30000ms);
+            if (rep.encodeTimedOut)
+                std::abort();
+        }
+    }
+    svc.drainAll();
+    obs::setTraceEnabled(false);
+
+    const std::vector<obs::TraceEvent> events =
+        obs::Tracer::instance().collect();
+    if (!obs::saveChromeTrace(out_path)) {
+        std::cerr << "trace_runner: cannot write " << out_path << "\n";
+        return 1;
+    }
+
+    struct NameAgg
+    {
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+    };
+    std::map<std::string, NameAgg> by_name;
+    for (const obs::TraceEvent &e : events) {
+        NameAgg &agg = by_name[e.name];
+        ++agg.count;
+        agg.totalNs += e.endNs - e.beginNs;
+    }
+
+    std::cout << 2 << " streams x " << frames << " frames at " << n
+              << "x" << n << ", shards 2, drop 25%\n"
+              << "recorded " << obs::Tracer::instance().recordedEvents()
+              << " events on " << obs::Tracer::instance().threadCount()
+              << " threads (dropped "
+              << obs::Tracer::instance().droppedEvents() << ")\n";
+    for (const auto &[name, agg] : by_name)
+        std::cout << "  " << name << ": " << agg.count << " events, "
+                  << static_cast<double>(agg.totalNs) / 1e6
+                  << " ms total\n";
+    std::cout << "wrote " << out_path
+              << " (load in https://ui.perfetto.dev)\n";
+    obs::Tracer::instance().reset();
+    return 0;
+}

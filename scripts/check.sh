@@ -106,6 +106,18 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-san/fault_test_fault_campaign
 
+echo "== Observability tier under asan/ubsan =="
+# The tracer hands out raw per-thread ring-buffer references and the
+# exporter walks C-string names captured from any thread — run the obs
+# suites explicitly under the sanitizers so a filtered/partial ctest
+# invocation can never skip them.
+for suite in obs_test_trace obs_test_metrics obs_test_trace_export \
+             obs_test_frame_trace; do
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        "./build-san/${suite}"
+done
+
 echo "== Concurrency suites under ThreadSanitizer =="
 # The sharded dispatch refactor (dispatcher-per-shard, cross-shard
 # work stealing, lane-exclusive per-stream state hand-off) lives or
@@ -121,13 +133,15 @@ cmake --build build-tsan -j"$JOBS" --target \
     service_test_sharded_service service_test_encode_service \
     service_test_gaze_service service_test_collect_timeout \
     service_test_fault_service \
-    net_test_delivery net_test_delivery_sharded
+    net_test_delivery net_test_delivery_sharded \
+    obs_test_trace obs_test_metrics obs_test_frame_trace
 for suite in common_test_sharded_queue common_test_thread_pool \
              common_test_bounded_queue \
              service_test_sharded_service service_test_encode_service \
              service_test_gaze_service service_test_collect_timeout \
              service_test_fault_service \
-             net_test_delivery net_test_delivery_sharded; do
+             net_test_delivery net_test_delivery_sharded \
+             obs_test_trace obs_test_metrics obs_test_frame_trace; do
     TSAN_OPTIONS="halt_on_error=1" "./build-tsan/${suite}"
 done
 

@@ -6,6 +6,7 @@
 
 #include "common/bitstream.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 #include "simd/tile_kernels.hh"
 
 namespace pce {
@@ -193,10 +194,15 @@ BdCodec::encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
             }
         }
     };
-    if (parallel)
-        pool->parallelFor(n_tiles, 16, participants, statsRange);
-    else
-        statsRange(0, n_tiles, 0);
+    {
+        // Pass spans record on the dispatching thread only — worker
+        // time inside parallelFor is inside the span's wall time.
+        obs::TraceSpan span("bd/stats");
+        if (parallel)
+            pool->parallelFor(n_tiles, 16, participants, statsRange);
+        else
+            statsRange(0, n_tiles, 0);
+    }
 
     // Pass 2 (serial): exact per-tile bit offsets by prefix sum.
     BdFrameStats stats;
@@ -204,16 +210,19 @@ BdCodec::encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
     stats.headerBits = kMagicBits + 2 * kDimBits + kTileBits;
     s.bitOffsets.resize(n_tiles + 1);
     std::size_t payload_bits = 0;
-    for (std::size_t t = 0; t < n_tiles; ++t) {
-        s.bitOffsets[t] = payload_bits;
-        const std::size_t pixels =
-            static_cast<std::size_t>(tiles[t].pixelCount());
-        std::size_t tile_bits = 3 * (kWidthFieldBits + kBaseBits);
-        for (int c = 0; c < 3; ++c)
-            tile_bits += pixels * s.width[3 * t + c];
-        stats.deltaBits +=
-            tile_bits - 3 * (kWidthFieldBits + kBaseBits);
-        payload_bits += tile_bits;
+    {
+        obs::TraceSpan span("bd/prefix");
+        for (std::size_t t = 0; t < n_tiles; ++t) {
+            s.bitOffsets[t] = payload_bits;
+            const std::size_t pixels =
+                static_cast<std::size_t>(tiles[t].pixelCount());
+            std::size_t tile_bits = 3 * (kWidthFieldBits + kBaseBits);
+            for (int c = 0; c < 3; ++c)
+                tile_bits += pixels * s.width[3 * t + c];
+            stats.deltaBits +=
+                tile_bits - 3 * (kWidthFieldBits + kBaseBits);
+            payload_bits += tile_bits;
+        }
     }
     s.bitOffsets[n_tiles] = payload_bits;
     stats.metaBits = n_tiles * 3 * kWidthFieldBits;
@@ -221,6 +230,7 @@ BdCodec::encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
 
     // Pass 3: emission. The writer adopts (and returns) the caller's
     // buffer and reserves the exact final size up front.
+    obs::TraceSpan emitSpan("bd/emit");
     BitWriter bw;
     bw.reset(std::move(out));
     bw.reserve(stats.headerBits + payload_bits + 7);
@@ -258,6 +268,7 @@ BdCodec::encodeInto(const ImageU8 &img, BdFrameStats *stats_out,
     }
 
     bw.alignToByte();
+    emitSpan.end();
     if (stats_out)
         *stats_out = stats;
     out = bw.take();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/integrity.hh"
+#include "obs/trace.hh"
 
 namespace pce {
 
@@ -244,8 +245,15 @@ PerceptualEncoder::encodeFrameInto(const ImageF &frame,
                                    EncodedFrame &out) const
 {
     out.seal = FrameSeal{};
-    adjustFrameInto(frame, ecc, out.adjustedLinear, &out.stats);
-    toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
+    {
+        obs::TraceSpan span("encode/adjust");
+        adjustFrameInto(frame, ecc, out.adjustedLinear, &out.stats);
+    }
+    {
+        obs::TraceSpan span("encode/quantize");
+        toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
+    }
+    obs::TraceSpan span("encode/bd");
     codec_.encodeInto(out.adjustedSrgb, &out.bdStats, out.bdStream,
                       &out.bdScratch, pool_, params_.threads);
 }
@@ -272,7 +280,11 @@ PerceptualEncoder::encodeFrameGazeInto(const ImageF &frame,
             "PerceptualEncoder::encodeFrameGazeInto: frame does not "
             "match the gaze state's eccentricity map");
 
-    const GazePhase phase = gaze.update(sample);
+    GazePhase phase;
+    {
+        obs::TraceSpan span("encode/gaze_update");
+        phase = gaze.update(sample);
+    }
     if (phase == GazePhase::Fixation) {
         encodeFrameInto(frame, gaze.map(), out);
         return phase;
@@ -282,22 +294,31 @@ PerceptualEncoder::encodeFrameGazeInto(const ImageF &frame,
     // frame-wide copy instead of the per-tile adjustment loop, then
     // the unchanged quantize + BD encode.
     out.seal = FrameSeal{};
-    if (out.adjustedLinear.width() != frame.width() ||
-        out.adjustedLinear.height() != frame.height())
-        out.adjustedLinear = ImageF(frame.width(), frame.height());
-    std::copy(frame.pixels().begin(), frame.pixels().end(),
-              out.adjustedLinear.pixels().begin());
-    const std::size_t tiles =
-        static_cast<std::size_t>(
-            (frame.width() + params_.tileSize - 1) /
-            params_.tileSize) *
-        static_cast<std::size_t>(
-            (frame.height() + params_.tileSize - 1) /
-            params_.tileSize);
-    out.stats = PipelineStats{};
-    out.stats.totalTiles = tiles;
-    out.stats.saccadeBypassTiles = tiles;
-    toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
+    {
+        // The bypass span plays the role of encode/adjust in the
+        // frame timeline: same slot, different (cheaper) work.
+        obs::TraceSpan span("encode/saccade_bypass");
+        if (out.adjustedLinear.width() != frame.width() ||
+            out.adjustedLinear.height() != frame.height())
+            out.adjustedLinear = ImageF(frame.width(), frame.height());
+        std::copy(frame.pixels().begin(), frame.pixels().end(),
+                  out.adjustedLinear.pixels().begin());
+        const std::size_t tiles =
+            static_cast<std::size_t>(
+                (frame.width() + params_.tileSize - 1) /
+                params_.tileSize) *
+            static_cast<std::size_t>(
+                (frame.height() + params_.tileSize - 1) /
+                params_.tileSize);
+        out.stats = PipelineStats{};
+        out.stats.totalTiles = tiles;
+        out.stats.saccadeBypassTiles = tiles;
+    }
+    {
+        obs::TraceSpan span("encode/quantize");
+        toSrgb8Into(out.adjustedLinear, out.adjustedSrgb);
+    }
+    obs::TraceSpan span("encode/bd");
     codec_.encodeInto(out.adjustedSrgb, &out.bdStats, out.bdStream,
                       &out.bdScratch, pool_, params_.threads);
     return phase;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "image/image.hh"
+#include "obs/trace.hh"
 #include "perception/display.hh"
 
 namespace pce::net {
@@ -29,12 +30,22 @@ deliverFrame(const std::vector<std::uint8_t> &bd_stream,
              ImageU8 &out, const SenderPolicy &policy,
              RateController *rate)
 {
+    // Every span and instant below inherits this frame's tag, so the
+    // delivery rounds stitch onto the encode-side timeline when
+    // policy.streamId is EncodeService::streamTraceId(handle).
+    const obs::TraceTag traceTag{frame_id, policy.streamId,
+                                 obs::kNoShard};
+    obs::TagScope tagScope(traceTag);
+    obs::TraceSpan deliverSpan("net/deliver_frame");
+
     PacketizerParams pp;
     pp.mtuBytes = policy.mtuBytes;
     pp.sessionId = policy.sessionId;
     pp.streamId = policy.streamId;
+    obs::TraceSpan packSpan("net/packetize");
     const PacketizedFrame pf =
         packetizeFrame(bd_stream, frame_id, ecc, pp);
+    packSpan.end();
 
     DeliveryReport rep;
     std::vector<TxState> tx(pf.packets.size());
@@ -62,14 +73,21 @@ deliverFrame(const std::vector<std::uint8_t> &bd_stream,
     }
 
     for (int round = 0; round < deadline; ++round) {
+        obs::TraceSpan roundSpan("net/round");
+        const std::uint64_t round_bytes_before = rep.bytesSent;
+        std::uint64_t backed_off = 0;
         rep.roundsUsed = round + 1;
         // Transmit in foveal-priority order under the round budget:
         // a foveal retransmission outranks a peripheral first send.
         std::size_t budget = round_budget;
         for (const std::uint32_t idx : pf.sendOrder) {
             TxState &t = tx[idx];
-            if (t.delivered || t.gaveUp || t.eligibleRound > round)
+            if (t.delivered || t.gaveUp)
                 continue;
+            if (t.eligibleRound > round) {
+                ++backed_off;
+                continue;
+            }
             const std::vector<std::uint8_t> &bytes =
                 pf.packets[idx].bytes;
             if (bytes.size() > budget)
@@ -89,6 +107,9 @@ deliverFrame(const std::vector<std::uint8_t> &bd_stream,
                 round +
                 (1 << std::min(t.transmissions - 1, 8));
         }
+        roundSpan.arg("bytes", rep.bytesSent - round_bytes_before);
+        if (backed_off > 0)
+            obs::traceInstant("net/backoff", "deferred", backed_off);
 
         // This round's arrivals, then the (reliable) NACK.
         for (const std::vector<std::uint8_t> &pkt : channel.ready())
@@ -107,6 +128,7 @@ deliverFrame(const std::vector<std::uint8_t> &bd_stream,
                     tx[i].delivered = true;
         if (missing.empty())
             break;
+        obs::traceInstant("net/nack", "missing", missing.size());
         for (TxState &t : tx)
             if (!t.delivered && !t.gaveUp &&
                 t.transmissions > policy.maxRetransmitAttempts)
@@ -122,8 +144,12 @@ deliverFrame(const std::vector<std::uint8_t> &bd_stream,
         rep.minShedEccDeg =
             std::min(rep.minShedEccDeg, pf.packets[i].minEccDeg);
     }
+    if (rep.shedPackets > 0)
+        obs::traceInstant("net/shed", "packets", rep.shedPackets);
 
+    obs::TraceSpan finSpan("net/finalize");
     rep.frame = receiver.finalizeFrame(policy.streamId, frame_id, out);
+    finSpan.end();
 
     rep.frame.adaptiveRate = rate != nullptr;
     rep.frame.budgetBytesPerRound = round_budget;

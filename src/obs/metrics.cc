@@ -1,0 +1,254 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pce::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** fetch_add for atomic<double> via CAS (portable pre-C++20-TS). */
+void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMin(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMax(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+LogHistogram::LogHistogram(Params params) : params_(params)
+{
+    if (!(params_.minValue > 0.0))
+        params_.minValue = 1e-3;
+    params_.subBucketsPerOctave =
+        std::max(1, params_.subBucketsPerOctave);
+    params_.octaves = std::max(1, params_.octaves);
+    nBuckets_ = 2 + static_cast<std::size_t>(params_.octaves) *
+                        static_cast<std::size_t>(
+                            params_.subBucketsPerOctave);
+    buckets_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(nBuckets_);
+    for (std::size_t i = 0; i < nBuckets_; ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    min_.store(kInf, std::memory_order_relaxed);
+    max_.store(-kInf, std::memory_order_relaxed);
+}
+
+std::size_t
+LogHistogram::bucketIndexFor(double v) const
+{
+    if (!(v >= params_.minValue))  // includes NaN and negatives
+        return 0;
+    const double r = v / params_.minValue;
+    // frexp gives the octave exactly (no log2 rounding at powers of
+    // two): r = m * 2^e with m in [0.5, 1), so floor(log2 r) = e - 1.
+    int e = 0;
+    std::frexp(r, &e);
+    const int octave = e - 1;
+    if (octave >= params_.octaves)
+        return nBuckets_ - 1;  // overflow
+    const int sub_n = params_.subBucketsPerOctave;
+    // Position within the octave, [0, 1); division by a power of two
+    // is exact, so the sub-bucket edge arithmetic cannot misplace a
+    // boundary value.
+    const double frac = std::ldexp(r, -octave) - 1.0;
+    const int sub = std::min(
+        sub_n - 1, static_cast<int>(frac * static_cast<double>(sub_n)));
+    return 1 +
+           static_cast<std::size_t>(octave) *
+               static_cast<std::size_t>(sub_n) +
+           static_cast<std::size_t>(sub);
+}
+
+double
+LogHistogram::bucketLowerBound(std::size_t i) const
+{
+    if (i == 0)
+        return 0.0;
+    const std::size_t sub_n =
+        static_cast<std::size_t>(params_.subBucketsPerOctave);
+    const std::size_t k = i - 1;
+    if (k >= static_cast<std::size_t>(params_.octaves) * sub_n)
+        return params_.minValue *
+               std::ldexp(1.0, params_.octaves);  // overflow bucket
+    const std::size_t octave = k / sub_n;
+    const std::size_t sub = k % sub_n;
+    return params_.minValue *
+           std::ldexp(1.0 + static_cast<double>(sub) /
+                                static_cast<double>(sub_n),
+                      static_cast<int>(octave));
+}
+
+double
+LogHistogram::bucketUpperBound(std::size_t i) const
+{
+    if (i + 1 >= nBuckets_)
+        return kInf;
+    return bucketLowerBound(i + 1);
+}
+
+void
+LogHistogram::record(double v)
+{
+    if (v < 0.0 || std::isnan(v))
+        v = 0.0;
+    buckets_[bucketIndexFor(v)].fetch_add(1,
+                                          std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+double
+LogHistogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+LogHistogram::min() const
+{
+    const double v = min_.load(std::memory_order_relaxed);
+    return v == kInf ? 0.0 : v;
+}
+
+double
+LogHistogram::max() const
+{
+    const double v = max_.load(std::memory_order_relaxed);
+    return v == -kInf ? 0.0 : v;
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    // The same nearest-rank rule the service's old sorted fixed
+    // window used (percentileOf): this shared formula is what makes
+    // the within-one-bucket migration contract hold — both pick the
+    // *same* sample, the histogram just reports its bucket.
+    const double rank = p / 100.0 * static_cast<double>(n);
+    std::uint64_t idx =
+        rank <= 1.0 ? 0 : static_cast<std::uint64_t>(rank + 0.5) - 1;
+    idx = std::min(idx, n - 1);
+
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < nBuckets_; ++b) {
+        cum += buckets_[b].load(std::memory_order_relaxed);
+        if (cum > idx)
+            return std::min(bucketUpperBound(b), max());
+    }
+    return max();  // racing recorders: fall back to the exact max
+}
+
+void
+LogHistogram::reset()
+{
+    for (std::size_t i = 0; i < nBuckets_; ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(kInf, std::memory_order_relaxed);
+    max_.store(-kInf, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------- MetricsRegistry
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LogHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           LogHistogram::Params params)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<LogHistogram>(params);
+    return *slot;
+}
+
+std::vector<MetricsRegistry::Reading>
+MetricsRegistry::snapshot() const
+{
+    std::vector<Reading> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_) {
+        Reading r;
+        r.name = name;
+        r.kind = Reading::Kind::Counter;
+        r.value = static_cast<double>(c->value());
+        out.push_back(std::move(r));
+    }
+    for (const auto &[name, g] : gauges_) {
+        Reading r;
+        r.name = name;
+        r.kind = Reading::Kind::Gauge;
+        r.value = g->value();
+        out.push_back(std::move(r));
+    }
+    for (const auto &[name, h] : histograms_) {
+        Reading r;
+        r.name = name;
+        r.kind = Reading::Kind::Histogram;
+        r.count = h->count();
+        r.p50 = h->percentile(50.0);
+        r.p90 = h->percentile(90.0);
+        r.p99 = h->percentile(99.0);
+        r.minValue = h->min();
+        r.maxValue = h->max();
+        r.sumValue = h->sum();
+        out.push_back(std::move(r));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Reading &a, const Reading &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+} // namespace pce::obs

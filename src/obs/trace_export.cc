@@ -1,0 +1,134 @@
+#include "obs/trace_export.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace pce::obs {
+
+namespace {
+
+/** JSON string escape (control chars, quote, backslash). */
+void
+writeJsonString(std::ostream &os, const char *s)
+{
+    os << '"';
+    for (; *s != '\0'; ++s) {
+        const unsigned char c = static_cast<unsigned char>(*s);
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\b': os << "\\b"; break;
+        case '\f': os << "\\f"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Microseconds with ns precision, fixed three decimals. */
+void
+writeMicros(std::ostream &os, std::uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                  static_cast<unsigned>(ns % 1000));
+    os << buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 const std::vector<std::pair<std::uint32_t,
+                                             std::string>> &thread_names)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[tid, name] : thread_names) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":0.000"
+              ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        writeJsonString(os, name.c_str());
+        os << "}}";
+    }
+    for (const TraceEvent &e : events) {
+        if (e.name == nullptr)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\":\"" << (e.instant ? 'i' : 'X')
+           << "\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":";
+        writeJsonString(os, e.name);
+        os << ",\"cat\":\"pce\",\"ts\":";
+        writeMicros(os, e.beginNs);
+        if (!e.instant) {
+            os << ",\"dur\":";
+            writeMicros(os, e.endNs - e.beginNs);
+        } else {
+            os << ",\"s\":\"t\"";
+        }
+        os << ",\"args\":{";
+        bool first_arg = true;
+        auto arg_sep = [&] {
+            if (!first_arg)
+                os << ",";
+            first_arg = false;
+        };
+        if (e.frame != kNoFrame) {
+            arg_sep();
+            os << "\"frame\":" << e.frame;
+        }
+        if (e.stream != kNoStream) {
+            arg_sep();
+            os << "\"stream\":" << e.stream;
+        }
+        if (e.shard != kNoShard) {
+            arg_sep();
+            os << "\"shard\":" << e.shard;
+        }
+        if (e.argName != nullptr) {
+            arg_sep();
+            writeJsonString(os, e.argName);
+            os << ":" << e.arg;
+        }
+        os << "}}";
+    }
+    os << "\n]}\n";
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    const Tracer &tracer = Tracer::instance();
+    writeChromeTrace(os, tracer.collect(), tracer.threadNames());
+}
+
+bool
+saveChromeTrace(const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+} // namespace pce::obs

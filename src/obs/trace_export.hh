@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Chrome trace-event JSON export for the span tracer (obs/trace.hh):
+ * the merge path that turns per-thread rings into one file Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing loads directly.
+ *
+ * Emitted document shape (the "JSON object format" of the trace-event
+ * spec):
+ *
+ *   { "displayTimeUnit": "ms",
+ *     "traceEvents": [
+ *       {"ph":"M","pid":1,"tid":2,"name":"thread_name",
+ *        "args":{"name":"shard0/dispatcher"}},
+ *       {"ph":"X","pid":1,"tid":2,"name":"service/dispatch",
+ *        "cat":"pce","ts":123.456,"dur":14.250,
+ *        "args":{"frame":7,"stream":1,"shard":0}},
+ *       {"ph":"i","pid":1,"tid":3,"name":"net/nack","cat":"pce",
+ *        "ts":150.000,"s":"t","args":{"missing":3}} ] }
+ *
+ * - Spans are ph "X" complete events, instants ph "i" (thread scope).
+ * - ts/dur are microseconds (3 decimal places — the underlying
+ *   timebase is steady-clock ns) relative to the process trace epoch.
+ * - pid is always 1 (one process); tid is the recorder's thread id,
+ *   with one ph "M" thread_name metadata event per named thread.
+ * - Tag fields {frame, stream, shard} appear in args only when set,
+ *   plus the span's optional named payload.
+ *
+ * Determinism: under a seeded workload the exported event multiset is
+ * a pure function of the workload (tests/obs/test_frame_trace.cc pins
+ * counts), and events are ordered by begin time, parents first —
+ * wall-clock values vary run to run, structure does not.
+ */
+
+#ifndef PCE_OBS_TRACE_EXPORT_HH
+#define PCE_OBS_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace pce::obs {
+
+/** Write @p events (with optional thread names) as a Chrome trace. */
+void writeChromeTrace(
+    std::ostream &os, const std::vector<TraceEvent> &events,
+    const std::vector<std::pair<std::uint32_t, std::string>>
+        &thread_names = {});
+
+/** Collect from the global Tracer and write (merge + export). */
+void writeChromeTrace(std::ostream &os);
+
+/**
+ * Collect from the global Tracer into @p path. Returns false (after
+ * printing nothing — callers own diagnostics) when the file cannot be
+ * written.
+ */
+bool saveChromeTrace(const std::string &path);
+
+} // namespace pce::obs
+
+#endif // PCE_OBS_TRACE_EXPORT_HH

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "common/integrity.hh"
+#include "obs/trace.hh"
 
 namespace pce {
 
@@ -14,7 +16,7 @@ namespace detail {
 /**
  * Internal per-stream state. Every container here is sized once (at
  * openStream, from ServiceParams) and reused: the free-slot stack, the
- * ready ring, the latency window, and each slot's input image and
+ * ready ring, and each slot's input image and
  * EncodedFrame all reach steady-state capacity after the first frames
  * and never reallocate for a same-geometry stream.
  */
@@ -23,6 +25,9 @@ struct StreamState
     std::string name;
     /** Home shard (shardForName): where submissions are queued. */
     std::size_t shard = 0;
+    /** Stable trace id: the `stream` tag on this stream's trace
+     *  events (EncodeService::streamTraceId). Open order, from 0. */
+    std::uint32_t obsId = 0;
     const EccentricityMap *ecc = nullptr;
     /**
      * Eye-tracked streams own their eccentricity state (one per
@@ -70,9 +75,15 @@ struct StreamState
     // Stats, guarded by mutex.
     double megapixels = 0.0;
     double encodeSeconds = 0.0;
-    std::vector<double> latencyMs;  ///< fixed ring of recent samples
-    std::size_t latencyCount = 0;   ///< total recorded (ring index)
-    double latencyMaxMs = 0.0;
+    /**
+     * Queue-latency histogram ("stream/<name>/queue_latency_ms",
+     * owned by the service's MetricsRegistry — the registry outlives
+     * the stream). Replaces the old sorted fixed-window ring: full
+     * history in fixed memory, percentiles within one bucket of exact
+     * (obs/metrics.hh), min/max/count exact. The histogram itself is
+     * lock-free; this pointer is set once at open.
+     */
+    obs::LogHistogram *latencyHist = nullptr;
     std::uint64_t framesVerified = 0;
     std::uint64_t corruptFrames = 0;
     std::uint64_t saccadeFrames = 0;
@@ -123,7 +134,7 @@ copyFrameInto(const ImageF &src, ImageF &dst)
               dst.pixels().begin());
 }
 
-/** Size the slot/ready/latency rings once, at stream open. */
+/** Size the slot/ready rings once, at stream open. */
 void
 initStreamRings(StreamState &s, const ServiceParams &params)
 {
@@ -133,22 +144,6 @@ initStreamRings(StreamState &s, const ServiceParams &params)
     for (int i = depth - 1; i >= 0; --i)
         s.freeSlots.push_back(i);  // slot 0 served first
     s.readyRing.assign(static_cast<std::size_t>(depth), -1);
-    s.latencyMs.assign(params.latencyWindow, 0.0);
-    s.latencyCount = 0;
-}
-
-/** p-th percentile (0..100) of an already-sorted sample window. */
-double
-percentileOf(const std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const double rank = p / 100.0 * static_cast<double>(sorted.size());
-    std::size_t idx = rank <= 1.0
-                          ? 0
-                          : static_cast<std::size_t>(rank + 0.5) - 1;
-    idx = std::min(idx, sorted.size() - 1);
-    return sorted[idx];
 }
 
 } // namespace
@@ -216,6 +211,14 @@ struct EncodeService::ShardRuntime
     std::atomic<std::uint64_t> framesEncoded{0};
     std::atomic<std::uint64_t> framesStolen{0};
     std::atomic<std::uint64_t> busyNanos{0};
+    /**
+     * Queue residency of frames *homed* here, whoever encoded them
+     * ("shard/<i>/queue_residency_ms" in the registry; lock-free).
+     * Home attribution makes this the rebalancing signal: a hot home
+     * shard's residency grows even while thieves keep its throughput
+     * level.
+     */
+    obs::LogHistogram *residency = nullptr;
     std::thread dispatcher;
 };
 
@@ -278,6 +281,8 @@ EncodeService::EncodeService(const DiscriminationModel &model,
         pipeline.pool = rt->pool.get();
         rt->encoder =
             std::make_unique<PerceptualEncoder>(model, pipeline);
+        rt->residency = &metrics_.histogram(
+            "shard/" + std::to_string(i) + "/queue_residency_ms");
         shards_.push_back(std::move(rt));
     }
     for (std::size_t i = 0; i < n; ++i)
@@ -298,9 +303,12 @@ EncodeService::openStream(std::string name, const EccentricityMap &ecc)
     state->shard = shardForName(state->name, params_.shards);
     state->ecc = &ecc;
     initStreamRings(*state, params_);
+    state->latencyHist = &metrics_.histogram(
+        "stream/" + state->name + "/queue_latency_ms");
 
     StreamState *raw = state.get();
     std::lock_guard<std::mutex> lock(streamsMutex_);
+    state->obsId = static_cast<std::uint32_t>(streams_.size());
     streams_.push_back(std::move(state));
     return StreamHandle(raw);
 }
@@ -334,11 +342,23 @@ EncodeService::openGazeStream(std::string name,
     state->ecc = &gaze->map();
     state->gaze = std::move(gaze);
     initStreamRings(*state, params_);
+    state->latencyHist = &metrics_.histogram(
+        "stream/" + state->name + "/queue_latency_ms");
 
     StreamState *raw = state.get();
     std::lock_guard<std::mutex> lock(streamsMutex_);
+    state->obsId = static_cast<std::uint32_t>(streams_.size());
     streams_.push_back(std::move(state));
     return StreamHandle(raw);
+}
+
+std::uint32_t
+EncodeService::streamTraceId(StreamHandle handle) const
+{
+    if (!handle.valid())
+        throw std::invalid_argument(
+            "EncodeService::streamTraceId: invalid stream handle");
+    return handle.state_->obsId;
 }
 
 void
@@ -375,6 +395,13 @@ EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
         throw std::invalid_argument(
             "EncodeService::submit: frame does not match the stream's "
             "eccentricity map");
+
+    // Frame-lifecycle trace, producer side: the submit span covers
+    // slot backpressure, the input copy, and ring backpressure; the
+    // queue-wait span recorded at dispatch begins inside it (at
+    // submitTime), so the timeline stitches producer -> dispatcher.
+    const bool tracing = obs::traceEnabled();
+    const std::uint64_t submit_begin = tracing ? obs::traceNowNs() : 0;
 
     int slot = -1;
     std::uint64_t seq = 0;
@@ -433,6 +460,11 @@ EncodeService::submitImpl(StreamHandle handle, const ImageF &frame,
         throw std::runtime_error(
             "EncodeService::submit: service shut down while enqueuing");
     }
+    if (tracing)
+        obs::recordSpan(
+            "service/submit", submit_begin, obs::traceNowNs(),
+            obs::TraceTag{seq, s.obsId,
+                          static_cast<std::int32_t>(s.shard)});
 }
 
 void
@@ -485,6 +517,11 @@ EncodeService::collectImpl(StreamHandle handle,
         throw std::invalid_argument(
             "EncodeService::collect: invalid stream handle");
     StreamState &s = *handle.state_;
+    // Consumer side of the frame timeline: the collect span covers
+    // the ready-ring wait and ends when the frame leaves the service.
+    const bool tracing = obs::traceEnabled();
+    const std::uint64_t collect_begin =
+        tracing ? obs::traceNowNs() : 0;
     std::unique_lock<std::mutex> lock(s.mutex);
     if (s.collected == s.submitted)
         throw std::logic_error(
@@ -531,6 +568,10 @@ EncodeService::collectImpl(StreamHandle handle,
             "EncodeService::collect: frame seal mismatch (frame "
             "quarantined)");
     }
+    if (tracing)
+        obs::recordSpan(
+            "service/collect", collect_begin, obs::traceNowNs(),
+            obs::TraceTag{sl.frameIndex, s.obsId, obs::kNoShard});
     return FrameLease(&s, slot, &sl.frame);
 }
 
@@ -603,11 +644,37 @@ EncodeService::dispatchLoop(std::size_t shard)
     // releases the stream's next request, so per-stream FIFO holds
     // through the publish, not just the encode.
     ShardRuntime &rt = *shards_[shard];
+    // Named lazily on the first traced frame so an untraced run never
+    // allocates this thread's ring (~1.3 MB at the default capacity).
+    bool traceNamed = false;
     while (auto req = queue_.popForShard(shard)) {
         StreamState &s = *req->value.stream;
         StreamState::Slot &sl =
             s.slots[static_cast<std::size_t>(req->value.slot)];
         const Clock::time_point start = Clock::now();
+        const bool tracing = obs::traceEnabled();
+        const obs::TraceTag traceTag{
+            sl.frameIndex, s.obsId, static_cast<std::int32_t>(shard)};
+        const std::uint64_t start_ns =
+            tracing ? obs::traceToNs(start) : 0;
+        std::optional<obs::TagScope> tagScope;
+        if (tracing) {
+            if (!traceNamed) {
+                obs::Tracer::instance().nameThread(
+                    "shard" + std::to_string(shard) + "/dispatcher");
+                traceNamed = true;
+            }
+            // queue_wait ends on the exact timestamp dispatch begins
+            // (both use start_ns), so the two spans stitch with no
+            // gap; "stolen" marks a cross-shard hand-off.
+            obs::recordSpan("service/queue_wait",
+                            obs::traceToNs(req->value.submitTime),
+                            start_ns, traceTag, "stolen",
+                            req->stolen ? 1 : 0);
+            // Nested spans (encode passes, seal, verify) inherit the
+            // frame/stream/shard tag ambiently for the whole hold.
+            tagScope.emplace(traceTag);
+        }
         bool saccade = false;
         bool verified = false;
         bool corrupt = false;
@@ -656,6 +723,7 @@ EncodeService::dispatchLoop(std::size_t shard)
                                             sl.frame);
             }
             if (params_.verifyRoundTrip) {
+                obs::TraceSpan span("service/verify_roundtrip");
                 verified = true;
                 try {
                     corrupt = !rt.encoder->verifyRoundTrip(sl.frame);
@@ -665,8 +733,10 @@ EncodeService::dispatchLoop(std::size_t shard)
                     corrupt = true;
                 }
             }
-            if (params_.hardenIntegrity)
+            if (params_.hardenIntegrity) {
+                obs::TraceSpan span("service/seal");
                 sealFrame(sl.frame);
+            }
             if (params_.postEncodeFaultHook)
                 params_.postEncodeFaultHook(s.name, sl.frameIndex,
                                             sl.frame);
@@ -679,6 +749,9 @@ EncodeService::dispatchLoop(std::size_t shard)
         if (gazeHeld)
             s.gaze->endExclusive();
         const Clock::time_point end = Clock::now();
+        if (tracing)
+            obs::recordSpan("service/dispatch", start_ns,
+                            obs::traceToNs(end), traceTag);
         rt.framesEncoded.fetch_add(1, std::memory_order_relaxed);
         if (req->stolen)
             rt.framesStolen.fetch_add(1, std::memory_order_relaxed);
@@ -720,9 +793,12 @@ EncodeService::dispatchLoop(std::size_t shard)
             }
             const double wait_ms =
                 secondsBetween(req->value.submitTime, start) * 1e3;
-            s.latencyMs[s.latencyCount % s.latencyMs.size()] = wait_ms;
-            ++s.latencyCount;
-            s.latencyMaxMs = std::max(s.latencyMaxMs, wait_ms);
+            // Queue latency: the stream's full-history histogram plus
+            // the *home* shard's residency histogram — attributed to
+            // the shard the frame was queued on even when a thief
+            // encoded it, which is exactly the rebalancing signal.
+            s.latencyHist->record(wait_ms);
+            shards_[s.shard]->residency->record(wait_ms);
             s.readyRing[(s.readyHead + s.readyCount) %
                         s.readyRing.size()] = req->value.slot;
             ++s.readyCount;
@@ -793,6 +869,10 @@ EncodeService::report() const
                            ? sh.busySeconds / rep.wallSeconds
                            : 0.0;
         sh.participants = rt.participants;
+        sh.queueResidencyP50Ms = rt.residency->percentile(50.0);
+        sh.queueResidencyP90Ms = rt.residency->percentile(90.0);
+        sh.queueResidencyP99Ms = rt.residency->percentile(99.0);
+        sh.residencySamples = rt.residency->count();
         if (rt.pool != nullptr) {
             sh.poolDispatches = rt.pool->dispatchCalls();
             sh.poolMeanParticipants =
@@ -809,10 +889,10 @@ EncodeService::report() const
     for (const auto &sp : streams_) {
         const StreamState &s = *sp;
         StreamStats st;
-        std::vector<double> window;
         {
             // Only the snapshot happens under the stream lock the
-            // dispatcher needs; the sort runs outside it.
+            // dispatcher needs; the histogram reads below are
+            // lock-free.
             std::lock_guard<std::mutex> slock(s.mutex);
             st.name = s.name;
             st.shard = s.shard;
@@ -822,7 +902,6 @@ EncodeService::report() const
             st.framesCollected = s.collected;
             st.megapixels = s.megapixels;
             st.encodeSeconds = s.encodeSeconds;
-            st.queueLatencyMaxMs = s.latencyMaxMs;
             st.framesVerified = s.framesVerified;
             st.corruptFrames = s.corruptFrames;
             st.saccadeFrames = s.saccadeFrames;
@@ -845,21 +924,18 @@ EncodeService::report() const
                     : 0.0;
             st.lastEstimatedLossRate = s.lastEstimatedLossRate;
             st.lastCutoffEccDeg = s.lastCutoffEccDeg;
-            st.latencySamples =
-                std::min(s.latencyCount, s.latencyMs.size());
-            window.assign(
-                s.latencyMs.begin(),
-                s.latencyMs.begin() +
-                    static_cast<std::ptrdiff_t>(st.latencySamples));
         }
         st.encodeMps = st.encodeSeconds > 0.0
                            ? st.megapixels / st.encodeSeconds
                            : 0.0;
-        // One sort serves all three percentiles.
-        std::sort(window.begin(), window.end());
-        st.queueLatencyP50Ms = percentileOf(window, 50.0);
-        st.queueLatencyP90Ms = percentileOf(window, 90.0);
-        st.queueLatencyP99Ms = percentileOf(window, 99.0);
+        // Full-history log-scale histogram (obs/metrics.hh) — within
+        // one bucket of the old sorted-window exact values, with the
+        // max kept exact.
+        st.latencySamples = s.latencyHist->count();
+        st.queueLatencyMaxMs = s.latencyHist->max();
+        st.queueLatencyP50Ms = s.latencyHist->percentile(50.0);
+        st.queueLatencyP90Ms = s.latencyHist->percentile(90.0);
+        st.queueLatencyP99Ms = s.latencyHist->percentile(99.0);
         if (st.shard < rep.shards.size())
             ++rep.shards[st.shard].streamsHomed;
         rep.framesEncoded += st.framesEncoded;

@@ -103,6 +103,7 @@
 #include "common/thread_pool.hh"
 #include "core/pipeline.hh"
 #include "gaze/incremental_ecc.hh"
+#include "obs/metrics.hh"
 #include "perception/discrimination.hh"
 #include "perception/display.hh"
 #include "render/scenes.hh"
@@ -171,9 +172,14 @@ struct ServiceParams
      */
     int streamDepth = 2;
     /**
-     * Queue-latency samples retained per stream for the report's
-     * percentiles (a fixed ring, preallocated at openStream so stats
-     * recording never allocates; older samples are overwritten).
+     * Retained for compatibility; superseded by the obs migration.
+     * Queue-latency percentiles now come from a fixed-bucket
+     * LogHistogram per stream (obs/metrics.hh) that retains *every*
+     * sample in constant memory, so there is no window to size — the
+     * reported percentiles cover the stream's full history, within
+     * one histogram bucket of the exact values the old sorted window
+     * produced (the documented contract in obs/metrics.hh). Must
+     * still be >= 1 (validated as before).
      */
     std::size_t latencyWindow = 4096;
     /**
@@ -294,15 +300,19 @@ struct StreamStats
     /** megapixels / encodeSeconds: the stream's encode throughput. */
     double encodeMps = 0.0;
     /**
-     * Queue latency (submit to encode start) percentiles over the
-     * retained window, milliseconds — the service-level number a
-     * frame-budget SLO cares about.
+     * Queue latency (submit to encode start) percentiles,
+     * milliseconds — the service-level number a frame-budget SLO
+     * cares about. Extracted from the stream's LogHistogram
+     * ("stream/<name>/queue_latency_ms" in EncodeService::metrics()),
+     * which retains every sample: values are within one histogram
+     * bucket (< 1/16 relative) of exact; max is exact.
      */
     double queueLatencyP50Ms = 0.0;
     double queueLatencyP90Ms = 0.0;
     double queueLatencyP99Ms = 0.0;
     double queueLatencyMaxMs = 0.0;
-    /** Samples currently retained (min(framesEncoded, window)). */
+    /** Latency samples recorded (== framesEncoded; the histogram
+     *  retains the full history, not a window). */
     std::size_t latencySamples = 0;
     /** Frames checked / failed by per-frame round-trip verification. */
     std::uint64_t framesVerified = 0;
@@ -383,6 +393,19 @@ struct ShardStats
      *  serialization tell: with one dispatcher, N busy streams show
      *  one shard pinned at ~1.0; sharded, occupancy spreads. */
     double occupancy = 0.0;
+    /**
+     * Queue residency (submit to encode start) percentiles for
+     * frames *homed* to this shard, milliseconds, from the shard's
+     * "shard/<i>/queue_residency_ms" LogHistogram. Attribution is by
+     * home shard regardless of which dispatcher ultimately encoded
+     * the frame, so a persistently hot shard shows up here even when
+     * stealing hides it from the throughput numbers — the signal a
+     * home-shard rebalancer would act on (ROADMAP).
+     */
+    double queueResidencyP50Ms = 0.0;
+    double queueResidencyP90Ms = 0.0;
+    double queueResidencyP99Ms = 0.0;
+    std::uint64_t residencySamples = 0;
     /** Parallel encode participants this shard's slice runs. */
     int participants = 1;
     /** Pool participation accounting (ThreadPool::dispatchCalls /
@@ -634,6 +657,26 @@ class EncodeService
     const ServiceParams &params() const { return params_; }
 
     /**
+     * The service's metric registry (obs/metrics.hh): per-stream
+     * "stream/<name>/queue_latency_ms" and per-home-shard
+     * "shard/<i>/queue_residency_ms" histograms live here, and the
+     * report's percentiles are read from them. Exposed so exporters
+     * and tests can snapshot the full registry; safe to call from any
+     * thread at any time.
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * The stream's stable trace id: the `stream` tag on every trace
+     * event the service records for this stream (obs/trace.hh).
+     * Sequential from 0 in open order. A delivery session that wants
+     * its net-tier spans to stitch onto the same timeline sets
+     * SenderPolicy::streamId to this value.
+     */
+    std::uint32_t streamTraceId(StreamHandle handle) const;
+
+    /**
      * The home shard a stream named @p name is assigned to under
      * @p shards dispatcher shards. Exposed so tests and load planners
      * can reason about (or deliberately collide) stream homing; the
@@ -661,6 +704,9 @@ class EncodeService
 
     mutable std::mutex streamsMutex_;  ///< guards streams_
     std::vector<std::unique_ptr<detail::StreamState>> streams_;
+
+    /** Owns every stream/shard histogram; outlives their recorders. */
+    obs::MetricsRegistry metrics_;
 
     std::chrono::steady_clock::time_point startTime_;
     /** Last member: shutdown() joins every dispatcher before the

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Metrics registry unit tests (src/obs/metrics.hh). The load-bearing
+ * one is the LogHistogram within-one-bucket percentile contract the
+ * StreamStats queue-latency migration relies on: against a sorted
+ * full-history reference using the same nearest-rank rule, the
+ * histogram's reported percentile must bound the exact sample from
+ * above within one sub-bucket's relative width (and never exceed the
+ * exact max). Runs under ThreadSanitizer in scripts/check.sh; the
+ * concurrent-record test is the race proof for the lock-free path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace pce::obs {
+namespace {
+
+/**
+ * The old EncodeService percentileOf, verbatim: nearest-rank on a
+ * sorted window. The histogram must stay within one bucket of this.
+ */
+double
+exactPercentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size());
+    std::size_t idx =
+        rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+    idx = std::min(idx, sorted.size() - 1);
+    return sorted[idx];
+}
+
+TEST(Counter, AddsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-2.0);
+    EXPECT_EQ(g.value(), -2.0);
+}
+
+TEST(LogHistogram, ExactCountSumMinMax)
+{
+    LogHistogram h;
+    const double values[] = {0.004, 1.25, 17.0, 17.0, 250.75};
+    double sum = 0.0;
+    for (const double v : values) {
+        h.record(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), sum);
+    EXPECT_DOUBLE_EQ(h.min(), 0.004);
+    EXPECT_DOUBLE_EQ(h.max(), 250.75);
+}
+
+TEST(LogHistogram, EmptyReportsZeroes)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(LogHistogram, NegativeAndNanClampToZero)
+{
+    LogHistogram h;
+    h.record(-3.0);
+    h.record(std::nan(""));
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_LE(h.percentile(99.0), h.params().minValue);
+}
+
+TEST(LogHistogram, BucketEdgesRoundTrip)
+{
+    LogHistogram h;
+    // Every bucket's lower bound must land in that bucket, and upper
+    // bounds must be the next bucket's lower bound — exact edge math
+    // (frexp/ldexp), no misplaced boundary values.
+    for (std::size_t i = 1; i + 1 < h.bucketCount(); ++i) {
+        EXPECT_EQ(h.bucketIndexFor(h.bucketLowerBound(i)), i)
+            << "bucket " << i;
+        EXPECT_DOUBLE_EQ(h.bucketUpperBound(i),
+                         h.bucketLowerBound(i + 1))
+            << "bucket " << i;
+    }
+    EXPECT_EQ(h.bucketIndexFor(0.0), 0u);
+    EXPECT_EQ(h.bucketIndexFor(1e30), h.bucketCount() - 1);
+}
+
+TEST(LogHistogram, PercentileWithinOneBucketOfExact)
+{
+    // The migration contract (encode_service report()): for p50/90/99
+    // over log-uniform samples spanning six orders of magnitude,
+    // exact <= reported <= exact * (1 + 1/subBucketsPerOctave),
+    // and reported never exceeds the exact max.
+    LogHistogram h;
+    std::mt19937_64 rng(0x0b5eca11);
+    std::uniform_real_distribution<double> exponent(-2.0, 4.0);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = std::pow(10.0, exponent(rng));
+        samples.push_back(v);
+        h.record(v);
+    }
+    const double tol =
+        1.0 + 1.0 / h.params().subBucketsPerOctave + 1e-12;
+    for (const double p : {50.0, 90.0, 99.0, 100.0}) {
+        const double exact = exactPercentile(samples, p);
+        const double reported = h.percentile(p);
+        EXPECT_GE(reported, exact) << "p" << p;
+        EXPECT_LE(reported, exact * tol) << "p" << p;
+        EXPECT_LE(reported, h.max()) << "p" << p;
+    }
+}
+
+TEST(LogHistogram, PercentileMatchesRankOnTinySets)
+{
+    // Small-N behavior must track the old window rule exactly (same
+    // rank selection): one sample pins every percentile to it.
+    LogHistogram h;
+    h.record(4.2);
+    const double tol = 1.0 + 1.0 / h.params().subBucketsPerOctave;
+    for (const double p : {1.0, 50.0, 99.0}) {
+        EXPECT_GE(h.percentile(p), 4.2);
+        EXPECT_LE(h.percentile(p), 4.2 * tol);
+    }
+}
+
+TEST(LogHistogram, ResetClears)
+{
+    LogHistogram h;
+    h.record(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(LogHistogram, ConcurrentRecordersLoseNothing)
+{
+    // Lock-free record path: N threads hammer one histogram; the
+    // final count and sum must be exact (relaxed atomics, no lost
+    // updates), extrema must cover every thread's range.
+    LogHistogram h;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&h, t] {
+            for (int i = 1; i <= kPerThread; ++i)
+                h.record(static_cast<double>(t) * 100.0 + 1.0);
+        });
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 301.0);
+}
+
+TEST(MetricsRegistry, ReturnsStableSharedInstances)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("frames");
+    Counter &b = reg.counter("frames");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+
+    LogHistogram::Params params;
+    params.subBucketsPerOctave = 4;
+    LogHistogram &h1 = reg.histogram("lat", params);
+    // Params apply on first creation only; the name is the identity.
+    LogHistogram &h2 = reg.histogram("lat");
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.params().subBucketsPerOctave, 4);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndTyped)
+{
+    MetricsRegistry reg;
+    reg.counter("z/count").add(2);
+    reg.gauge("a/gauge").set(1.5);
+    reg.histogram("m/hist").record(10.0);
+
+    const std::vector<MetricsRegistry::Reading> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "a/gauge");
+    EXPECT_EQ(snap[1].name, "m/hist");
+    EXPECT_EQ(snap[2].name, "z/count");
+    EXPECT_EQ(snap[0].kind, MetricsRegistry::Reading::Kind::Gauge);
+    EXPECT_EQ(snap[1].kind,
+              MetricsRegistry::Reading::Kind::Histogram);
+    EXPECT_EQ(snap[2].kind, MetricsRegistry::Reading::Kind::Counter);
+    EXPECT_DOUBLE_EQ(snap[0].value, 1.5);
+    EXPECT_EQ(snap[1].count, 1u);
+    EXPECT_GE(snap[1].p50, 10.0);
+    EXPECT_DOUBLE_EQ(snap[2].value, 2.0);
+}
+
+} // namespace
+} // namespace pce::obs

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Dependency-free strict JSON parser shared by test suites
+ * (tests/bench/test_bench_schema.cc validates BENCH_encoder.json,
+ * tests/obs/test_trace_export.cc validates exported Chrome traces).
+ * Strict by design: no trailing commas, no comments, no NaN/Inf, no
+ * duplicate keys — if this parser accepts a document, any JSON
+ * consumer will. Header-only so the test CMake glob needs no support
+ * library; not part of the shipped library.
+ */
+
+#ifndef PCE_TESTS_SUPPORT_JSON_TEST_UTIL_HH
+#define PCE_TESTS_SUPPORT_JSON_TEST_UTIL_HH
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace testjson {
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    const JsonValue *find(const std::string &key) const
+    {
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    /** Parse the whole document; throws std::runtime_error. */
+    JsonValue parse()
+    {
+        const JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return parseString();
+        case 't':
+        case 'f': return parseBool();
+        case 'n': return parseNull();
+        default: return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue key = parseString();
+            skipWs();
+            expect(':');
+            if (!v.object.emplace(key.string, parseValue()).second)
+                fail("duplicate key \"" + key.string + "\"");
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                v.string.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': v.string.push_back('"'); break;
+            case '\\': v.string.push_back('\\'); break;
+            case '/': v.string.push_back('/'); break;
+            case 'b': v.string.push_back('\b'); break;
+            case 'f': v.string.push_back('\f'); break;
+            case 'n': v.string.push_back('\n'); break;
+            case 'r': v.string.push_back('\r'); break;
+            case 't': v.string.push_back('\t'); break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                for (int i = 0; i < 4; ++i)
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            text_[pos_ + i])))
+                        fail("bad \\u escape");
+                // Validated fields are ASCII; keep the escape
+                // verbatim.
+                v.string.append(text_, pos_ - 2, 6);
+                pos_ += 4;
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseBool()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        JsonValue v;
+        v.type = JsonValue::Type::Null;
+        return v;
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            fail("bad number");
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            fail("leading zero");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("bad fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("bad exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Whole-file read (empty string when unreadable). */
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace testjson
+
+#endif // PCE_TESTS_SUPPORT_JSON_TEST_UTIL_HH
